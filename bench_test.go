@@ -1,0 +1,547 @@
+// Benchmarks regenerating the paper's evaluation. Each table and figure
+// has a benchmark that runs the corresponding experiment and reports the
+// simulated metric (bandwidth, latency, ratio) via b.ReportMetric; the
+// wall-clock ns/op measures only the harness. Ablation benchmarks cover
+// the design choices called out in DESIGN.md.
+package lmp_test
+
+import (
+	"fmt"
+	"testing"
+
+	lmp "github.com/lmp-project/lmp"
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/coherence"
+	"github.com/lmp-project/lmp/internal/core"
+	"github.com/lmp-project/lmp/internal/fabric"
+	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/memsim"
+	"github.com/lmp-project/lmp/internal/migrate"
+	"github.com/lmp-project/lmp/internal/pagetable"
+	"github.com/lmp-project/lmp/internal/sim"
+	"github.com/lmp-project/lmp/internal/sizing"
+	"github.com/lmp-project/lmp/internal/topology"
+)
+
+// BenchmarkTable1MemoryTypes evaluates the calibrated profiles (Table 1):
+// idle latency and saturation bandwidth per memory type.
+func BenchmarkTable1MemoryTypes(b *testing.B) {
+	for _, p := range []memsim.Profile{memsim.LocalDRAM(), memsim.PondCXL(), memsim.FPGACXL()} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				lat = p.Latency.Latency(0)
+			}
+			b.ReportMetric(lat, "sim-latency-ns")
+			b.ReportMetric(p.Bandwidth/1e9, "sim-GBps")
+		})
+	}
+}
+
+// BenchmarkTable2LinkCharacterization drives the discrete-event streaming
+// model against each emulated link (Table 2): min latency at one core,
+// loaded latency and bandwidth at 14 cores.
+func BenchmarkTable2LinkCharacterization(b *testing.B) {
+	for _, link := range []memsim.Profile{memsim.Link0(), memsim.Link1()} {
+		link := link
+		b.Run(link.Name, func(b *testing.B) {
+			var min, max, bw float64
+			for i := 0; i < b.N; i++ {
+				engIdle := sim.NewEngine()
+				idle := memsim.RunStream(engIdle, memsim.NewMemory(engIdle, link), 1, memsim.DefaultCore(), 2<<20)
+				engLoad := sim.NewEngine()
+				loaded := memsim.RunStream(engLoad, memsim.NewMemory(engLoad, link), 14, memsim.DefaultCore(), 8<<20)
+				min, max, bw = idle.MeanLatencyNS, loaded.MeanLatencyNS, loaded.BandwidthBps
+			}
+			b.ReportMetric(min, "sim-min-lat-ns")
+			b.ReportMetric(max, "sim-max-lat-ns")
+			b.ReportMetric(bw/1e9, "sim-GBps")
+		})
+	}
+}
+
+func benchFigure(b *testing.B, gb int64) {
+	for _, kind := range []topology.Kind{topology.Logical, topology.PhysicalCache, topology.PhysicalNoCache} {
+		for _, link := range []memsim.Profile{memsim.Link0(), memsim.Link1()} {
+			kind, link := kind, link
+			b.Run(fmt.Sprintf("%s/%s", kind, link.Name), func(b *testing.B) {
+				var res core.BandwidthResult
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = core.VectorSumBandwidth(core.VectorSumConfig{
+						Deployment:  topology.PaperDeployment(kind, link),
+						VectorBytes: gb * memsim.GB,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if !res.Feasible {
+					b.ReportMetric(0, "sim-GBps")
+					b.ReportMetric(1, "infeasible")
+					return
+				}
+				b.ReportMetric(res.BandwidthBps/1e9, "sim-GBps")
+				b.ReportMetric(res.LocalFraction, "local-frac")
+			})
+		}
+	}
+}
+
+// BenchmarkFig2Vector8GB regenerates Figure 2 (8GB vector).
+func BenchmarkFig2Vector8GB(b *testing.B) { benchFigure(b, 8) }
+
+// BenchmarkFig3Vector24GB regenerates Figure 3 (24GB vector, the 4.7x /
+// 3.4x headline).
+func BenchmarkFig3Vector24GB(b *testing.B) { benchFigure(b, 24) }
+
+// BenchmarkFig4Vector64GB regenerates Figure 4 (64GB vector, +42% over
+// Physical cache on Link1).
+func BenchmarkFig4Vector64GB(b *testing.B) { benchFigure(b, 64) }
+
+// BenchmarkFig5Vector96GB regenerates Figure 5 (96GB vector: physical
+// pools infeasible).
+func BenchmarkFig5Vector96GB(b *testing.B) { benchFigure(b, 96) }
+
+// BenchmarkLoadedLatencyRatio reproduces §4.3: max loaded remote latency
+// is 2.8x (Link0) and 3.6x (Link1) the local maximum.
+func BenchmarkLoadedLatencyRatio(b *testing.B) {
+	local := memsim.LocalDRAM()
+	for _, link := range []memsim.Profile{memsim.Link0(), memsim.Link1()} {
+		link := link
+		b.Run(link.Name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				ratio = link.Latency.Latency(1) / local.Latency.Latency(1)
+			}
+			b.ReportMetric(ratio, "sim-loaded-ratio")
+		})
+	}
+}
+
+// BenchmarkNearMemorySum regenerates §4.4: shipping the aggregation to
+// all four servers versus pulling to one.
+func BenchmarkNearMemorySum(b *testing.B) {
+	cfg := core.VectorSumConfig{
+		Deployment:  topology.PaperDeployment(topology.Logical, memsim.Link1()),
+		VectorBytes: 96 * memsim.GB,
+	}
+	var res core.NearMemoryResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = core.NearMemorySum(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.BandwidthBps/1e9, "sim-GBps")
+	b.ReportMetric(res.SpeedupVsPull, "speedup-vs-pull")
+}
+
+// BenchmarkAblationTranslation compares the two-step scheme (replicated
+// coarse map + owner-local fine map + TLB) against the flat page
+// directory §5 rejects, on lookup cost and footprint.
+func BenchmarkAblationTranslation(b *testing.B) {
+	const bufBytes = 1 << 30
+	const slices = bufBytes / addr.SliceSize
+
+	b.Run("two-step", func(b *testing.B) {
+		g := addr.NewGlobalMap()
+		if err := g.Bind(addr.Range{Start: 0, Size: bufBytes}, 1); err != nil {
+			b.Fatal(err)
+		}
+		mmu := pagetable.NewMMU()
+		for s := uint64(0); s < slices; s++ {
+			if err := mmu.Table.Map(s, int64(s)*addr.SliceSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := addr.Logical((uint64(i) * 4096) % bufBytes)
+			if _, err := g.Owner(a); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mmu.Translate(uint64(a) >> 9); err != nil { // slice-page space
+				b.Fatal(err)
+			}
+		}
+		flat, two := addr.EntriesPerBuffer(bufBytes, 12)
+		b.ReportMetric(float64(two), "map-entries")
+		b.ReportMetric(float64(flat)/float64(two), "flat-entry-blowup")
+		b.ReportMetric(0, "remote-lookup-frac") // coarse map is replicated
+	})
+
+	b.Run("flat-directory", func(b *testing.B) {
+		d, err := addr.NewFlatDirectory(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := int64(0); p < bufBytes/4096; p++ {
+			d.Map(addr.Logical(p*4096), addr.Location{Server: 1, Offset: p * 4096})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := addr.Logical((uint64(i) * 4096) % bufBytes)
+			if _, err := d.Translate(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		flat, _ := addr.EntriesPerBuffer(bufBytes, 12)
+		b.ReportMetric(float64(flat), "map-entries")
+		// With 4 servers and the directory homed on one, 3/4 of lookups
+		// from a random server would cross the fabric.
+		b.ReportMetric(0.75, "remote-lookup-frac")
+	})
+}
+
+// BenchmarkAblationMigration measures the remote-access fraction of a
+// skewed workload with the locality balancer on versus off.
+func BenchmarkAblationMigration(b *testing.B) {
+	run := func(b *testing.B, balance bool) {
+		var remoteFrac float64
+		for i := 0; i < b.N; i++ {
+			cfg := lmp.Config{
+				Placement: lmp.LocalityAware,
+				Migration: migrate.Policy{MinAccesses: 8, HysteresisFactor: 1.5, MaxMoves: 64},
+			}
+			for s := 0; s < 4; s++ {
+				cfg.Servers = append(cfg.Servers, lmp.ServerConfig{
+					Capacity: 16 * lmp.SliceSize, SharedBytes: 16 * lmp.SliceSize,
+				})
+			}
+			pool, err := lmp.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf, err := pool.Alloc(4*lmp.SliceSize, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := make([]byte, 64)
+			// Server 3 scans the buffer repeatedly; balancer runs between
+			// epochs when enabled.
+			for epoch := 0; epoch < 4; epoch++ {
+				for off := int64(0); off < 4; off++ {
+					for r := 0; r < 8; r++ {
+						if err := pool.Read(3, buf.Addr()+addr.Logical(off*lmp.SliceSize), p); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if balance {
+					if _, err := pool.BalanceOnce(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			m := pool.Metrics()
+			remote := float64(m.Counter("pool.reads.remote").Value())
+			local := float64(m.Counter("pool.reads.local").Value())
+			remoteFrac = remote / (remote + local)
+		}
+		b.ReportMetric(remoteFrac, "remote-frac")
+	}
+	b.Run("balancer-on", func(b *testing.B) { run(b, true) })
+	b.Run("balancer-off", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationCoherenceGranularity measures false-sharing
+// invalidations per operation at cache-line versus sub-cache-line
+// tracking (§5 "Cache coherence").
+func BenchmarkAblationCoherenceGranularity(b *testing.B) {
+	for _, gran := range []int64{64, 8} {
+		gran := gran
+		b.Run(fmt.Sprintf("%dB", gran), func(b *testing.B) {
+			d, err := coherence.NewDirectory(gran, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Two nodes write adjacent 8-byte fields of one line.
+				if _, err := d.AcquireWrite(0, 0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.AcquireWrite(1, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := d.Stats()
+			b.ReportMetric(float64(st.Invalidations)/float64(b.N), "invalidations/op")
+		})
+	}
+}
+
+// BenchmarkAblationFailure compares replication and erasure coding on
+// recovery cost and space overhead.
+func BenchmarkAblationFailure(b *testing.B) {
+	const shard = 64 << 10
+	b.Run("replicate-2x", func(b *testing.B) {
+		src := make([]byte, shard)
+		for i := range src {
+			src[i] = byte(i)
+		}
+		dst := make([]byte, shard)
+		b.SetBytes(shard)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(dst, src) // recovery = copy from the surviving replica
+		}
+		b.ReportMetric(2.0, "space-overhead")
+		b.ReportMetric(1, "crashes-tolerated")
+	})
+	b.Run("erasure-rs-4-2", func(b *testing.B) {
+		rs, err := failure.NewRS(4, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := make([][]byte, 4)
+		for i := range data {
+			data[i] = make([]byte, shard)
+			for j := range data[i] {
+				data[i][j] = byte(i + j)
+			}
+		}
+		parity, err := rs.Encode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(shard)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			shards := [][]byte{nil, data[1], data[2], data[3], parity[0], parity[1]}
+			if _, err := rs.Reconstruct(shards); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(1.5, "space-overhead")
+		b.ReportMetric(2, "crashes-tolerated")
+	})
+}
+
+// BenchmarkAblationSizing compares the periodic optimizer against a
+// static 50% split on the weighted-local-fit objective.
+func BenchmarkAblationSizing(b *testing.B) {
+	servers := []sizing.ServerLoad{
+		{Capacity: 24 * memsim.GB, SharedDemand: 20 * memsim.GB, SharedWeight: 2, PrivateDemand: 4 * memsim.GB, PrivateWeight: 1},
+		{Capacity: 24 * memsim.GB, SharedDemand: 0, PrivateDemand: 22 * memsim.GB, PrivateWeight: 3},
+		{Capacity: 24 * memsim.GB, SharedDemand: 6 * memsim.GB, SharedWeight: 1, PrivateDemand: 12 * memsim.GB, PrivateWeight: 1},
+		{Capacity: 24 * memsim.GB, SharedDemand: 2 * memsim.GB, SharedWeight: 4, PrivateDemand: 20 * memsim.GB, PrivateWeight: 2},
+	}
+	const required = 24 * memsim.GB
+	b.Run("optimizer", func(b *testing.B) {
+		var value float64
+		for i := 0; i < b.N; i++ {
+			res, err := sizing.Optimize(servers, required, 256<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			value = res.Value
+		}
+		b.ReportMetric(value/1e9, "objective-G")
+	})
+	b.Run("static-50", func(b *testing.B) {
+		var value float64
+		for i := 0; i < b.N; i++ {
+			split, err := sizing.StaticSplit(servers, 0.5, 256<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			value, err = sizing.Evaluate(servers, split)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(value/1e9, "objective-G")
+	})
+}
+
+// BenchmarkAblationPlacement reports the local-access fraction a single
+// accessor sees under each placement policy.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, pol := range []alloc.Policy{alloc.LocalityAware, alloc.Striped, alloc.FirstFit, alloc.RoundRobin} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var localFrac float64
+			for i := 0; i < b.N; i++ {
+				cfg := lmp.Config{Placement: pol}
+				for s := 0; s < 4; s++ {
+					cfg.Servers = append(cfg.Servers, lmp.ServerConfig{
+						Capacity: 16 * lmp.SliceSize, SharedBytes: 16 * lmp.SliceSize,
+					})
+				}
+				pool, err := lmp.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf, err := pool.Alloc(8*lmp.SliceSize, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := make([]byte, 64)
+				for off := int64(0); off < 8; off++ {
+					if err := pool.Read(0, buf.Addr()+addr.Logical(off*lmp.SliceSize), p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				m := pool.Metrics()
+				local := float64(m.Counter("pool.reads.local").Value())
+				remote := float64(m.Counter("pool.reads.remote").Value())
+				localFrac = local / (local + remote)
+			}
+			b.ReportMetric(localFrac, "local-frac")
+		})
+	}
+}
+
+// BenchmarkIncastPoolPorts models §4.2's incast concern: a physical pool
+// whose device has only one switch port versus the thick (4-port) link.
+func BenchmarkIncastPoolPorts(b *testing.B) {
+	for _, ports := range []int{1, 4} {
+		ports := ports
+		b.Run(fmt.Sprintf("%d-port", ports), func(b *testing.B) {
+			link := memsim.Link1()
+			var agg float64
+			for i := 0; i < b.N; i++ {
+				// All four servers stream 8GB each from the device.
+				device := &memsim.FluidResource{Name: "pool/out", Rate: link.Bandwidth * float64(ports)}
+				var flows []*memsim.Flow
+				for s := 0; s < 4; s++ {
+					in := &memsim.FluidResource{Name: fmt.Sprintf("srv%d/in", s), Rate: link.Bandwidth}
+					flows = append(flows, &memsim.Flow{
+						Name:     fmt.Sprintf("srv%d", s),
+						Segments: []memsim.Segment{{Bytes: 8 * memsim.GB, Via: []*memsim.FluidResource{in, device}}},
+					})
+				}
+				res, err := memsim.SimulateFluid(flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg = res.AggregateBandwidth()
+			}
+			b.ReportMetric(agg/1e9, "sim-aggregate-GBps")
+		})
+	}
+}
+
+// BenchmarkRackScalePBR measures the rack-scale fabric (CXL 3 GFAM with
+// port-based routing): same-leaf versus cross-leaf streaming bandwidth.
+func BenchmarkRackScalePBR(b *testing.B) {
+	run := func(b *testing.B, crossLeaf bool) {
+		var bw float64
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine()
+			rack, err := fabric.NewRack(eng, 2, memsim.Link1(), memsim.LocalDRAM(), 4, 30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, err := rack.AddEndpoint(0, "src")
+			if err != nil {
+				b.Fatal(err)
+			}
+			dstLeaf := 0
+			if crossLeaf {
+				dstLeaf = 1
+			}
+			dst, err := rack.AddEndpoint(dstLeaf, "dst")
+			if err != nil {
+				b.Fatal(err)
+			}
+			const total = 4 << 20
+			const chunk = 4096
+			remaining := total / chunk
+			inflight := 0
+			var pump func()
+			pump = func() {
+				for remaining > 0 && inflight < 32 {
+					remaining--
+					inflight++
+					if err := rack.Read(dst, src, chunk, func() {
+						inflight--
+						pump()
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			pump()
+			eng.Run()
+			bw = float64(total) / eng.Now().Sub(0).Seconds()
+		}
+		b.ReportMetric(bw/1e9, "sim-GBps")
+	}
+	b.Run("same-leaf", func(b *testing.B) { run(b, false) })
+	b.Run("cross-leaf", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkSoftwareVsHardwareDisaggregation quantifies §2.1's motivation:
+// CXL load-store remote memory versus paging-based software far memory.
+func BenchmarkSoftwareVsHardwareDisaggregation(b *testing.B) {
+	var cmp memsim.DisaggregationComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cmp, err = memsim.CompareDisaggregation(memsim.Link1(), memsim.DefaultCore(), memsim.RDMASwap())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.HardwareSeqBps/1e9, "hw-seq-GBps")
+	b.ReportMetric(cmp.SoftwareSeqBps/1e9, "sw-seq-GBps")
+	b.ReportMetric(cmp.HardwareRandBps/cmp.SoftwareRandBps, "hw-rand-advantage")
+}
+
+// Functional-runtime microbenchmarks: the real cost of pool operations.
+func BenchmarkPoolAccess(b *testing.B) {
+	cfg := lmp.Config{Placement: lmp.LocalityAware}
+	for s := 0; s < 4; s++ {
+		cfg.Servers = append(cfg.Servers, lmp.ServerConfig{
+			Capacity: 32 * lmp.SliceSize, SharedBytes: 32 * lmp.SliceSize,
+		})
+	}
+	pool, err := lmp.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := pool.Alloc(4*lmp.SliceSize, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	if err := pool.Write(0, buf.Addr(), payload); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("read-local-4k", func(b *testing.B) {
+		b.SetBytes(4096)
+		for i := 0; i < b.N; i++ {
+			if err := pool.Read(0, buf.Addr(), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read-remote-4k", func(b *testing.B) {
+		b.SetBytes(4096)
+		for i := 0; i < b.N; i++ {
+			if err := pool.Read(3, buf.Addr(), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write-local-4k", func(b *testing.B) {
+		b.SetBytes(4096)
+		for i := 0; i < b.N; i++ {
+			if err := pool.Write(0, buf.Addr(), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("translate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Translate(buf.Addr() + addr.Logical(i%4096)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

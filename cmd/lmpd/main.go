@@ -1,0 +1,48 @@
+// Command lmpd runs one LMP server daemon: it exports a shared region of
+// this host's memory over TCP so peers (and lmpctl) can allocate, read,
+// write, ship reductions, and resize the private/shared split — the live
+// functional mode of the logical memory pool.
+//
+// Usage:
+//
+//	lmpd -listen :7070 -capacity 1073741824 -shared 536870912
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/lmp-project/lmp/internal/daemon"
+)
+
+var (
+	listen   = flag.String("listen", "127.0.0.1:7070", "address to listen on")
+	name     = flag.String("name", "lmpd", "server name reported to peers")
+	capacity = flag.Int64("capacity", 1<<30, "server DRAM capacity in bytes")
+	shared   = flag.Int64("shared", 1<<29, "initial shared-region size in bytes")
+)
+
+func main() {
+	flag.Parse()
+	srv, err := daemon.NewServer(*name, *capacity, *shared)
+	if err != nil {
+		log.Fatalf("lmpd: %v", err)
+	}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("lmpd: %v", err)
+	}
+	fmt.Printf("lmpd %q serving %d bytes shared (of %d) on %s\n", *name, *shared, *capacity, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("lmpd: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("lmpd: close: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/lmp-project/lmp
+
+go 1.22

@@ -1,0 +1,92 @@
+package addr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FlatDirectory is the baseline translation scheme §5 argues against: a
+// single page-granular directory mapping every logical page directly to
+// its physical location. It works, but every translation consults the
+// directory, and in a distributed deployment the directory is remote for
+// most servers — the cost the two-step scheme avoids by replicating a
+// coarse map and resolving the fine step at the owner.
+//
+// The directory counts lookups so benchmarks can model the remote-access
+// penalty: with N servers and the directory home on one of them, a
+// fraction (N-1)/N of lookups would cross the fabric.
+type FlatDirectory struct {
+	pageShift uint
+
+	mu      sync.RWMutex
+	entries map[uint64]Location
+	lookups uint64
+}
+
+// NewFlatDirectory returns a directory at the given page granularity
+// (e.g. 12 for 4KiB pages).
+func NewFlatDirectory(pageShift uint) (*FlatDirectory, error) {
+	if pageShift == 0 || pageShift > 30 {
+		return nil, fmt.Errorf("addr: page shift %d out of range", pageShift)
+	}
+	return &FlatDirectory{pageShift: pageShift, entries: make(map[uint64]Location)}, nil
+}
+
+// PageSize reports the directory granularity in bytes.
+func (d *FlatDirectory) PageSize() int64 { return 1 << d.pageShift }
+
+// Map binds the page containing a to loc (whose Offset is the page's
+// physical base).
+func (d *FlatDirectory) Map(a Logical, loc Location) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[uint64(a)>>d.pageShift] = loc
+}
+
+// Unmap removes the binding for the page containing a, reporting whether
+// it existed.
+func (d *FlatDirectory) Unmap(a Logical) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	page := uint64(a) >> d.pageShift
+	_, ok := d.entries[page]
+	delete(d.entries, page)
+	return ok
+}
+
+// Translate resolves a to its physical location. Every call counts as
+// one directory access.
+func (d *FlatDirectory) Translate(a Logical) (Location, error) {
+	d.mu.Lock()
+	d.lookups++
+	loc, ok := d.entries[uint64(a)>>d.pageShift]
+	d.mu.Unlock()
+	if !ok {
+		return Location{}, fmt.Errorf("%w: %#x", ErrUnmapped, uint64(a))
+	}
+	loc.Offset += int64(uint64(a) & (uint64(1)<<d.pageShift - 1))
+	return loc, nil
+}
+
+// Lookups reports directory accesses since creation.
+func (d *FlatDirectory) Lookups() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lookups
+}
+
+// Len reports mapped pages.
+func (d *FlatDirectory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
+
+// EntriesPerBuffer compares footprints: a flat directory needs one entry
+// per page, the two-step scheme one coarse entry per slice plus one fine
+// entry per slice at the owner.
+func EntriesPerBuffer(bytes int64, pageShift uint) (flat, twoStep int64) {
+	pages := (bytes + (1 << pageShift) - 1) >> pageShift
+	slices := (bytes + SliceSize - 1) / SliceSize
+	return pages, 2 * slices
+}

@@ -1,0 +1,71 @@
+package addr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFlatDirectoryValidation(t *testing.T) {
+	if _, err := NewFlatDirectory(0); err == nil {
+		t.Error("zero shift accepted")
+	}
+	if _, err := NewFlatDirectory(31); err == nil {
+		t.Error("oversized shift accepted")
+	}
+}
+
+func TestFlatDirectoryTranslate(t *testing.T) {
+	d, err := NewFlatDirectory(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PageSize() != 4096 {
+		t.Fatalf("page size = %d", d.PageSize())
+	}
+	d.Map(0x5000, Location{Server: 2, Offset: 0x9000})
+	loc, err := d.Translate(0x5123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Server != 2 || loc.Offset != 0x9123 {
+		t.Fatalf("loc = %+v", loc)
+	}
+	if _, err := d.Translate(0x7000); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped: %v", err)
+	}
+	if d.Lookups() != 2 {
+		t.Fatalf("lookups = %d", d.Lookups())
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestFlatDirectoryUnmap(t *testing.T) {
+	d, _ := NewFlatDirectory(12)
+	d.Map(0x1000, Location{Server: 0, Offset: 0})
+	if !d.Unmap(0x1000) {
+		t.Fatal("unmap failed")
+	}
+	if d.Unmap(0x1000) {
+		t.Fatal("double unmap succeeded")
+	}
+	if _, err := d.Translate(0x1000); !errors.Is(err, ErrUnmapped) {
+		t.Fatal("translate after unmap succeeded")
+	}
+}
+
+func TestEntriesPerBuffer(t *testing.T) {
+	// 1GiB buffer: flat needs 256k 4KiB-page entries; two-step needs
+	// 2 entries per 2MiB slice = 1024.
+	flat, two := EntriesPerBuffer(1<<30, 12)
+	if flat != 1<<18 {
+		t.Fatalf("flat entries = %d", flat)
+	}
+	if two != 1024 {
+		t.Fatalf("two-step entries = %d", two)
+	}
+	if two >= flat {
+		t.Fatal("two-step scheme should be far smaller")
+	}
+}

@@ -1,0 +1,161 @@
+// Package alloc provides the pool allocators: a buddy allocator managing
+// one server's shared region, and a Placer that spreads allocations across
+// servers under a placement policy. Allocation failure is how the runtime
+// reports the paper's Figure 5 infeasibility: a physical pool whose device
+// is smaller than the working set cannot place it, while a logical pool
+// can grow its shared regions and succeed.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// ErrNoSpace reports an allocation that cannot be satisfied.
+var ErrNoSpace = errors.New("alloc: out of space")
+
+// ErrNotAllocated reports a free of an unknown offset.
+var ErrNotAllocated = errors.New("alloc: offset not allocated")
+
+// Buddy is a binary-buddy allocator over [0, Size). Blocks are powers of
+// two, at least MinBlock bytes. It is safe for concurrent use.
+type Buddy struct {
+	size     int64
+	minBlock int64
+	orders   int
+
+	mu        sync.Mutex
+	free      []map[int64]struct{} // per order, set of free block offsets
+	allocated map[int64]int        // offset -> order
+	inUse     int64
+}
+
+// NewBuddy returns an allocator over size bytes with the given minimum
+// block. Both must be powers of two, size >= minBlock.
+func NewBuddy(size, minBlock int64) (*Buddy, error) {
+	if size <= 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("alloc: size %d must be a power of two", size)
+	}
+	if minBlock <= 0 || minBlock&(minBlock-1) != 0 {
+		return nil, fmt.Errorf("alloc: min block %d must be a power of two", minBlock)
+	}
+	if minBlock > size {
+		return nil, fmt.Errorf("alloc: min block %d exceeds size %d", minBlock, size)
+	}
+	orders := bits.TrailingZeros64(uint64(size)) - bits.TrailingZeros64(uint64(minBlock)) + 1
+	b := &Buddy{
+		size:      size,
+		minBlock:  minBlock,
+		orders:    orders,
+		free:      make([]map[int64]struct{}, orders),
+		allocated: make(map[int64]int),
+	}
+	for i := range b.free {
+		b.free[i] = make(map[int64]struct{})
+	}
+	b.free[orders-1][0] = struct{}{}
+	return b, nil
+}
+
+// Size reports the managed capacity.
+func (b *Buddy) Size() int64 { return b.size }
+
+// InUse reports allocated bytes (rounded up to block sizes).
+func (b *Buddy) InUse() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// FreeBytes reports the unallocated capacity.
+func (b *Buddy) FreeBytes() int64 { return b.size - b.InUse() }
+
+func (b *Buddy) orderFor(n int64) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("alloc: allocation of %d bytes", n)
+	}
+	if n > b.size {
+		return 0, fmt.Errorf("%w: %d > %d", ErrNoSpace, n, b.size)
+	}
+	block := b.minBlock
+	o := 0
+	for block < n {
+		block <<= 1
+		o++
+	}
+	return o, nil
+}
+
+func (b *Buddy) blockSize(order int) int64 { return b.minBlock << uint(order) }
+
+// Alloc reserves at least n bytes and returns the block's offset.
+func (b *Buddy) Alloc(n int64) (int64, error) {
+	order, err := b.orderFor(n)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Find the smallest available order >= requested.
+	o := order
+	for o < b.orders && len(b.free[o]) == 0 {
+		o++
+	}
+	if o == b.orders {
+		return 0, fmt.Errorf("%w: need %d bytes", ErrNoSpace, n)
+	}
+	var off int64
+	for k := range b.free[o] {
+		off = k
+		break
+	}
+	delete(b.free[o], off)
+	// Split down to the requested order.
+	for o > order {
+		o--
+		buddy := off + b.blockSize(o)
+		b.free[o][buddy] = struct{}{}
+	}
+	b.allocated[off] = order
+	b.inUse += b.blockSize(order)
+	return off, nil
+}
+
+// Free releases the block at offset, coalescing with free buddies.
+func (b *Buddy) Free(offset int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	order, ok := b.allocated[offset]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotAllocated, offset)
+	}
+	delete(b.allocated, offset)
+	b.inUse -= b.blockSize(order)
+	off := offset
+	for order < b.orders-1 {
+		buddy := off ^ b.blockSize(order)
+		if _, free := b.free[order][buddy]; !free {
+			break
+		}
+		delete(b.free[order], buddy)
+		if buddy < off {
+			off = buddy
+		}
+		order++
+	}
+	b.free[order][off] = struct{}{}
+	return nil
+}
+
+// BlockSizeOf reports the rounded size of the allocation at offset.
+func (b *Buddy) BlockSizeOf(offset int64) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	order, ok := b.allocated[offset]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNotAllocated, offset)
+	}
+	return b.blockSize(order), nil
+}

@@ -1,0 +1,201 @@
+package alloc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func mustBuddy(t *testing.T, size, min int64) *Buddy {
+	t.Helper()
+	b, err := NewBuddy(size, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBuddyValidation(t *testing.T) {
+	if _, err := NewBuddy(1000, 64); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if _, err := NewBuddy(1024, 100); err == nil {
+		t.Error("non-power-of-two min accepted")
+	}
+	if _, err := NewBuddy(64, 128); err == nil {
+		t.Error("min > size accepted")
+	}
+	if _, err := NewBuddy(0, 64); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestBuddyAllocFree(t *testing.T) {
+	b := mustBuddy(t, 1024, 64)
+	off, err := b.Alloc(100) // rounds to 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.InUse() != 128 {
+		t.Fatalf("in use = %d, want 128", b.InUse())
+	}
+	sz, err := b.BlockSizeOf(off)
+	if err != nil || sz != 128 {
+		t.Fatalf("block size = %d,%v", sz, err)
+	}
+	if err := b.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("in use after free = %d", b.InUse())
+	}
+}
+
+func TestBuddyDoubleFree(t *testing.T) {
+	b := mustBuddy(t, 1024, 64)
+	off, _ := b.Alloc(64)
+	if err := b.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(off); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("double free: %v", err)
+	}
+}
+
+func TestBuddyExhaustion(t *testing.T) {
+	b := mustBuddy(t, 256, 64)
+	var offs []int64
+	for i := 0; i < 4; i++ {
+		off, err := b.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	if _, err := b.Alloc(64); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-alloc: %v", err)
+	}
+	// Offsets must be distinct and aligned.
+	seen := map[int64]bool{}
+	for _, o := range offs {
+		if seen[o] || o%64 != 0 || o >= 256 {
+			t.Fatalf("bad offsets %v", offs)
+		}
+		seen[o] = true
+	}
+}
+
+func TestBuddyCoalescing(t *testing.T) {
+	b := mustBuddy(t, 256, 64)
+	var offs []int64
+	for i := 0; i < 4; i++ {
+		off, _ := b.Alloc(64)
+		offs = append(offs, off)
+	}
+	for _, o := range offs {
+		if err := b.Free(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After all frees, a full-size allocation must succeed again.
+	if _, err := b.Alloc(256); err != nil {
+		t.Fatalf("coalescing failed: %v", err)
+	}
+}
+
+func TestBuddyTooBigAndNonPositive(t *testing.T) {
+	b := mustBuddy(t, 256, 64)
+	if _, err := b.Alloc(512); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("oversized alloc: %v", err)
+	}
+	if _, err := b.Alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+	if _, err := b.Alloc(-5); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestBuddySplitsMinimally(t *testing.T) {
+	b := mustBuddy(t, 1024, 64)
+	// 512 + 256 + 128 + 64 + 64 fills exactly.
+	sizes := []int64{512, 256, 128, 64, 64}
+	for _, s := range sizes {
+		if _, err := b.Alloc(s); err != nil {
+			t.Fatalf("alloc %d: %v", s, err)
+		}
+	}
+	if b.FreeBytes() != 0 {
+		t.Fatalf("free = %d, want 0", b.FreeBytes())
+	}
+}
+
+func TestBuddyRandomizedInvariant(t *testing.T) {
+	// Property: allocated blocks never overlap, and free+inUse == size.
+	rng := rand.New(rand.NewSource(7))
+	b := mustBuddy(t, 1<<16, 64)
+	type blk struct{ off, size int64 }
+	var live []blk
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			n := int64(64 << rng.Intn(5))
+			off, err := b.Alloc(n)
+			if errors.Is(err, ErrNoSpace) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sz, _ := b.BlockSizeOf(off)
+			for _, l := range live {
+				if off < l.off+l.size && l.off < off+sz {
+					t.Fatalf("overlap: [%d,%d) and [%d,%d)", off, off+sz, l.off, l.off+l.size)
+				}
+			}
+			live = append(live, blk{off, sz})
+		} else {
+			i := rng.Intn(len(live))
+			if err := b.Free(live[i].off); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		var used int64
+		for _, l := range live {
+			used += l.size
+		}
+		if b.InUse() != used {
+			t.Fatalf("inUse = %d, live sum = %d", b.InUse(), used)
+		}
+	}
+}
+
+func TestBuddyConcurrent(t *testing.T) {
+	b := mustBuddy(t, 1<<20, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []int64
+			for i := 0; i < 200; i++ {
+				off, err := b.Alloc(128)
+				if err != nil {
+					continue
+				}
+				mine = append(mine, off)
+			}
+			for _, o := range mine {
+				if err := b.Free(o); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.InUse() != 0 {
+		t.Fatalf("in use after all frees = %d", b.InUse())
+	}
+}

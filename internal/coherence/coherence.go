@@ -1,0 +1,271 @@
+// Package coherence implements the software-managed coherence engine for
+// the LMP's small coherent region (§3.2, §5 "Cache coherence"). It is a
+// directory protocol with MSI states, an inclusive snoop filter of bounded
+// capacity with back-invalidation on overflow, and a configurable tracking
+// granularity: tracking finer than a cache line avoids false sharing, the
+// optimization the paper calls out.
+//
+// The engine counts protocol traffic (fetches, invalidations, writebacks,
+// back-invalidations) so policies and benchmarks can compare granularities
+// and coordination patterns.
+package coherence
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+// NodeID identifies a caching agent (a server).
+type NodeID int
+
+// State is a directory entry's MSI state.
+type State int
+
+const (
+	// Invalid: no cached copies.
+	Invalid State = iota
+	// Shared: one or more read-only copies.
+	Shared
+	// Modified: exactly one writable copy.
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ErrRegionFull reports that the coherent region cannot track more blocks
+// even after back-invalidation (should not happen with capacity >= 1).
+var ErrRegionFull = errors.New("coherence: snoop filter cannot admit block")
+
+// Stats aggregates protocol traffic counters.
+type Stats struct {
+	Fetches         uint64 // block copies granted to a node
+	Invalidations   uint64 // copies killed on write upgrades
+	Writebacks      uint64 // dirty data forced back on downgrades
+	BackInvalidates uint64 // filter-capacity evictions (inclusive filter)
+	Hits            uint64 // access already permitted, no traffic
+}
+
+type block struct {
+	state   State
+	holders map[NodeID]struct{}
+	owner   NodeID
+	// lru clock for victim choice
+	stamp uint64
+}
+
+// Directory is the coherence engine. It is safe for concurrent use.
+type Directory struct {
+	granularity int64
+	capacity    int
+
+	mu     sync.Mutex
+	blocks map[int64]*block
+	clock  uint64
+	stats  Stats
+
+	// Telemetry mirrors the internal counters into a registry if set.
+	Registry *telemetry.Registry
+}
+
+// NewDirectory returns a coherence directory tracking blocks of
+// granularity bytes, with an inclusive snoop filter capacity of
+// capacityBlocks entries. Granularity must be a positive power of two.
+func NewDirectory(granularity int64, capacityBlocks int) (*Directory, error) {
+	if granularity <= 0 || granularity&(granularity-1) != 0 {
+		return nil, fmt.Errorf("coherence: granularity %d must be a power of two", granularity)
+	}
+	if capacityBlocks <= 0 {
+		return nil, fmt.Errorf("coherence: capacity %d must be positive", capacityBlocks)
+	}
+	return &Directory{
+		granularity: granularity,
+		capacity:    capacityBlocks,
+		blocks:      make(map[int64]*block),
+	}, nil
+}
+
+// Granularity reports the tracking block size.
+func (d *Directory) Granularity() int64 { return d.granularity }
+
+// BlockOf maps a byte address in the coherent region to its block index.
+func (d *Directory) BlockOf(addr int64) int64 { return addr / d.granularity }
+
+// Stats returns a copy of the traffic counters.
+func (d *Directory) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// TrackedBlocks reports the snoop filter occupancy.
+func (d *Directory) TrackedBlocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.blocks)
+}
+
+// StateOf reports the directory state of the block containing addr.
+func (d *Directory) StateOf(addr int64) (State, []NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.blocks[d.BlockOf(addr)]
+	if b == nil {
+		return Invalid, nil
+	}
+	var hs []NodeID
+	for h := range b.holders {
+		hs = append(hs, h)
+	}
+	return b.state, hs
+}
+
+// ensure admits a block into the filter, back-invalidating a victim when
+// the inclusive filter is full.
+func (d *Directory) ensure(idx int64) (*block, error) {
+	if b := d.blocks[idx]; b != nil {
+		return b, nil
+	}
+	if len(d.blocks) >= d.capacity {
+		// Evict the least-recently-touched block: inclusive filter means
+		// every cached copy of the victim must be killed.
+		var victimIdx int64
+		var victim *block
+		for i, b := range d.blocks {
+			if victim == nil || b.stamp < victim.stamp {
+				victim, victimIdx = b, i
+			}
+		}
+		if victim == nil {
+			return nil, ErrRegionFull
+		}
+		d.stats.BackInvalidates++
+		d.stats.Invalidations += uint64(len(victim.holders))
+		if victim.state == Modified {
+			d.stats.Writebacks++
+		}
+		delete(d.blocks, victimIdx)
+		if d.Registry != nil {
+			d.Registry.Counter("coherence.back_invalidates").Inc()
+		}
+	}
+	b := &block{state: Invalid, holders: make(map[NodeID]struct{})}
+	d.blocks[idx] = b
+	return b, nil
+}
+
+// AcquireRead obtains a readable copy of the block containing addr for
+// node. It returns the list of nodes that had to downgrade (writeback).
+func (d *Directory) AcquireRead(node NodeID, addrByte int64) ([]NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock++
+	idx := d.BlockOf(addrByte)
+	b, err := d.ensure(idx)
+	if err != nil {
+		return nil, err
+	}
+	b.stamp = d.clock
+	switch b.state {
+	case Invalid:
+		b.state = Shared
+		b.holders[node] = struct{}{}
+		d.stats.Fetches++
+		return nil, nil
+	case Shared:
+		if _, ok := b.holders[node]; ok {
+			d.stats.Hits++
+			return nil, nil
+		}
+		b.holders[node] = struct{}{}
+		d.stats.Fetches++
+		return nil, nil
+	case Modified:
+		if b.owner == node {
+			d.stats.Hits++
+			return nil, nil
+		}
+		// Downgrade the owner: writeback, then share.
+		prev := b.owner
+		d.stats.Writebacks++
+		d.stats.Fetches++
+		b.state = Shared
+		b.holders[node] = struct{}{}
+		b.holders[prev] = struct{}{}
+		return []NodeID{prev}, nil
+	}
+	return nil, fmt.Errorf("coherence: corrupt state %v", b.state)
+}
+
+// AcquireWrite obtains an exclusive writable copy for node, invalidating
+// all other holders; the invalidated nodes are returned.
+func (d *Directory) AcquireWrite(node NodeID, addrByte int64) ([]NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock++
+	idx := d.BlockOf(addrByte)
+	b, err := d.ensure(idx)
+	if err != nil {
+		return nil, err
+	}
+	b.stamp = d.clock
+	if b.state == Modified && b.owner == node {
+		d.stats.Hits++
+		return nil, nil
+	}
+	var killed []NodeID
+	for h := range b.holders {
+		if h != node {
+			killed = append(killed, h)
+		}
+	}
+	if b.state == Modified && b.owner != node {
+		d.stats.Writebacks++
+	}
+	d.stats.Invalidations += uint64(len(killed))
+	if _, hadCopy := b.holders[node]; !hadCopy {
+		d.stats.Fetches++
+	}
+	b.state = Modified
+	b.owner = node
+	b.holders = map[NodeID]struct{}{node: {}}
+	return killed, nil
+}
+
+// Evict removes node's copy of the block containing addr (a cache
+// replacement on the node), writing back if it was the modified owner.
+func (d *Directory) Evict(node NodeID, addrByte int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	idx := d.BlockOf(addrByte)
+	b := d.blocks[idx]
+	if b == nil {
+		return
+	}
+	if _, ok := b.holders[node]; !ok {
+		return
+	}
+	delete(b.holders, node)
+	if b.state == Modified && b.owner == node {
+		d.stats.Writebacks++
+		b.state = Invalid
+	}
+	if len(b.holders) == 0 {
+		delete(d.blocks, idx)
+	} else if b.state == Modified {
+		b.state = Shared
+	}
+}

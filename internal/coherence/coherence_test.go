@@ -1,0 +1,305 @@
+package coherence
+
+import (
+	"sync"
+	"testing"
+)
+
+func mustDir(t *testing.T, gran int64, capacity int) *Directory {
+	t.Helper()
+	d, err := NewDirectory(gran, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDirectoryValidation(t *testing.T) {
+	if _, err := NewDirectory(0, 10); err == nil {
+		t.Error("zero granularity accepted")
+	}
+	if _, err := NewDirectory(48, 10); err == nil {
+		t.Error("non-power-of-two granularity accepted")
+	}
+	if _, err := NewDirectory(64, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestReadSharing(t *testing.T) {
+	d := mustDir(t, 64, 16)
+	if _, err := d.AcquireRead(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AcquireRead(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	st, holders := d.StateOf(100)
+	if st != Shared || len(holders) != 2 {
+		t.Fatalf("state = %v holders = %v", st, holders)
+	}
+	s := d.Stats()
+	if s.Fetches != 2 || s.Invalidations != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Re-read by a holder is a hit.
+	if _, err := d.AcquireRead(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Hits != 1 {
+		t.Fatalf("hits = %d", d.Stats().Hits)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := mustDir(t, 64, 16)
+	for n := NodeID(0); n < 3; n++ {
+		if _, err := d.AcquireRead(n, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	killed, err := d.AcquireWrite(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(killed) != 2 {
+		t.Fatalf("killed = %v, want nodes 0 and 1", killed)
+	}
+	st, holders := d.StateOf(0)
+	if st != Modified || len(holders) != 1 {
+		t.Fatalf("state = %v holders = %v", st, holders)
+	}
+	if d.Stats().Invalidations != 2 {
+		t.Fatalf("invalidations = %d", d.Stats().Invalidations)
+	}
+}
+
+func TestWriteThenReadDowngrades(t *testing.T) {
+	d := mustDir(t, 64, 16)
+	if _, err := d.AcquireWrite(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	down, err := d.AcquireRead(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(down) != 1 || down[0] != 0 {
+		t.Fatalf("downgraded = %v, want [0]", down)
+	}
+	if d.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", d.Stats().Writebacks)
+	}
+	st, holders := d.StateOf(0)
+	if st != Shared || len(holders) != 2 {
+		t.Fatalf("state = %v holders = %v", st, holders)
+	}
+}
+
+func TestWriteUpgradeByOwnerIsHit(t *testing.T) {
+	d := mustDir(t, 64, 16)
+	if _, err := d.AcquireWrite(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	killed, err := d.AcquireWrite(0, 0)
+	if err != nil || killed != nil {
+		t.Fatalf("re-write: %v %v", killed, err)
+	}
+	if d.Stats().Hits != 1 {
+		t.Fatalf("hits = %d", d.Stats().Hits)
+	}
+}
+
+func TestOwnershipTransfer(t *testing.T) {
+	d := mustDir(t, 64, 16)
+	if _, err := d.AcquireWrite(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	killed, err := d.AcquireWrite(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(killed) != 1 || killed[0] != 0 {
+		t.Fatalf("killed = %v", killed)
+	}
+	s := d.Stats()
+	if s.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1 (dirty transfer)", s.Writebacks)
+	}
+}
+
+func TestFalseSharingGranularity(t *testing.T) {
+	// Two nodes write adjacent 8-byte fields of the same 64-byte line.
+	run := func(gran int64) Stats {
+		d := mustDir(t, gran, 64)
+		for i := 0; i < 50; i++ {
+			if _, err := d.AcquireWrite(0, 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.AcquireWrite(1, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.Stats()
+	}
+	coarse := run(64)
+	fine := run(8)
+	if coarse.Invalidations == 0 {
+		t.Fatal("coarse tracking shows no false sharing")
+	}
+	if fine.Invalidations != 0 {
+		t.Fatalf("fine tracking still invalidates: %+v", fine)
+	}
+}
+
+func TestSnoopFilterBackInvalidation(t *testing.T) {
+	d := mustDir(t, 64, 4)
+	for i := int64(0); i < 8; i++ {
+		if _, err := d.AcquireRead(0, i*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.TrackedBlocks() > 4 {
+		t.Fatalf("filter holds %d blocks, capacity 4", d.TrackedBlocks())
+	}
+	s := d.Stats()
+	if s.BackInvalidates != 4 {
+		t.Fatalf("back invalidates = %d, want 4", s.BackInvalidates)
+	}
+	if s.Invalidations != 4 {
+		t.Fatalf("invalidations = %d, want 4 (one holder per victim)", s.Invalidations)
+	}
+}
+
+func TestBackInvalidationWritesBackDirty(t *testing.T) {
+	d := mustDir(t, 64, 1)
+	if _, err := d.AcquireWrite(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AcquireRead(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1 (dirty victim)", d.Stats().Writebacks)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	d := mustDir(t, 64, 16)
+	if _, err := d.AcquireWrite(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Evict(0, 0)
+	if d.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", d.Stats().Writebacks)
+	}
+	if d.TrackedBlocks() != 0 {
+		t.Fatal("evicted block still tracked")
+	}
+	// Evicting a non-holder or untracked block is a no-op.
+	d.Evict(3, 0)
+	if _, err := d.AcquireRead(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AcquireRead(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Evict(0, 0)
+	st, holders := d.StateOf(0)
+	if st != Shared || len(holders) != 1 {
+		t.Fatalf("after partial evict: %v %v", st, holders)
+	}
+}
+
+func TestConcurrentAcquire(t *testing.T) {
+	d := mustDir(t, 64, 1024)
+	var wg sync.WaitGroup
+	for n := 0; n < 8; n++ {
+		n := NodeID(n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 200; i++ {
+				if i%3 == 0 {
+					if _, err := d.AcquireWrite(n, (i%32)*64); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := d.AcquireRead(n, (i%32)*64); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Invariant: every tracked block has consistent state/holders.
+	for i := int64(0); i < 32; i++ {
+		st, holders := d.StateOf(i * 64)
+		switch st {
+		case Modified:
+			if len(holders) != 1 {
+				t.Fatalf("modified block with %d holders", len(holders))
+			}
+		case Shared:
+			if len(holders) == 0 {
+				t.Fatalf("shared block with no holders")
+			}
+		}
+	}
+}
+
+func TestTicketLockMutualExclusionAndFairness(t *testing.T) {
+	d := mustDir(t, 64, 64)
+	l := NewTicketLock(d, 0)
+	var held int32
+	var max int32
+	counter := 0
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for n := 0; n < 6; n++ {
+		n := NodeID(n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := l.Lock(n); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				held++
+				if held > max {
+					max = held
+				}
+				counter++
+				held--
+				mu.Unlock()
+				if err := l.Unlock(n); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if max != 1 {
+		t.Fatalf("max concurrent holders = %d", max)
+	}
+	if counter != 300 {
+		t.Fatalf("counter = %d, want 300", counter)
+	}
+	if d.Stats().Invalidations == 0 {
+		t.Fatal("lock contention produced no coherence traffic")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Fatal("state strings")
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state string empty")
+	}
+}

@@ -1,0 +1,123 @@
+package coherence
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CohortLock is a NUMA-aware lock in the style of lock cohorting (Dice,
+// Marathe, Shavit — cited by §5 as the way to cut coherence traffic on
+// the coherent region): threads first acquire a node-local lock, and the
+// global lock is handed off *within* a node while local waiters exist (up
+// to a budget, preserving long-run fairness). Local handoffs touch only
+// that node's lock words — directory hits instead of cross-node
+// invalidations — which is exactly the traffic reduction the benchmark
+// measures.
+type CohortLock struct {
+	dir    *Directory
+	global *TicketLock
+	locals map[NodeID]*TicketLock
+
+	// Budget caps consecutive local handoffs (default 16).
+	budget int
+
+	mu         sync.Mutex
+	holderNode NodeID
+	globalHeld bool
+	handoffs   int
+	localPass  uint64 // telemetry: local handoffs granted
+	globalPass uint64 // telemetry: global acquisitions
+}
+
+// NewCohortLock places a cohort lock for the given nodes at baseAddr in
+// the coherent region. It occupies 2*(nodes+1) directory blocks. budget
+// <= 0 selects the default.
+func NewCohortLock(dir *Directory, baseAddr int64, nodes []NodeID, budget int) (*CohortLock, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("coherence: cohort lock needs nodes")
+	}
+	if budget <= 0 {
+		budget = 16
+	}
+	l := &CohortLock{
+		dir:    dir,
+		global: NewTicketLock(dir, baseAddr),
+		locals: make(map[NodeID]*TicketLock, len(nodes)),
+		budget: budget,
+	}
+	off := baseAddr + 2*dir.Granularity()
+	for _, n := range nodes {
+		if _, dup := l.locals[n]; dup {
+			return nil, fmt.Errorf("coherence: duplicate node %d", n)
+		}
+		l.locals[n] = NewTicketLock(dir, off)
+		off += 2 * dir.Granularity()
+	}
+	return l, nil
+}
+
+// Lock acquires the cohort lock on behalf of a thread running on node.
+func (l *CohortLock) Lock(node NodeID) error {
+	local, ok := l.locals[node]
+	if !ok {
+		return fmt.Errorf("coherence: unknown node %d", node)
+	}
+	if err := local.Lock(node); err != nil {
+		return err
+	}
+	// Holding the node-local lock; take the global lock unless a cohort
+	// mate passed it to us.
+	l.mu.Lock()
+	holds := l.globalHeld && l.holderNode == node
+	l.mu.Unlock()
+	if holds {
+		l.mu.Lock()
+		l.localPass++
+		l.mu.Unlock()
+		return nil
+	}
+	if err := l.global.Lock(node); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.globalHeld = true
+	l.holderNode = node
+	l.handoffs = 0
+	l.globalPass++
+	l.mu.Unlock()
+	return nil
+}
+
+// Unlock releases the lock. If cohort mates are waiting locally and the
+// handoff budget allows, the global lock stays with the node.
+func (l *CohortLock) Unlock(node NodeID) error {
+	local, ok := l.locals[node]
+	if !ok {
+		return fmt.Errorf("coherence: unknown node %d", node)
+	}
+	l.mu.Lock()
+	if !l.globalHeld || l.holderNode != node {
+		l.mu.Unlock()
+		return fmt.Errorf("coherence: unlock by non-holder node %d", node)
+	}
+	passLocally := local.Contended() && l.handoffs < l.budget
+	if passLocally {
+		l.handoffs++
+	} else {
+		l.globalHeld = false
+	}
+	l.mu.Unlock()
+	if !passLocally {
+		if err := l.global.Unlock(node); err != nil {
+			return err
+		}
+	}
+	return local.Unlock(node)
+}
+
+// Stats reports local handoffs versus global acquisitions.
+func (l *CohortLock) Stats() (localPasses, globalPasses uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.localPass, l.globalPass
+}

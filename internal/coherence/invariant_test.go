@@ -1,0 +1,94 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkInvariants asserts the directory's structural invariants over a
+// set of block addresses.
+func checkInvariants(t *testing.T, d *Directory, capacity int, addrs []int64) {
+	t.Helper()
+	if d.TrackedBlocks() > capacity {
+		t.Fatalf("filter holds %d blocks, capacity %d", d.TrackedBlocks(), capacity)
+	}
+	for _, a := range addrs {
+		st, holders := d.StateOf(a)
+		switch st {
+		case Modified:
+			if len(holders) != 1 {
+				t.Fatalf("modified block %d has %d holders", a, len(holders))
+			}
+		case Shared:
+			if len(holders) == 0 {
+				t.Fatalf("shared block %d has no holders", a)
+			}
+		case Invalid:
+			if len(holders) != 0 {
+				t.Fatalf("invalid block %d has holders %v", a, holders)
+			}
+		}
+	}
+}
+
+// TestDirectoryRandomizedInvariants drives the directory through random
+// operation streams across several capacities, checking MSI invariants
+// after every step.
+func TestDirectoryRandomizedInvariants(t *testing.T) {
+	for _, capacity := range []int{1, 4, 64} {
+		capacity := capacity
+		rng := rand.New(rand.NewSource(int64(capacity)))
+		d := mustDir(t, 64, capacity)
+		var addrs []int64
+		for i := int64(0); i < 16; i++ {
+			addrs = append(addrs, i*64)
+		}
+		for op := 0; op < 3000; op++ {
+			node := NodeID(rng.Intn(5))
+			a := addrs[rng.Intn(len(addrs))]
+			switch rng.Intn(3) {
+			case 0:
+				if _, err := d.AcquireRead(node, a); err != nil {
+					t.Fatalf("cap=%d op=%d read: %v", capacity, op, err)
+				}
+			case 1:
+				if _, err := d.AcquireWrite(node, a); err != nil {
+					t.Fatalf("cap=%d op=%d write: %v", capacity, op, err)
+				}
+			case 2:
+				d.Evict(node, a)
+			}
+			if op%97 == 0 {
+				checkInvariants(t, d, capacity, addrs)
+			}
+		}
+		checkInvariants(t, d, capacity, addrs)
+		// Traffic accounting sanity: invalidations can't exceed grants.
+		st := d.Stats()
+		if st.Invalidations > st.Fetches*8 {
+			t.Fatalf("cap=%d: implausible traffic %+v", capacity, st)
+		}
+	}
+}
+
+// TestDirectoryWriteReadChain verifies a long ownership chain keeps
+// exactly one writable copy alive at each step.
+func TestDirectoryWriteReadChain(t *testing.T) {
+	d := mustDir(t, 64, 32)
+	for i := 0; i < 100; i++ {
+		node := NodeID(i % 7)
+		killed, err := d.AcquireWrite(node, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range killed {
+			if k == node {
+				t.Fatal("write invalidated the requester itself")
+			}
+		}
+		st, holders := d.StateOf(128)
+		if st != Modified || len(holders) != 1 || holders[0] != node {
+			t.Fatalf("step %d: state %v holders %v", i, st, holders)
+		}
+	}
+}

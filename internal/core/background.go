@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/migrate"
+	"github.com/lmp-project/lmp/internal/sizing"
+)
+
+// BalanceReport summarizes one locality-balancing round.
+type BalanceReport struct {
+	Planned  int
+	Migrated int
+	Skipped  int
+}
+
+// BalanceOnce runs one round of the locality balancer (§5 "Locality
+// balancing"): it consults the access profile, plans slice migrations
+// toward dominant accessors, executes them (preserving every logical
+// address), and ages the profile.
+func (p *Pool) BalanceOnce() (BalanceReport, error) {
+	moves, err := migrate.Plan(p.matrix, p.global, p.cfg.Migration)
+	if err != nil {
+		return BalanceReport{}, err
+	}
+	rep := BalanceReport{Planned: len(moves)}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, mv := range moves {
+		if p.dead[mv.To] || p.dead[mv.From] {
+			rep.Skipped++
+			continue
+		}
+		if err := p.migrateSliceLocked(mv.Slice, mv.To); err != nil {
+			rep.Skipped++
+			continue
+		}
+		rep.Migrated++
+	}
+	p.matrix.Decay()
+	p.metrics.Counter("pool.migrations").Add(uint64(rep.Migrated))
+	return rep, nil
+}
+
+// migrateSliceLocked moves one slice's backing to server to. The logical
+// address does not change: only the coarse map binding and the two local
+// maps do. Migration refuses to collocate a slice with its own replicas
+// or its stripe's other shards — that would silently void the protection.
+func (p *Pool) migrateSliceLocked(s uint64, to addr.ServerID) error {
+	back := p.slices[s]
+	if back == nil {
+		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
+	}
+	if back.server == to {
+		return nil
+	}
+	if back.buf != nil {
+		if avoid := p.protectionServersLocked(back.buf, s-back.buf.firstSlice()); avoid[to] {
+			return fmt.Errorf("core: migrating slice %d to server %d would collocate with its protection", s, to)
+		}
+	}
+	newOff, err := p.regions[to].Alloc(SliceSize)
+	if err != nil {
+		return fmt.Errorf("core: migrate slice %d to %d: %w", s, to, err)
+	}
+	buf := make([]byte, SliceSize)
+	if err := p.nodes[back.server].ReadAt(buf, back.offset); err != nil {
+		_ = p.regions[to].Free(newOff)
+		return err
+	}
+	if err := p.nodes[to].WriteAt(buf, newOff); err != nil {
+		_ = p.regions[to].Free(newOff)
+		return err
+	}
+	from := back.server
+	oldOff := back.offset
+	p.locals[to].MapSlice(s, newOff)
+	if err := p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, to); err != nil {
+		p.locals[to].UnmapSlice(s)
+		_ = p.regions[to].Free(newOff)
+		return err
+	}
+	p.locals[from].UnmapSlice(s)
+	_ = p.regions[from].Free(oldOff)
+	p.nodes[from].DropRange(oldOff, SliceSize) // contents were copied; free the backing pages
+	back.server = to
+	back.offset = newOff
+	return nil
+}
+
+// MigrateSlice forces one slice's backing onto a specific server (the
+// mechanism underneath both the balancer and administrative moves).
+func (p *Pool) MigrateSlice(s uint64, to addr.ServerID) error {
+	if int(to) < 0 || int(to) >= len(p.nodes) {
+		return fmt.Errorf("core: no server %d", to)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead[to] {
+		return fmt.Errorf("%w: server %d", ErrServerDead, to)
+	}
+	return p.migrateSliceLocked(s, to)
+}
+
+// AccessProfile exposes the balancer's access matrix (for tests and
+// tooling).
+func (p *Pool) AccessProfile() *migrate.AccessMatrix { return p.matrix }
+
+// ResizeReport summarizes one sizing round.
+type ResizeReport struct {
+	// SharedBytes is the achieved shared size per server (after clamping
+	// to what fragmentation allowed).
+	SharedBytes []int64
+	// Value is the optimizer's objective for its chosen plan.
+	Value float64
+}
+
+// ResizeShared moves one server's private/shared boundary. Shrinking
+// fails if allocated slices occupy the tail (migrate them first).
+func (p *Pool) ResizeShared(s addr.ServerID, bytes int64) error {
+	if int(s) < 0 || int(s) >= len(p.nodes) {
+		return fmt.Errorf("core: no server %d", s)
+	}
+	bytes = bytes - bytes%SliceSize
+	if bytes < 0 || bytes > p.nodes[s].Capacity() {
+		return fmt.Errorf("core: shared size %d outside [0,%d]", bytes, p.nodes[s].Capacity())
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.regions[s].SetLimit(bytes); err != nil {
+		return err
+	}
+	return p.nodes[s].Resize(bytes)
+}
+
+// SizeOnce runs the global sizing optimization (§5 "Sizing the shared
+// regions") against the given per-server loads and applies the result
+// best-effort: growth always succeeds, shrinks are clamped by
+// fragmentation.
+func (p *Pool) SizeOnce(loads []sizing.ServerLoad, requiredPool int64) (ResizeReport, error) {
+	if len(loads) != len(p.nodes) {
+		return ResizeReport{}, fmt.Errorf("core: %d loads for %d servers", len(loads), len(p.nodes))
+	}
+	res, err := sizing.Optimize(loads, requiredPool, SliceSize)
+	if err != nil {
+		return ResizeReport{}, err
+	}
+	rep := ResizeReport{Value: res.Value, SharedBytes: make([]int64, len(loads))}
+	// Grow first so shrinking servers have somewhere to evacuate, then
+	// shrink with compaction.
+	for i := range loads {
+		if res.SharedBytes[i] >= p.regions[i].Size() {
+			s := addr.ServerID(i)
+			if err := p.ResizeShared(s, res.SharedBytes[i]); err == nil {
+				rep.SharedBytes[i] = res.SharedBytes[i]
+			} else {
+				rep.SharedBytes[i] = p.regions[i].Size()
+			}
+		}
+	}
+	for i := range loads {
+		if res.SharedBytes[i] < p.regions[i].Size() {
+			s := addr.ServerID(i)
+			if err := p.ShrinkShared(s, res.SharedBytes[i]); err == nil {
+				rep.SharedBytes[i] = res.SharedBytes[i]
+			} else {
+				// Shrink blocked even after compaction: keep current.
+				rep.SharedBytes[i] = p.regions[i].Size()
+			}
+		}
+	}
+	p.metrics.Counter("pool.resizes").Inc()
+	return rep, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/coherence"
+)
+
+// AllocCoherent reserves n bytes in the coherent region and returns their
+// offset. Coherent memory is scarce (a few GBs in deployment, §3.2);
+// callers should keep coordination state, not data, here.
+func (p *Pool) AllocCoherent(n int64) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("core: coherent alloc of %d bytes", n)
+	}
+	g := p.cfg.CoherenceGranularity
+	n = (n + g - 1) / g * g
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.coherentNext+n > int64(len(p.coherent)) {
+		return 0, fmt.Errorf("core: coherent region exhausted (%d of %d used)",
+			p.coherentNext, len(p.coherent))
+	}
+	off := p.coherentNext
+	p.coherentNext += n
+	return off, nil
+}
+
+func (p *Pool) checkCoherentRange(off int64, n int) error {
+	if off < 0 || off+int64(n) > int64(len(p.coherent)) {
+		return fmt.Errorf("core: coherent access [%d,%d) outside region of %d",
+			off, off+int64(n), len(p.coherent))
+	}
+	return nil
+}
+
+// CoherentRead reads from the coherent region on behalf of server from,
+// acquiring read permission on every touched block through the directory.
+func (p *Pool) CoherentRead(from addr.ServerID, off int64, buf []byte) error {
+	if err := p.checkCoherentRange(off, len(buf)); err != nil {
+		return err
+	}
+	g := p.cfg.CoherenceGranularity
+	for blk := off / g * g; blk < off+int64(len(buf)); blk += g {
+		if _, err := p.dir.AcquireRead(coherence.NodeID(from), blk); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	copy(buf, p.coherent[off:off+int64(len(buf))])
+	p.mu.Unlock()
+	return nil
+}
+
+// CoherentWrite writes into the coherent region on behalf of server from,
+// acquiring exclusive permission on every touched block.
+func (p *Pool) CoherentWrite(from addr.ServerID, off int64, data []byte) error {
+	if err := p.checkCoherentRange(off, len(data)); err != nil {
+		return err
+	}
+	g := p.cfg.CoherenceGranularity
+	for blk := off / g * g; blk < off+int64(len(data)); blk += g {
+		if _, err := p.dir.AcquireWrite(coherence.NodeID(from), blk); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	copy(p.coherent[off:off+int64(len(data))], data)
+	p.mu.Unlock()
+	return nil
+}
+
+// NewLock allocates a ticket lock in the coherent region.
+func (p *Pool) NewLock() (*coherence.TicketLock, error) {
+	off, err := p.AllocCoherent(2 * p.cfg.CoherenceGranularity)
+	if err != nil {
+		return nil, err
+	}
+	return coherence.NewTicketLock(p.dir, off), nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lmp-project/lmp/internal/addr"
+)
+
+// CompactReport summarizes a compaction pass.
+type CompactReport struct {
+	// RelocatedLocal counts slices moved to lower offsets on the same
+	// server.
+	RelocatedLocal int
+	// RelocatedRemote counts slices (or protection blocks) evacuated to
+	// other servers.
+	RelocatedRemote int
+}
+
+// CompactServer evacuates the tail [targetBytes, shared) of server s's
+// shared region — primary slices, replica copies, and parity blocks — so
+// the region can shrink to targetBytes. Backing is first relocated into
+// free space below the target on the same server; what does not fit moves
+// to other servers (respecting protection anti-affinity). On success the
+// caller can ResizeShared(s, targetBytes).
+//
+// This is what makes the paper's ratio flexibility operational: without
+// compaction, a single hot slice parked at the top of the region pins the
+// private/shared boundary forever.
+func (p *Pool) CompactServer(s addr.ServerID, targetBytes int64) (CompactReport, error) {
+	if int(s) < 0 || int(s) >= len(p.nodes) {
+		return CompactReport{}, fmt.Errorf("core: no server %d", s)
+	}
+	targetBytes = targetBytes - targetBytes%SliceSize
+	if targetBytes < 0 {
+		return CompactReport{}, fmt.Errorf("core: negative target")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead[s] {
+		return CompactReport{}, fmt.Errorf("%w: server %d", ErrServerDead, s)
+	}
+	var rep CompactReport
+
+	// Pass 1: primary slices in the tail, highest offsets first so local
+	// relocation packs downward.
+	type victim struct {
+		slice uint64
+		back  *sliceBacking
+	}
+	var victims []victim
+	for sl, back := range p.slices {
+		if back.server == s && back.offset >= targetBytes {
+			victims = append(victims, victim{sl, back})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].back.offset > victims[j].back.offset })
+	for _, v := range victims {
+		moved, local, err := p.relocateSliceLocked(v.slice, v.back, s, targetBytes)
+		if err != nil {
+			return rep, err
+		}
+		if !moved {
+			return rep, fmt.Errorf("core: no space to evacuate slice %d from server %d", v.slice, s)
+		}
+		if local {
+			rep.RelocatedLocal++
+		} else {
+			rep.RelocatedRemote++
+		}
+	}
+
+	// Pass 2: protection blocks (replica copies and EC parity) in the
+	// tail.
+	for _, b := range p.buffers {
+		for _, cp := range b.copies {
+			for i := range cp {
+				if cp[i].Server != s || cp[i].Offset < targetBytes {
+					continue
+				}
+				newSrv, newOff, err := p.relocateBlockLocked(b, s, cp[i].Offset, targetBytes, b.firstSlice()+uint64(i))
+				if err != nil {
+					return rep, err
+				}
+				cp[i].Server = newSrv
+				cp[i].Offset = newOff
+				if newSrv == s {
+					rep.RelocatedLocal++
+				} else {
+					rep.RelocatedRemote++
+				}
+			}
+		}
+		if b.ec != nil {
+			for si := range b.ec.stripes {
+				st := &b.ec.stripes[si]
+				for mi := range st.parity {
+					pb := &st.parity[mi]
+					if pb.server != s || pb.offset < targetBytes {
+						continue
+					}
+					newSrv, newOff, err := p.relocateBlockLocked(b, s, pb.offset, targetBytes, b.firstSlice()+st.firstIdx)
+					if err != nil {
+						return rep, err
+					}
+					pb.server = newSrv
+					pb.offset = newOff
+					if newSrv == s {
+						rep.RelocatedLocal++
+					} else {
+						rep.RelocatedRemote++
+					}
+				}
+			}
+		}
+	}
+	p.metrics.Counter("pool.compactions").Inc()
+	return rep, nil
+}
+
+// relocateSliceLocked moves a primary slice off the tail. It prefers a
+// lower offset on the same server, falling back to another live server
+// that does not hold the slice's protection state. Reports whether it
+// moved and whether the move stayed local.
+func (p *Pool) relocateSliceLocked(sl uint64, back *sliceBacking, s addr.ServerID, target int64) (moved, local bool, err error) {
+	// Try a local slot below the target (extents are first-fit from the
+	// bottom, so any grant below target is final).
+	if newOff, aerr := p.regions[s].Alloc(SliceSize); aerr == nil {
+		if newOff < target {
+			if err := p.copySliceBackingLocked(s, back.offset, s, newOff); err != nil {
+				_ = p.regions[s].Free(newOff)
+				return false, false, err
+			}
+			p.locals[s].MapSlice(sl, newOff)
+			p.freeBackingLocked(s, back.offset)
+			back.offset = newOff
+			return true, true, nil
+		}
+		_ = p.regions[s].Free(newOff)
+	}
+	// Cross-server evacuation.
+	avoid := map[addr.ServerID]bool{s: true}
+	if back.buf != nil {
+		for srv := range p.protectionServersLocked(back.buf, sl-back.buf.firstSlice()) {
+			avoid[srv] = true
+		}
+	}
+	dst, newOff, aerr := p.allocAvoiding(avoid)
+	if aerr != nil {
+		return false, false, nil // caller reports no-space
+	}
+	if err := p.copySliceBackingLocked(s, back.offset, dst, newOff); err != nil {
+		_ = p.regions[dst].Free(newOff)
+		return false, false, err
+	}
+	p.locals[dst].MapSlice(sl, newOff)
+	if err := p.global.Bind(addr.Range{Start: addr.SliceBase(sl), Size: SliceSize}, dst); err != nil {
+		p.locals[dst].UnmapSlice(sl)
+		_ = p.regions[dst].Free(newOff)
+		return false, false, err
+	}
+	p.locals[s].UnmapSlice(sl)
+	p.freeBackingLocked(s, back.offset)
+	back.server = dst
+	back.offset = newOff
+	return true, false, nil
+}
+
+// relocateBlockLocked moves a protection block (replica or parity) out of
+// the tail, preferring local space below target, else another server that
+// does not weaken the protected slice.
+func (p *Pool) relocateBlockLocked(b *Buffer, s addr.ServerID, oldOff, target int64, protectedSlice uint64) (addr.ServerID, int64, error) {
+	if newOff, aerr := p.regions[s].Alloc(SliceSize); aerr == nil {
+		if newOff < target {
+			if err := p.copySliceBackingLocked(s, oldOff, s, newOff); err != nil {
+				_ = p.regions[s].Free(newOff)
+				return 0, 0, err
+			}
+			p.freeBackingLocked(s, oldOff)
+			return s, newOff, nil
+		}
+		_ = p.regions[s].Free(newOff)
+	}
+	avoid := map[addr.ServerID]bool{s: true}
+	if back := p.slices[protectedSlice]; back != nil {
+		avoid[back.server] = true
+	}
+	for srv := range p.protectionServersLocked(b, protectedSlice-b.firstSlice()) {
+		avoid[srv] = true
+	}
+	dst, newOff, aerr := p.allocAvoiding(avoid)
+	if aerr != nil {
+		return 0, 0, fmt.Errorf("core: no space to evacuate protection block from server %d", s)
+	}
+	if err := p.copySliceBackingLocked(s, oldOff, dst, newOff); err != nil {
+		_ = p.regions[dst].Free(newOff)
+		return 0, 0, err
+	}
+	p.freeBackingLocked(s, oldOff)
+	return dst, newOff, nil
+}
+
+// copySliceBackingLocked copies one slice of bytes between node offsets.
+func (p *Pool) copySliceBackingLocked(fromSrv addr.ServerID, fromOff int64, toSrv addr.ServerID, toOff int64) error {
+	buf := make([]byte, SliceSize)
+	if err := p.nodes[fromSrv].ReadAt(buf, fromOff); err != nil {
+		return err
+	}
+	return p.nodes[toSrv].WriteAt(buf, toOff)
+}
+
+// ShrinkShared shrinks server s's shared region to targetBytes, running a
+// compaction pass first when live data blocks the boundary.
+func (p *Pool) ShrinkShared(s addr.ServerID, targetBytes int64) error {
+	if err := p.ResizeShared(s, targetBytes); err == nil {
+		return nil
+	}
+	if _, err := p.CompactServer(s, targetBytes); err != nil {
+		return err
+	}
+	return p.ResizeShared(s, targetBytes)
+}

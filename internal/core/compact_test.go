@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/sizing"
+)
+
+// fragmentTail allocates and frees so server 0 keeps one live slice at
+// the top of its region with free space below it.
+func fragmentTail(t *testing.T, p *Pool) (*Buffer, []byte) {
+	t.Helper()
+	// Fill server 0 (16 slices) completely.
+	filler, err := p.Alloc(15*SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 4096)
+	if err := p.Write(0, top.Addr(), payload); err != nil {
+		t.Fatal(err)
+	}
+	// Free the bottom 15 slices: the live slice sits at the tail.
+	if err := filler.Release(); err != nil {
+		t.Fatal(err)
+	}
+	return top, payload
+}
+
+func TestShrinkBlockedWithoutCompaction(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	_, _ = fragmentTail(t, p)
+	if err := p.ResizeShared(0, 8*SliceSize); err == nil {
+		t.Fatal("fragmented shrink should fail without compaction")
+	}
+}
+
+func TestCompactRelocatesLocallyAndShrinks(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	top, payload := fragmentTail(t, p)
+	rep, err := p.CompactServer(0, 8*SliceSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RelocatedLocal != 1 || rep.RelocatedRemote != 0 {
+		t.Fatalf("report = %+v, want one local relocation", rep)
+	}
+	if err := p.ResizeShared(0, 8*SliceSize); err != nil {
+		t.Fatalf("shrink after compaction: %v", err)
+	}
+	// Same logical address, same data, still on server 0.
+	owner, err := p.OwnerOf(top.Addr())
+	if err != nil || owner != 0 {
+		t.Fatalf("owner = %v, %v", owner, err)
+	}
+	got := make([]byte, len(payload))
+	if err := p.Read(1, top.Addr(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("data corrupted by compaction")
+	}
+}
+
+func TestCompactEvacuatesRemotelyWhenLocalFull(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	// Fill server 0 completely with live data; then demand a shrink.
+	b, err := p.Alloc(16*SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x77}, 1000)
+	if err := p.Write(0, b.Addr()+addr.Logical(15*SliceSize), payload); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.CompactServer(0, 8*SliceSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RelocatedRemote != 8 {
+		t.Fatalf("report = %+v, want 8 remote evacuations", rep)
+	}
+	if err := p.ResizeShared(0, 8*SliceSize); err != nil {
+		t.Fatalf("shrink after evacuation: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if err := p.Read(2, b.Addr()+addr.Logical(15*SliceSize), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("evacuated data corrupted")
+	}
+}
+
+func TestShrinkSharedConvenience(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	_, payload := fragmentTail(t, p)
+	if err := p.ShrinkShared(0, 4*SliceSize); err != nil {
+		t.Fatal(err)
+	}
+	if p.SharedBytes(0) != 4*SliceSize {
+		t.Fatalf("shared = %d slices", p.SharedBytes(0)/SliceSize)
+	}
+	_ = payload
+}
+
+func TestCompactPreservesReplicaAntiAffinity(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	prot := failure.Policy{Scheme: failure.Replicate, Copies: 2}
+	b, err := p.AllocProtected(2*SliceSize, 0, prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{3}, 2048)
+	if err := p.Write(0, b.Addr(), payload); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink server 0 to zero: primaries must evacuate somewhere that is
+	// not their replica's server.
+	if err := p.ShrinkShared(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 2; i++ {
+		la := b.Addr() + addr.Logical(i*SliceSize)
+		owner, err := p.OwnerOf(la)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner == 0 {
+			t.Fatal("slice still on shrunk server")
+		}
+		for _, cp := range b.copies {
+			if cp[i].Server == owner {
+				t.Fatalf("slice %d collocated with its replica on server %d", i, owner)
+			}
+		}
+	}
+	// Crash the new primary server: replication must still mask.
+	owner, _ := p.OwnerOf(b.Addr())
+	if err := p.Crash(owner); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := p.Read(1, b.Addr(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("post-compaction crash masking failed")
+	}
+}
+
+func TestSizeOnceShrinksThroughCompaction(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	_, payload := fragmentTail(t, p) // live slice at the top of server 0
+	loads := make([]sizing.ServerLoad, 4)
+	for i := range loads {
+		loads[i] = sizing.ServerLoad{Capacity: 16 * SliceSize}
+	}
+	// Server 0's DRAM is precious (private demand); server 1 hosts the
+	// pool instead.
+	loads[0].PrivateDemand, loads[0].PrivateWeight = 16*SliceSize, 5
+	loads[1].SharedDemand, loads[1].SharedWeight = 8*SliceSize, 1
+	rep, err := p.SizeOnce(loads, 4*SliceSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SharedBytes[0] != 0 {
+		t.Fatalf("server 0 shared = %d slices, want 0 (compaction should unblock)", rep.SharedBytes[0]/SliceSize)
+	}
+	if p.SharedBytes(0) != 0 {
+		t.Fatalf("applied shared = %d", p.SharedBytes(0))
+	}
+	_ = payload
+}
+
+func TestCompactValidation(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	if _, err := p.CompactServer(9, 0); err == nil {
+		t.Fatal("bad server accepted")
+	}
+	if _, err := p.CompactServer(0, -SliceSize); err == nil {
+		t.Fatal("negative target accepted")
+	}
+	if err := p.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompactServer(1, 0); err == nil {
+		t.Fatal("compaction of dead server accepted")
+	}
+}
+
+func TestCompactFailsWhenPoolFull(t *testing.T) {
+	p := testPool(t, alloc.Striped)
+	// Fill the whole pool; no server can absorb evacuations.
+	if _, err := p.Alloc(64*SliceSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CompactServer(0, 8*SliceSize); err == nil {
+		t.Fatal("impossible compaction reported success")
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/pagetable"
+)
+
+func TestAddressSpaceMapReadWrite(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	as, err := p.NewAddressSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := as.Map(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VA == 0 {
+		t.Fatal("mapping at null VA")
+	}
+	// Write through the VA, spanning a page boundary.
+	data := bytes.Repeat([]byte("va!"), 3000)
+	if err := as.Write(m.VA+pagetable.PageSize-100, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := as.Read(m.VA+pagetable.PageSize-100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("VA round trip failed")
+	}
+	// The same bytes are visible through the logical address directly.
+	direct := make([]byte, len(data))
+	if err := p.Read(1, b.Addr()+pagetable.PageSize-100, direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, data) {
+		t.Fatal("VA writes not visible at logical address")
+	}
+}
+
+func TestAddressSpaceTLB(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	as, err := p.NewAddressSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := as.Map(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for i := 0; i < 10; i++ {
+		if err := as.Read(m.VA, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := as.TLBStats()
+	if misses != 1 || hits != 9 {
+		t.Fatalf("TLB stats = %d hits / %d misses, want 9/1", hits, misses)
+	}
+}
+
+func TestAddressSpaceSegfault(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	as, err := p.NewAddressSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = as.Read(0xdead0000, make([]byte, 4))
+	if err == nil || !strings.Contains(err.Error(), "segmentation fault") {
+		t.Fatalf("unmapped VA read: %v", err)
+	}
+}
+
+func TestAddressSpaceUnmap(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	as, err := p.NewAddressSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := as.Map(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if err := as.Read(m.VA, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Read(m.VA, buf); err == nil {
+		t.Fatal("read after unmap succeeded")
+	}
+	if err := as.Unmap(m); err == nil {
+		t.Fatal("double unmap accepted")
+	}
+}
+
+func TestAddressSpaceGuardPages(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	as, err := p.NewAddressSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := as.Map(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := as.Map(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guard page between the mappings must fault.
+	guard := m1.VA + m1.Pages*pagetable.PageSize
+	if guard >= m2.VA {
+		t.Fatalf("no guard page: %#x vs %#x", guard, m2.VA)
+	}
+	if err := as.Read(guard, make([]byte, 4)); err == nil {
+		t.Fatal("guard page readable")
+	}
+}
+
+func TestAddressSpaceMigrationTransparent(t *testing.T) {
+	// The §5 requirement end to end: migrate the backing while a VA
+	// mapping points at it; the application keeps working unchanged.
+	p := testPool(t, alloc.LocalityAware)
+	as, err := p.NewAddressSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := as.Map(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("still mapped after migration")
+	if err := as.Write(m.VA, msg); err != nil {
+		t.Fatal(err)
+	}
+	s := uint64(b.Addr()) >> 21 // slice index
+	if err := p.MigrateSlice(s, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := as.Read(m.VA, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("VA read after migration corrupt")
+	}
+}
+
+func TestNewAddressSpaceValidation(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	if _, err := p.NewAddressSpace(9); err == nil {
+		t.Fatal("bad server accepted")
+	}
+	as, _ := p.NewAddressSpace(0)
+	if _, err := as.Map(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+}

@@ -1,0 +1,517 @@
+// Package core implements the Logical Memory Pool runtime — the paper's
+// primary contribution — and the physical-pool baselines it is evaluated
+// against.
+//
+// A Pool carves a shared region out of every server's DRAM; the union of
+// the shared regions is the disaggregated memory. Applications allocate
+// buffers that live at stable logical addresses, read and write them from
+// any server (local or remote NUMA-style access), and the runtime's
+// background tasks rebalance data placement (migration) and region sizes
+// (the sizing optimizer). A small coherent region provides synchronization
+// primitives; replication or erasure coding masks server crashes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/coherence"
+	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/memnode"
+	"github.com/lmp-project/lmp/internal/migrate"
+	"github.com/lmp-project/lmp/internal/pagetable"
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+// SliceSize is the pool's allocation and migration granularity,
+// re-exported from the addressing scheme.
+const SliceSize = addr.SliceSize
+
+// ErrServerDead reports an operation that required a crashed server.
+var ErrServerDead = errors.New("core: server is down")
+
+// ErrReleased reports use of a released buffer.
+var ErrReleased = errors.New("core: buffer already released")
+
+// ServerConfig describes one server joining a logical pool.
+type ServerConfig struct {
+	Name string
+	// Capacity is the server's DRAM in bytes.
+	Capacity int64
+	// SharedBytes is the initial shared-region size (adjustable later).
+	// It is rounded down to a slice multiple.
+	SharedBytes int64
+}
+
+// Config configures a logical pool.
+type Config struct {
+	Servers   []ServerConfig
+	Placement alloc.Policy
+	// CoherentBytes sizes the coherent region (a few GBs in deployment;
+	// defaults to 1MiB here, plenty for coordination state).
+	CoherentBytes int64
+	// CoherenceGranularity is the directory tracking block (default 64;
+	// smaller avoids false sharing).
+	CoherenceGranularity int64
+	// Protection is the default protection for new buffers.
+	Protection failure.Policy
+	// Migration tunes the locality balancer.
+	Migration migrate.Policy
+}
+
+func (c *Config) fillDefaults() {
+	if c.CoherentBytes == 0 {
+		c.CoherentBytes = 1 << 20
+	}
+	if c.CoherenceGranularity == 0 {
+		c.CoherenceGranularity = 64
+	}
+	if c.Migration.HysteresisFactor == 0 {
+		c.Migration = migrate.DefaultPolicy()
+	}
+}
+
+// sliceBacking is the authoritative physical location of one logical
+// slice.
+type sliceBacking struct {
+	server addr.ServerID
+	offset int64
+	buf    *Buffer
+}
+
+// sliceMap adapts a pagetable.Table to the addr.LocalMap interface: the
+// server-local fine-grained step of the two-step translation.
+type sliceMap struct {
+	t *pagetable.Table
+}
+
+func newSliceMap() *sliceMap { return &sliceMap{t: pagetable.New()} }
+
+func (m *sliceMap) MapSlice(s uint64, off int64) {
+	if err := m.t.Map(s, off); err != nil {
+		// Slice indexes fit the table's vpage width by construction
+		// (2MiB slices give 2^36 slices within the 2^48 table range).
+		panic(fmt.Sprintf("core: slice map: %v", err))
+	}
+}
+
+func (m *sliceMap) UnmapSlice(s uint64) bool { return m.t.Unmap(s) }
+
+func (m *sliceMap) LookupSlice(s uint64) (int64, bool) {
+	off, ok, _ := m.t.Lookup(s)
+	return off, ok
+}
+
+// Pool is a logical memory pool across a set of servers.
+type Pool struct {
+	cfg Config
+
+	mu      sync.Mutex
+	nodes   []*memnode.Node
+	regions []*alloc.Extents
+	placer  *alloc.Placer
+	global  *addr.GlobalMap
+	locals  []*sliceMap
+	trans   *addr.Translator
+
+	nextSlice uint64
+	freeRuns  []addr.Range
+
+	slices  map[uint64]*sliceBacking
+	buffers map[addr.Logical]*Buffer
+	dead    map[addr.ServerID]bool
+
+	matrix *migrate.AccessMatrix
+
+	dir          *coherence.Directory
+	coherent     []byte
+	coherentNext int64
+
+	metrics *telemetry.Registry
+}
+
+// New builds a pool from the configuration.
+func New(cfg Config) (*Pool, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, errors.New("core: pool needs at least one server")
+	}
+	cfg.fillDefaults()
+	if err := cfg.Protection.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Migration.Validate(); err != nil {
+		return nil, err
+	}
+	dir, err := coherence.NewDirectory(cfg.CoherenceGranularity,
+		int(cfg.CoherentBytes/cfg.CoherenceGranularity))
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		cfg:      cfg,
+		global:   addr.NewGlobalMap(),
+		slices:   make(map[uint64]*sliceBacking),
+		buffers:  make(map[addr.Logical]*Buffer),
+		dead:     make(map[addr.ServerID]bool),
+		matrix:   migrate.NewAccessMatrix(),
+		dir:      dir,
+		coherent: make([]byte, cfg.CoherentBytes),
+		metrics:  telemetry.NewRegistry(),
+	}
+	var regions []*alloc.Region
+	for i, sc := range cfg.Servers {
+		if sc.Capacity <= 0 {
+			return nil, fmt.Errorf("core: server %d has no capacity", i)
+		}
+		if sc.SharedBytes < 0 || sc.SharedBytes > sc.Capacity {
+			return nil, fmt.Errorf("core: server %d shares %d of %d", i, sc.SharedBytes, sc.Capacity)
+		}
+		shared := sc.SharedBytes - sc.SharedBytes%SliceSize
+		node, err := memnode.New(sc.Name, sc.Capacity, shared)
+		if err != nil {
+			return nil, err
+		}
+		ext, err := alloc.NewExtents(shared, SliceSize)
+		if err != nil {
+			return nil, err
+		}
+		p.nodes = append(p.nodes, node)
+		p.regions = append(p.regions, ext)
+		p.locals = append(p.locals, newSliceMap())
+		regions = append(regions, &alloc.Region{Server: addr.ServerID(i), Mem: ext})
+	}
+	placer, err := alloc.NewPlacer(cfg.Placement, SliceSize, regions...)
+	if err != nil {
+		return nil, err
+	}
+	placer.MaxChunk = SliceSize
+	p.placer = placer
+	locals := make(map[addr.ServerID]addr.LocalMap, len(p.locals))
+	for i, lm := range p.locals {
+		locals[addr.ServerID(i)] = lm
+	}
+	p.trans = &addr.Translator{Global: p.global, Locals: locals}
+	return p, nil
+}
+
+// Servers reports the number of pool servers.
+func (p *Pool) Servers() int { return len(p.nodes) }
+
+// Metrics exposes the pool's telemetry registry.
+func (p *Pool) Metrics() *telemetry.Registry { return p.metrics }
+
+// Directory exposes the coherent region's coherence engine.
+func (p *Pool) Directory() *coherence.Directory { return p.dir }
+
+// SharedBytes reports server s's current shared-region size.
+func (p *Pool) SharedBytes(s addr.ServerID) int64 {
+	return p.regions[s].Size()
+}
+
+// FreePoolBytes reports unallocated pool capacity.
+func (p *Pool) FreePoolBytes() int64 { return p.placer.TotalFree() }
+
+// Buffer is an allocation in the pool at a stable logical address range.
+type Buffer struct {
+	pool *Pool
+	rng  addr.Range
+	size int64
+	prot failure.Policy
+	// copies[c][i] backs logical slice firstSlice+i for replica copy c.
+	copies [][]alloc.Chunk
+	ec     *ecState
+
+	released bool
+}
+
+// Addr returns the buffer's base logical address (stable across
+// migration).
+func (b *Buffer) Addr() addr.Logical { return b.rng.Start }
+
+// Size returns the requested byte size.
+func (b *Buffer) Size() int64 { return b.size }
+
+// Range returns the slice-aligned logical range backing the buffer.
+func (b *Buffer) Range() addr.Range { return b.rng }
+
+// Protection returns the buffer's protection policy.
+func (b *Buffer) Protection() failure.Policy { return b.prot }
+
+func (b *Buffer) sliceCount() uint64 { return uint64(b.rng.Size / SliceSize) }
+
+func (b *Buffer) firstSlice() uint64 { return addr.SliceOf(b.rng.Start) }
+
+// ReadAt copies len(p) bytes from the buffer at offset off, issued by
+// server from.
+func (b *Buffer) ReadAt(from addr.ServerID, p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > b.size {
+		return fmt.Errorf("core: read [%d,%d) outside buffer of %d", off, off+int64(len(p)), b.size)
+	}
+	if b.released {
+		return ErrReleased
+	}
+	return b.pool.Read(from, b.rng.Start+addr.Logical(off), p)
+}
+
+// WriteAt copies data into the buffer at offset off, issued by server
+// from.
+func (b *Buffer) WriteAt(from addr.ServerID, data []byte, off int64) error {
+	if off < 0 || off+int64(len(data)) > b.size {
+		return fmt.Errorf("core: write [%d,%d) outside buffer of %d", off, off+int64(len(data)), b.size)
+	}
+	if b.released {
+		return ErrReleased
+	}
+	return b.pool.Write(from, b.rng.Start+addr.Logical(off), data)
+}
+
+// Alloc places size bytes in the pool with the pool's default protection.
+// from is the requesting server (used by locality-aware placement).
+func (p *Pool) Alloc(size int64, from addr.ServerID) (*Buffer, error) {
+	return p.AllocProtected(size, from, p.cfg.Protection)
+}
+
+// AllocProtected places size bytes with an explicit protection policy.
+func (p *Pool) AllocProtected(size int64, from addr.ServerID, prot failure.Policy) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: alloc of %d bytes", size)
+	}
+	if err := prot.Validate(); err != nil {
+		return nil, err
+	}
+	rounded := (size + SliceSize - 1) / SliceSize * SliceSize
+	var chunks []alloc.Chunk
+	var err error
+	if prot.Scheme == failure.ErasureCode {
+		// Erasure coding protects against server loss only if a stripe's
+		// data shards live on distinct servers: force striped placement.
+		chunks, err = p.placer.PlaceStriped(rounded)
+	} else {
+		chunks, err = p.placer.Place(rounded, from)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: alloc %d bytes: %w", size, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	rng := p.reserveLogicalLocked(rounded)
+	b := &Buffer{pool: p, rng: rng, size: size, prot: prot}
+	first := addr.SliceOf(rng.Start)
+	for i, c := range chunks {
+		s := first + uint64(i)
+		p.slices[s] = &sliceBacking{server: c.Server, offset: c.Offset, buf: b}
+		p.locals[c.Server].MapSlice(s, c.Offset)
+	}
+	for i, c := range chunks {
+		s := first + uint64(i)
+		if err := p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, c.Server); err != nil {
+			p.releasePartialLocked(b, chunks)
+			return nil, err
+		}
+	}
+	if err := p.protectLocked(b, chunks, from); err != nil {
+		p.releasePartialLocked(b, chunks)
+		return nil, err
+	}
+	p.buffers[rng.Start] = b
+	p.metrics.Counter("pool.allocs").Inc()
+	p.metrics.Gauge("pool.bytes_allocated").Add(rounded)
+	return b, nil
+}
+
+// reserveLogicalLocked finds a logical range of the given (slice-aligned)
+// size, reusing freed runs first.
+func (p *Pool) reserveLogicalLocked(size int64) addr.Range {
+	for i, r := range p.freeRuns {
+		if r.Size >= size {
+			out := addr.Range{Start: r.Start, Size: size}
+			p.freeRuns[i] = addr.Range{Start: r.Start + addr.Logical(size), Size: r.Size - size}
+			if p.freeRuns[i].Size == 0 {
+				p.freeRuns = append(p.freeRuns[:i], p.freeRuns[i+1:]...)
+			}
+			return out
+		}
+	}
+	out := addr.Range{Start: addr.SliceBase(p.nextSlice), Size: size}
+	p.nextSlice += uint64(size / SliceSize)
+	return out
+}
+
+// freeBackingLocked returns one slice of physical backing to its region
+// and scrubs the pages so reallocated pool memory reads as zeros (the
+// allocator contract that keeps fresh replicas and parity trivially
+// consistent).
+func (p *Pool) freeBackingLocked(server addr.ServerID, offset int64) {
+	if p.dead[server] {
+		return
+	}
+	_ = p.regions[server].Free(offset)
+	p.nodes[server].DropRange(offset, SliceSize)
+}
+
+func (p *Pool) releasePartialLocked(b *Buffer, chunks []alloc.Chunk) {
+	first := b.firstSlice()
+	for i, c := range chunks {
+		s := first + uint64(i)
+		delete(p.slices, s)
+		p.locals[c.Server].UnmapSlice(s)
+		p.freeBackingLocked(c.Server, c.Offset)
+	}
+	p.freeRuns = append(p.freeRuns, b.rng)
+}
+
+// Release frees the buffer, its replicas, and its parity blocks.
+func (b *Buffer) Release() error {
+	p := b.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b.released {
+		return ErrReleased
+	}
+	b.released = true
+	first := b.firstSlice()
+	for i := uint64(0); i < b.sliceCount(); i++ {
+		s := first + i
+		back := p.slices[s]
+		if back == nil {
+			continue
+		}
+		delete(p.slices, s)
+		p.locals[back.server].UnmapSlice(s)
+		p.freeBackingLocked(back.server, back.offset)
+		_ = p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, addr.NoServer)
+	}
+	for _, replica := range b.copies {
+		for _, c := range replica {
+			p.freeBackingLocked(c.Server, c.Offset)
+		}
+	}
+	if b.ec != nil {
+		for _, st := range b.ec.stripes {
+			for _, pb := range st.parity {
+				p.freeBackingLocked(pb.server, pb.offset)
+			}
+		}
+	}
+	delete(p.buffers, b.rng.Start)
+	p.freeRuns = append(p.freeRuns, b.rng)
+	p.metrics.Gauge("pool.bytes_allocated").Add(-b.rng.Size)
+	return nil
+}
+
+// segment visits [la, la+n) split at slice boundaries.
+func eachSegment(la addr.Logical, n int, visit func(s uint64, sliceOff int64, bufOff int, length int) error) error {
+	done := 0
+	for done < n {
+		cur := la + addr.Logical(done)
+		s := addr.SliceOf(cur)
+		off := int64(uint64(cur) % SliceSize)
+		length := int(SliceSize - off)
+		if rem := n - done; rem < length {
+			length = rem
+		}
+		if err := visit(s, off, done, length); err != nil {
+			return err
+		}
+		done += length
+	}
+	return nil
+}
+
+// Read copies len(buf) bytes at logical address la into buf, as issued by
+// server from. Remote segments pay fabric accounting; crashed owners are
+// masked through replicas or erasure coding when the buffer is protected.
+func (p *Pool) Read(from addr.ServerID, la addr.Logical, buf []byte) error {
+	return eachSegment(la, len(buf), func(s uint64, sliceOff int64, bufOff, length int) error {
+		return p.accessSlice(from, s, sliceOff, buf[bufOff:bufOff+length], false)
+	})
+}
+
+// Write copies data into the pool at logical address la, as issued by
+// server from, updating replicas and parity.
+func (p *Pool) Write(from addr.ServerID, la addr.Logical, data []byte) error {
+	return eachSegment(la, len(data), func(s uint64, sliceOff int64, bufOff, length int) error {
+		return p.accessSlice(from, s, sliceOff, data[bufOff:bufOff+length], true)
+	})
+}
+
+func (p *Pool) accessSlice(from addr.ServerID, s uint64, sliceOff int64, part []byte, write bool) error {
+	p.mu.Lock()
+	back := p.slices[s]
+	if back == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
+	}
+	if p.dead[back.server] {
+		// Recovery path: mask the failure or raise an exception.
+		err := p.recoverSliceLocked(s)
+		if err != nil {
+			p.mu.Unlock()
+			return err
+		}
+		back = p.slices[s]
+	}
+	owner := back.server
+	offset := back.offset + sliceOff
+	buf := back.buf
+	p.mu.Unlock()
+
+	node := p.nodes[owner]
+	remote := owner != from
+	if write {
+		// Erasure-coded buffers need the old bytes to delta the parity.
+		var old []byte
+		if buf != nil && buf.prot.Scheme == failure.ErasureCode {
+			old = make([]byte, len(part))
+			if err := node.ReadAt(old, offset); err != nil {
+				return err
+			}
+		}
+		if err := node.WriteAt(part, offset); err != nil {
+			return err
+		}
+		if old != nil {
+			if err := p.writeParityDelta(buf, s-buf.firstSlice(), sliceOff, old, part); err != nil {
+				return err
+			}
+		}
+	} else if err := node.ReadAt(part, offset); err != nil {
+		return err
+	}
+	node.RecordAccess(offset, remote, write)
+	p.matrix.Record(s, from, 1)
+	p.recordMetrics(remote, write, len(part))
+	if write && buf != nil {
+		if err := p.updateProtection(buf, s, sliceOff, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pool) recordMetrics(remote, write bool, n int) {
+	kind := "read"
+	if write {
+		kind = "write"
+	}
+	locality := "local"
+	if remote {
+		locality = "remote"
+	}
+	p.metrics.Counter("pool." + kind + "s." + locality).Inc()
+	p.metrics.Counter("pool.bytes." + kind + "." + locality).Add(uint64(n))
+}
+
+// Translate resolves a logical address through the two-step scheme.
+func (p *Pool) Translate(la addr.Logical) (addr.Location, error) {
+	return p.trans.Translate(la)
+}
+
+// OwnerOf reports which server currently backs la.
+func (p *Pool) OwnerOf(la addr.Logical) (addr.ServerID, error) {
+	return p.global.Owner(la)
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/failure"
+)
+
+// ecState holds a buffer's erasure-coding metadata: its slices are grouped
+// into stripes of K data slices with M parity blocks each, placed on
+// servers distinct from the stripe's data servers where possible.
+type ecState struct {
+	rs      *failure.RS
+	stripes []ecStripe
+}
+
+type ecStripe struct {
+	// firstIdx is the index (within the buffer) of the stripe's first
+	// data slice; the stripe covers data slices firstIdx..firstIdx+K-1,
+	// where trailing missing slices are implicit zero shards.
+	firstIdx uint64
+	parity   []parityBlock
+}
+
+type parityBlock struct {
+	server addr.ServerID
+	offset int64
+}
+
+// protectLocked sets up the buffer's protection at allocation time.
+// Newly allocated pool memory reads as zeros, so fresh replicas and
+// parity (GF-linear over zero data) are correct without any copying.
+func (p *Pool) protectLocked(b *Buffer, chunks []alloc.Chunk, from addr.ServerID) error {
+	switch b.prot.Scheme {
+	case failure.None:
+		return nil
+	case failure.Replicate:
+		return p.setupReplicasLocked(b, chunks)
+	case failure.ErasureCode:
+		return p.setupErasureLocked(b, chunks)
+	default:
+		return fmt.Errorf("core: unknown protection scheme %v", b.prot.Scheme)
+	}
+}
+
+// allocAvoiding allocates one slice of backing on a live server different
+// from every server in avoid, preferring the emptiest region. A best-
+// effort fallback onto an avoid server is used only when no other server
+// has room.
+func (p *Pool) allocAvoiding(avoid map[addr.ServerID]bool) (addr.ServerID, int64, error) {
+	type cand struct {
+		s    addr.ServerID
+		free int64
+	}
+	var primary, fallback []cand
+	for i := range p.regions {
+		s := addr.ServerID(i)
+		if p.dead[s] {
+			continue
+		}
+		c := cand{s: s, free: p.regions[i].FreeBytes()}
+		if avoid[s] {
+			fallback = append(fallback, c)
+		} else {
+			primary = append(primary, c)
+		}
+	}
+	try := func(cs []cand) (addr.ServerID, int64, bool) {
+		best := -1
+		for i, c := range cs {
+			if c.free < SliceSize {
+				continue
+			}
+			if best < 0 || c.free > cs[best].free {
+				best = i
+			}
+		}
+		if best < 0 {
+			return 0, 0, false
+		}
+		off, err := p.regions[cs[best].s].Alloc(SliceSize)
+		if err != nil {
+			return 0, 0, false
+		}
+		return cs[best].s, off, true
+	}
+	if s, off, ok := try(primary); ok {
+		return s, off, nil
+	}
+	if s, off, ok := try(fallback); ok {
+		return s, off, nil
+	}
+	return 0, 0, fmt.Errorf("core: protection backing: %w", alloc.ErrNoSpace)
+}
+
+func (p *Pool) setupReplicasLocked(b *Buffer, chunks []alloc.Chunk) error {
+	copies := b.prot.Copies - 1 // primary counts as the first copy
+	b.copies = make([][]alloc.Chunk, copies)
+	for c := 0; c < copies; c++ {
+		b.copies[c] = make([]alloc.Chunk, len(chunks))
+		for i, primary := range chunks {
+			avoid := map[addr.ServerID]bool{primary.Server: true}
+			for prev := 0; prev < c; prev++ {
+				avoid[b.copies[prev][i].Server] = true
+			}
+			s, off, err := p.allocAvoiding(avoid)
+			if err != nil {
+				return err
+			}
+			b.copies[c][i] = alloc.Chunk{Server: s, Offset: off, Size: SliceSize}
+		}
+	}
+	return nil
+}
+
+func (p *Pool) setupErasureLocked(b *Buffer, chunks []alloc.Chunk) error {
+	rs, err := failure.NewRS(b.prot.K, b.prot.M)
+	if err != nil {
+		return err
+	}
+	b.ec = &ecState{rs: rs}
+	for start := uint64(0); start < uint64(len(chunks)); start += uint64(b.prot.K) {
+		stripe := ecStripe{firstIdx: start}
+		avoid := map[addr.ServerID]bool{}
+		end := start + uint64(b.prot.K)
+		if end > uint64(len(chunks)) {
+			end = uint64(len(chunks))
+		}
+		for i := start; i < end; i++ {
+			avoid[chunks[i].Server] = true
+		}
+		for m := 0; m < b.prot.M; m++ {
+			s, off, err := p.allocAvoiding(avoid)
+			if err != nil {
+				return err
+			}
+			avoid[s] = true
+			stripe.parity = append(stripe.parity, parityBlock{server: s, offset: off})
+		}
+		b.ec.stripes = append(b.ec.stripes, stripe)
+	}
+	return nil
+}
+
+// updateProtection propagates a write to replicas (write-through) and
+// parity (delta update: parity ^= coef * (old ^ new) over the written
+// range — but since the primary was already overwritten, the caller's
+// data is the new value and we use the replica copy as the old value for
+// replication, and a read-before-write is unnecessary because we maintain
+// parity from replica... ).
+//
+// Implementation note: for erasure coding we need the OLD data to delta
+// parity. The primary has already been overwritten by the caller, so we
+// keep parity correct by recomputing the delta against the first replica
+// when present — and when there is none (pure EC), accessSlice gives us
+// the new bytes only, so the EC path below reads old bytes from a shadow
+// read performed before the write. To keep the write path simple and
+// correct, EC parity is updated with a full delta computed from an
+// old-data snapshot captured in accessSliceOld.
+func (p *Pool) updateProtection(b *Buffer, s uint64, sliceOff int64, newData []byte) error {
+	switch b.prot.Scheme {
+	case failure.Replicate:
+		idx := s - b.firstSlice()
+		for _, cp := range b.copies {
+			c := cp[idx]
+			if p.isDead(c.Server) {
+				continue // stale replica; repaired on RepairServer
+			}
+			if err := p.nodes[c.Server].WriteAt(newData, c.Offset+sliceOff); err != nil {
+				return err
+			}
+		}
+		return nil
+	case failure.ErasureCode:
+		// Handled in accessSlice via writeWithParity; nothing here.
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (p *Pool) isDead(s addr.ServerID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead[s]
+}
+
+// writeParityDelta applies an EC parity delta for a write of newData at
+// sliceOff within buffer slice index idx, given the old bytes.
+func (p *Pool) writeParityDelta(b *Buffer, idx uint64, sliceOff int64, oldData, newData []byte) error {
+	k := uint64(b.prot.K)
+	stripeIdx := idx / k
+	if stripeIdx >= uint64(len(b.ec.stripes)) {
+		return fmt.Errorf("core: stripe %d out of range", stripeIdx)
+	}
+	st := b.ec.stripes[stripeIdx]
+	shard := int(idx - st.firstIdx)
+	delta := make([]byte, len(newData))
+	for i := range delta {
+		delta[i] = oldData[i] ^ newData[i]
+	}
+	for m, pb := range st.parity {
+		if p.isDead(pb.server) {
+			continue
+		}
+		coef := b.ec.rs.Coefficient(m, shard)
+		patch := make([]byte, len(delta))
+		if err := p.nodes[pb.server].ReadAt(patch, pb.offset+sliceOff); err != nil {
+			return err
+		}
+		failure.AddScaled(patch, delta, coef)
+		if err := p.nodes[pb.server].WriteAt(patch, pb.offset+sliceOff); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// protectionServersLocked returns the servers that hold protection state
+// for buffer slice index idx: replica copies, and — for erasure coding —
+// the other data shards and parity blocks of its stripe. Placing the
+// primary on any of them would reduce the failures the buffer tolerates.
+func (p *Pool) protectionServersLocked(b *Buffer, idx uint64) map[addr.ServerID]bool {
+	avoid := make(map[addr.ServerID]bool)
+	for _, cp := range b.copies {
+		if idx < uint64(len(cp)) {
+			avoid[cp[idx].Server] = true
+		}
+	}
+	if b.ec != nil {
+		k := uint64(b.prot.K)
+		stripeIdx := idx / k
+		if stripeIdx < uint64(len(b.ec.stripes)) {
+			st := b.ec.stripes[stripeIdx]
+			for _, pb := range st.parity {
+				avoid[pb.server] = true
+			}
+			first := b.firstSlice()
+			for j := uint64(0); j < k; j++ {
+				slIdx := st.firstIdx + j
+				if slIdx == idx || slIdx >= b.sliceCount() {
+					continue
+				}
+				if sib := p.slices[first+slIdx]; sib != nil {
+					avoid[sib.server] = true
+				}
+			}
+		}
+	}
+	return avoid
+}
+
+// Crash marks server s as failed: its memory contents are lost to the
+// pool. Reads of data it owned are masked through protection or raise a
+// MemoryException.
+func (p *Pool) Crash(s addr.ServerID) error {
+	if int(s) < 0 || int(s) >= len(p.nodes) {
+		return fmt.Errorf("core: no server %d", s)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dead[s] = true
+	p.metrics.Counter("pool.crashes").Inc()
+	return nil
+}
+
+// Dead reports whether server s has crashed.
+func (p *Pool) Dead(s addr.ServerID) bool { return p.isDead(s) }
+
+// recoverSliceLocked rebuilds slice s (whose owner is dead) onto a live
+// server, using a replica or erasure-coded reconstruction. The caller
+// holds p.mu.
+func (p *Pool) recoverSliceLocked(s uint64) error {
+	back := p.slices[s]
+	if back == nil {
+		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
+	}
+	b := back.buf
+	deadServer := back.server
+	if b == nil || b.prot.Scheme == failure.None {
+		return &failure.MemoryException{Addr: addr.SliceBase(s), Server: deadServer}
+	}
+	idx := s - b.firstSlice()
+	data := make([]byte, SliceSize)
+	switch b.prot.Scheme {
+	case failure.Replicate:
+		found := false
+		for _, cp := range b.copies {
+			c := cp[idx]
+			if p.dead[c.Server] {
+				continue
+			}
+			if err := p.nodes[c.Server].ReadAt(data, c.Offset); err != nil {
+				return err
+			}
+			found = true
+			break
+		}
+		if !found {
+			return &failure.MemoryException{Addr: addr.SliceBase(s), Server: deadServer}
+		}
+	case failure.ErasureCode:
+		if err := p.reconstructECLocked(b, idx, data); err != nil {
+			return err
+		}
+	}
+	// Re-home onto a live server, avoiding the buffer's protection
+	// servers so the tolerated failure count is preserved.
+	srv, off, err := p.allocAvoiding(p.protectionServersLocked(b, idx))
+	if err != nil {
+		return err
+	}
+	if err := p.nodes[srv].WriteAt(data, off); err != nil {
+		return err
+	}
+	p.locals[deadServer].UnmapSlice(s)
+	p.locals[srv].MapSlice(s, off)
+	if err := p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, srv); err != nil {
+		return err
+	}
+	back.server = srv
+	back.offset = off
+	p.metrics.Counter("pool.recoveries").Inc()
+	return nil
+}
+
+// reconstructECLocked rebuilds buffer slice idx from its stripe's
+// survivors into out (len SliceSize).
+func (p *Pool) reconstructECLocked(b *Buffer, idx uint64, out []byte) error {
+	k := uint64(b.prot.K)
+	stripeIdx := idx / k
+	st := b.ec.stripes[stripeIdx]
+	shards := make([][]byte, b.prot.K+b.prot.M)
+	first := b.firstSlice()
+	nSlices := b.sliceCount()
+	for j := 0; j < b.prot.K; j++ {
+		slIdx := st.firstIdx + uint64(j)
+		if slIdx >= nSlices {
+			// Virtual zero shard beyond the buffer's end.
+			shards[j] = make([]byte, SliceSize)
+			continue
+		}
+		back := p.slices[first+slIdx]
+		if back == nil || p.dead[back.server] {
+			continue // erased
+		}
+		buf := make([]byte, SliceSize)
+		if err := p.nodes[back.server].ReadAt(buf, back.offset); err != nil {
+			return err
+		}
+		shards[j] = buf
+	}
+	for m, pb := range st.parity {
+		if p.dead[pb.server] {
+			continue
+		}
+		buf := make([]byte, SliceSize)
+		if err := p.nodes[pb.server].ReadAt(buf, pb.offset); err != nil {
+			return err
+		}
+		shards[b.prot.K+m] = buf
+	}
+	dataShards, err := b.ec.rs.Reconstruct(shards)
+	if err != nil {
+		return fmt.Errorf("core: reconstruct slice %d: %w", idx, err)
+	}
+	copy(out, dataShards[idx-st.firstIdx])
+	return nil
+}
+
+// RepairServer proactively rebuilds every slice owned by the crashed
+// server s, reporting how many were recovered and returning the first
+// unrecoverable error (if any) after attempting all slices.
+func (p *Pool) RepairServer(s addr.ServerID) (recovered int, firstErr error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.dead[s] {
+		return 0, fmt.Errorf("core: server %d is alive", s)
+	}
+	for sl, back := range p.slices {
+		if back.server != s {
+			continue
+		}
+		if err := p.recoverSliceLocked(sl); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		recovered++
+	}
+	return recovered, firstErr
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/migrate"
+	"github.com/lmp-project/lmp/internal/sizing"
+)
+
+func TestStartBackgroundValidation(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	if _, err := p.StartBackground(RunnerConfig{}); err == nil {
+		t.Fatal("no-task runner accepted")
+	}
+	if _, err := p.StartBackground(RunnerConfig{SizeEvery: time.Millisecond}); err == nil {
+		t.Fatal("sizing without loads accepted")
+	}
+}
+
+func TestBackgroundBalancerMigratesHotData(t *testing.T) {
+	cfg := Config{
+		Placement: alloc.LocalityAware,
+		Migration: migrate.Policy{MinAccesses: 8, HysteresisFactor: 1.5, MaxMoves: 16},
+	}
+	for i := 0; i < 4; i++ {
+		cfg.Servers = append(cfg.Servers, ServerConfig{Capacity: 16 * SliceSize, SharedBytes: 16 * SliceSize})
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.StartBackground(RunnerConfig{BalanceEvery: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 20; i++ {
+			if err := p.Read(2, b.Addr(), buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		owner, err := p.OwnerOf(b.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner == 2 {
+			balances, _ := r.Rounds()
+			if balances == 0 {
+				t.Fatal("migration happened without a balance round?")
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("background balancer never migrated the hot slice")
+}
+
+func TestBackgroundSizerApplies(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	loads := func() ([]sizing.ServerLoad, int64) {
+		ls := make([]sizing.ServerLoad, 4)
+		for i := range ls {
+			ls[i] = sizing.ServerLoad{Capacity: 16 * SliceSize}
+		}
+		ls[0].SharedDemand = 4 * SliceSize
+		ls[0].SharedWeight = 1
+		return ls, 0
+	}
+	r, err := p.StartBackground(RunnerConfig{SizeEvery: 2 * time.Millisecond, Loads: loads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.SharedBytes(1) == 0 && p.SharedBytes(0) == 4*SliceSize {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("sizer never applied: shared = %d/%d", p.SharedBytes(0), p.SharedBytes(1))
+}
+
+func TestRunnerStopIdempotent(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	r, err := p.StartBackground(RunnerConfig{BalanceEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Stop()
+	r.Stop() // must not panic or hang
+}
+
+func TestRunnerErrorCallback(t *testing.T) {
+	p := testPool(t, alloc.LocalityAware)
+	errs := make(chan error, 16)
+	r, err := p.StartBackground(RunnerConfig{
+		SizeEvery: time.Millisecond,
+		// Infeasible requirement triggers errors every round.
+		Loads: func() ([]sizing.ServerLoad, int64) {
+			ls := make([]sizing.ServerLoad, 4)
+			for i := range ls {
+				ls[i] = sizing.ServerLoad{Capacity: 16 * SliceSize}
+			}
+			return ls, 1 << 62
+		},
+		OnError: func(e error) {
+			select {
+			case errs <- e:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	select {
+	case <-errs:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no error reported")
+	}
+}

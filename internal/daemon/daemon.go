@@ -1,0 +1,348 @@
+// Package daemon implements the live distributed mode: each server runs
+// an lmpd daemon exporting its shared region over TCP (the functional
+// stand-in for CXL.mem transactions), and clients compose the daemons
+// into a pool with a client-side coarse map — the same two-step
+// addressing as the in-process runtime. Computation shipping sends a
+// named kernel to the daemon owning the data and returns only the partial
+// result.
+package daemon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/memnode"
+	"github.com/lmp-project/lmp/internal/rpc"
+)
+
+// RPC method numbers.
+const (
+	MethodInfo byte = iota + 1
+	MethodAlloc
+	MethodFree
+	MethodRead
+	MethodWrite
+	MethodSum
+	MethodResize
+	MethodHotPages
+)
+
+// Info describes a daemon's shared region.
+type Info struct {
+	Name     string
+	Capacity int64
+	Shared   int64
+	InUse    int64
+}
+
+// Server is one lmpd instance: a shared region served over TCP.
+type Server struct {
+	name   string
+	node   *memnode.Node
+	region *alloc.Extents
+	rpc    *rpc.Server
+
+	mu   sync.Mutex
+	addr string
+}
+
+// NewServer builds a daemon for a server with the given DRAM capacity and
+// initial shared-region size (rounded down to pages).
+func NewServer(name string, capacity, shared int64) (*Server, error) {
+	shared = shared - shared%memnode.PageSize
+	node, err := memnode.New(name, capacity, shared)
+	if err != nil {
+		return nil, err
+	}
+	region, err := alloc.NewExtents(shared, memnode.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{name: name, node: node, region: region, rpc: rpc.NewServer()}
+	s.register()
+	return s, nil
+}
+
+// Listen starts serving on addr (":0" picks a port) and returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	bound, err := s.rpc.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.addr = bound
+	s.mu.Unlock()
+	return bound, nil
+}
+
+// Close stops the daemon.
+func (s *Server) Close() error { return s.rpc.Close() }
+
+func (s *Server) register() {
+	s.rpc.Handle(MethodInfo, s.handleInfo)
+	s.rpc.Handle(MethodAlloc, s.handleAlloc)
+	s.rpc.Handle(MethodFree, s.handleFree)
+	s.rpc.Handle(MethodRead, s.handleRead)
+	s.rpc.Handle(MethodWrite, s.handleWrite)
+	s.rpc.Handle(MethodSum, s.handleSum)
+	s.rpc.Handle(MethodResize, s.handleResize)
+	s.rpc.Handle(MethodHotPages, s.handleHotPages)
+}
+
+// handleHotPages returns up to k (page, heat) pairs by descending heat —
+// the profile a remote balancer would consume.
+func (s *Server) handleHotPages(p []byte) ([]byte, error) {
+	if len(p) != 4 {
+		return nil, fmt.Errorf("daemon: hot-pages payload %d bytes", len(p))
+	}
+	k := int(binary.BigEndian.Uint32(p))
+	if k <= 0 || k > 4096 {
+		return nil, fmt.Errorf("daemon: hot-pages count %d out of range", k)
+	}
+	hot := s.node.HottestPages(k)
+	out := make([]byte, 4+16*len(hot))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(hot)))
+	for i, st := range hot {
+		binary.BigEndian.PutUint64(out[4+16*i:], uint64(st.Page))
+		binary.BigEndian.PutUint64(out[12+16*i:], st.Heat)
+	}
+	return out, nil
+}
+
+func (s *Server) handleInfo(_ []byte) ([]byte, error) {
+	out := make([]byte, 24+len(s.name))
+	binary.BigEndian.PutUint64(out[0:8], uint64(s.node.Capacity()))
+	binary.BigEndian.PutUint64(out[8:16], uint64(s.region.Size()))
+	binary.BigEndian.PutUint64(out[16:24], uint64(s.region.InUse()))
+	copy(out[24:], s.name)
+	return out, nil
+}
+
+func (s *Server) handleAlloc(p []byte) ([]byte, error) {
+	if len(p) != 8 {
+		return nil, fmt.Errorf("daemon: alloc payload %d bytes", len(p))
+	}
+	n := int64(binary.BigEndian.Uint64(p))
+	off, err := s.region.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, uint64(off))
+	return out, nil
+}
+
+func (s *Server) handleFree(p []byte) ([]byte, error) {
+	if len(p) != 8 {
+		return nil, fmt.Errorf("daemon: free payload %d bytes", len(p))
+	}
+	return nil, s.region.Free(int64(binary.BigEndian.Uint64(p)))
+}
+
+func (s *Server) checkShared(off, n int64) error {
+	if off < 0 || n < 0 || off+n > s.region.Size() {
+		return fmt.Errorf("daemon: access [%d,%d) outside shared region of %d", off, off+n, s.region.Size())
+	}
+	return nil
+}
+
+func (s *Server) handleRead(p []byte) ([]byte, error) {
+	if len(p) != 12 {
+		return nil, fmt.Errorf("daemon: read payload %d bytes", len(p))
+	}
+	off := int64(binary.BigEndian.Uint64(p[0:8]))
+	n := int64(binary.BigEndian.Uint32(p[8:12]))
+	if err := s.checkShared(off, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if err := s.node.ReadAt(out, off); err != nil {
+		return nil, err
+	}
+	s.node.RecordAccess(off, true, false)
+	return out, nil
+}
+
+func (s *Server) handleWrite(p []byte) ([]byte, error) {
+	if len(p) < 8 {
+		return nil, fmt.Errorf("daemon: write payload %d bytes", len(p))
+	}
+	off := int64(binary.BigEndian.Uint64(p[0:8]))
+	data := p[8:]
+	if err := s.checkShared(off, int64(len(data))); err != nil {
+		return nil, err
+	}
+	if err := s.node.WriteAt(data, off); err != nil {
+		return nil, err
+	}
+	s.node.RecordAccess(off, true, true)
+	return nil, nil
+}
+
+// handleSum is the near-memory kernel: sum the little-endian uint64 words
+// of [off, off+n) locally and return only the 8-byte result.
+func (s *Server) handleSum(p []byte) ([]byte, error) {
+	if len(p) != 12 {
+		return nil, fmt.Errorf("daemon: sum payload %d bytes", len(p))
+	}
+	off := int64(binary.BigEndian.Uint64(p[0:8]))
+	n := int64(binary.BigEndian.Uint32(p[8:12]))
+	if err := s.checkShared(off, n); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if err := s.node.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	var sum float64
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		sum += float64(binary.LittleEndian.Uint64(buf[i:]))
+	}
+	for ; i < len(buf); i++ {
+		sum += float64(buf[i])
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, math.Float64bits(sum))
+	return out, nil
+}
+
+func (s *Server) handleResize(p []byte) ([]byte, error) {
+	if len(p) != 8 {
+		return nil, fmt.Errorf("daemon: resize payload %d bytes", len(p))
+	}
+	limit := int64(binary.BigEndian.Uint64(p))
+	limit = limit - limit%memnode.PageSize
+	if limit > s.node.Capacity() {
+		return nil, fmt.Errorf("daemon: shared %d exceeds capacity %d", limit, s.node.Capacity())
+	}
+	if err := s.region.SetLimit(limit); err != nil {
+		return nil, err
+	}
+	return nil, s.node.Resize(limit)
+}
+
+// Client is a typed client for one daemon.
+type Client struct {
+	c *rpc.Client
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Info fetches the daemon's region description.
+func (c *Client) Info() (Info, error) {
+	resp, err := c.c.Call(MethodInfo, nil)
+	if err != nil {
+		return Info{}, err
+	}
+	if len(resp) < 24 {
+		return Info{}, fmt.Errorf("daemon: short info response")
+	}
+	return Info{
+		Capacity: int64(binary.BigEndian.Uint64(resp[0:8])),
+		Shared:   int64(binary.BigEndian.Uint64(resp[8:16])),
+		InUse:    int64(binary.BigEndian.Uint64(resp[16:24])),
+		Name:     string(resp[24:]),
+	}, nil
+}
+
+// Alloc reserves n bytes in the daemon's shared region.
+func (c *Client) Alloc(n int64) (int64, error) {
+	req := make([]byte, 8)
+	binary.BigEndian.PutUint64(req, uint64(n))
+	resp, err := c.c.Call(MethodAlloc, req)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(resp)), nil
+}
+
+// Free releases an allocation.
+func (c *Client) Free(off int64) error {
+	req := make([]byte, 8)
+	binary.BigEndian.PutUint64(req, uint64(off))
+	_, err := c.c.Call(MethodFree, req)
+	return err
+}
+
+// Read fetches n bytes at off.
+func (c *Client) Read(off int64, n int) ([]byte, error) {
+	req := make([]byte, 12)
+	binary.BigEndian.PutUint64(req[0:8], uint64(off))
+	binary.BigEndian.PutUint32(req[8:12], uint32(n))
+	return c.c.Call(MethodRead, req)
+}
+
+// Write stores data at off.
+func (c *Client) Write(off int64, data []byte) error {
+	req := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(req[0:8], uint64(off))
+	copy(req[8:], data)
+	_, err := c.c.Call(MethodWrite, req)
+	return err
+}
+
+// Sum ships the aggregation kernel: the daemon sums [off, off+n) locally.
+func (c *Client) Sum(off int64, n int) (float64, error) {
+	req := make([]byte, 12)
+	binary.BigEndian.PutUint64(req[0:8], uint64(off))
+	binary.BigEndian.PutUint32(req[8:12], uint32(n))
+	resp, err := c.c.Call(MethodSum, req)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(resp)), nil
+}
+
+// HotPage is one entry of a daemon's access profile.
+type HotPage struct {
+	Page int64
+	Heat uint64
+}
+
+// HotPages fetches up to k of the daemon's hottest pages.
+func (c *Client) HotPages(k int) ([]HotPage, error) {
+	req := make([]byte, 4)
+	binary.BigEndian.PutUint32(req, uint32(k))
+	resp, err := c.c.Call(MethodHotPages, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 4 {
+		return nil, fmt.Errorf("daemon: short hot-pages response")
+	}
+	n := int(binary.BigEndian.Uint32(resp[0:4]))
+	if len(resp) != 4+16*n {
+		return nil, fmt.Errorf("daemon: hot-pages response size %d for %d entries", len(resp), n)
+	}
+	out := make([]HotPage, n)
+	for i := 0; i < n; i++ {
+		out[i] = HotPage{
+			Page: int64(binary.BigEndian.Uint64(resp[4+16*i:])),
+			Heat: binary.BigEndian.Uint64(resp[12+16*i:]),
+		}
+	}
+	return out, nil
+}
+
+// Resize moves the daemon's private/shared boundary.
+func (c *Client) Resize(shared int64) error {
+	req := make([]byte, 8)
+	binary.BigEndian.PutUint64(req, uint64(shared))
+	_, err := c.c.Call(MethodResize, req)
+	return err
+}

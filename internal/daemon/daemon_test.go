@@ -1,0 +1,325 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+func startDaemon(t *testing.T, name string, capacity, shared int64) (*Server, *Client) {
+	t.Helper()
+	s, err := NewServer(name, capacity, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrStr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addrStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		s.Close()
+	})
+	return s, c
+}
+
+func TestInfo(t *testing.T) {
+	_, c := startDaemon(t, "srv0", 1<<20, 1<<20)
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "srv0" || info.Capacity != 1<<20 || info.Shared != 1<<20 || info.InUse != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestAllocReadWriteOverTCP(t *testing.T) {
+	_, c := startDaemon(t, "srv0", 1<<20, 1<<20)
+	off, err := c.Alloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("cxl.mem over tcp")
+	if err := c.Write(off+1000, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(off+1000, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip: %q", got)
+	}
+	if err := c.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Free(off); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestAccessOutsideSharedRejected(t *testing.T) {
+	_, c := startDaemon(t, "srv0", 1<<20, 1<<16)
+	if _, err := c.Read(1<<16, 64); err == nil || !strings.Contains(err.Error(), "outside shared region") {
+		t.Fatalf("out-of-region read: %v", err)
+	}
+	if err := c.Write(-1, []byte("x")); err == nil {
+		t.Fatal("negative write accepted")
+	}
+}
+
+func TestShippedSumKernel(t *testing.T) {
+	_, c := startDaemon(t, "srv0", 1<<20, 1<<20)
+	off, err := c.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512 words of value 3.
+	buf := make([]byte, 4096)
+	for i := 0; i+8 <= len(buf); i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], 3)
+	}
+	if err := c.Write(off, buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Sum(off, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 3*512 {
+		t.Fatalf("sum = %v, want 1536", sum)
+	}
+}
+
+func TestHotPagesOverTCP(t *testing.T) {
+	_, c := startDaemon(t, "srv0", 1<<20, 1<<20)
+	off, err := c.Alloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer one page; touch another once.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Read(off, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Read(off+32<<10, 64); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := c.HotPages(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) != 2 {
+		t.Fatalf("hot pages = %d, want 2", len(hot))
+	}
+	if hot[0].Heat <= hot[1].Heat {
+		t.Fatalf("ordering wrong: %+v", hot)
+	}
+	if hot[0].Page != off/4096 {
+		t.Fatalf("hottest page = %d, want %d", hot[0].Page, off/4096)
+	}
+	if _, err := c.HotPages(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestResizeOverTCP(t *testing.T) {
+	_, c := startDaemon(t, "srv0", 1<<20, 1<<16)
+	if err := c.Resize(1 << 18); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shared != 1<<18 {
+		t.Fatalf("shared after resize = %d", info.Shared)
+	}
+	if err := c.Resize(1 << 21); err == nil {
+		t.Fatal("resize beyond capacity accepted")
+	}
+}
+
+func TestExhaustionOverTCP(t *testing.T) {
+	_, c := startDaemon(t, "srv0", 1<<16, 1<<16)
+	if _, err := c.Alloc(1 << 17); err == nil {
+		t.Fatal("over-alloc accepted")
+	}
+}
+
+func startCluster(t *testing.T, n int, capacity int64) *PoolView {
+	t.Helper()
+	var clients []*Client
+	for i := 0; i < n; i++ {
+		_, c := startDaemon(t, "srv", capacity, capacity)
+		clients = append(clients, c)
+	}
+	v, err := NewPoolView(8<<10, clients...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPoolViewValidation(t *testing.T) {
+	if _, err := NewPoolView(64); err == nil {
+		t.Fatal("empty view accepted")
+	}
+	_, c := startDaemon(t, "x", 1<<16, 1<<16)
+	if _, err := NewPoolView(0, c); err == nil {
+		t.Fatal("zero stripe accepted")
+	}
+}
+
+func TestPoolViewStripedRoundTrip(t *testing.T) {
+	v := startCluster(t, 4, 1<<20)
+	b, err := v.Alloc(100 << 10) // 100KiB across 4 daemons in 8KiB stripes
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemons := map[int]bool{}
+	for _, c := range b.Chunks() {
+		daemons[c.Daemon] = true
+	}
+	if len(daemons) != 4 {
+		t.Fatalf("striping used %d daemons", len(daemons))
+	}
+	data := make([]byte, 40<<10)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	// Offset chosen to span multiple stripes.
+	if err := b.WriteAt(data, 5000); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := b.ReadAt(got, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("striped round trip failed")
+	}
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolViewBounds(t *testing.T) {
+	v := startCluster(t, 2, 1<<20)
+	b, err := v.Alloc(16 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReadAt(make([]byte, 10), b.Size()-5); err == nil {
+		t.Fatal("overrun read accepted")
+	}
+	if err := b.WriteAt([]byte("x"), -1); err == nil {
+		t.Fatal("negative write accepted")
+	}
+	if _, err := v.Alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+}
+
+func TestPoolViewExhaustionRollsBack(t *testing.T) {
+	v := startCluster(t, 2, 1<<16) // 2 x 64KiB
+	if _, err := v.Alloc(1 << 20); err == nil {
+		t.Fatal("impossible alloc accepted")
+	}
+	// All space must be free again.
+	b, err := v.Alloc(2 * (1 << 16) / 2)
+	if err != nil {
+		t.Fatalf("post-rollback alloc: %v", err)
+	}
+	_ = b
+}
+
+func TestLiveMigration(t *testing.T) {
+	v := startCluster(t, 3, 1<<20)
+	b, err := v.Alloc(24 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, b.Size())
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if err := b.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Move every chunk to daemon 2; data must survive and stay addressable
+	// at the same buffer offsets.
+	for i := range b.Chunks() {
+		if err := b.Migrate(i, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range b.Chunks() {
+		if c.Daemon != 2 {
+			t.Fatalf("chunk still on daemon %d", c.Daemon)
+		}
+	}
+	got := make([]byte, b.Size())
+	if err := b.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted by migration")
+	}
+	// Other daemons' regions are free again.
+	for d := 0; d < 2; d++ {
+		info, err := v.clients[d].Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.InUse != 0 {
+			t.Fatalf("daemon %d still holds %d bytes", d, info.InUse)
+		}
+	}
+	// Migrating to the same daemon is a no-op; bad indexes fail.
+	if err := b.Migrate(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Migrate(-1, 0); err == nil {
+		t.Fatal("bad chunk accepted")
+	}
+	if err := b.Migrate(0, 99); err == nil {
+		t.Fatal("bad daemon accepted")
+	}
+}
+
+func TestShippedSumMatchesPulledSum(t *testing.T) {
+	v := startCluster(t, 3, 1<<20)
+	b, err := v.Alloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, b.Size())
+	var want float64
+	for i := 0; i+8 <= len(data); i += 8 {
+		binary.LittleEndian.PutUint64(data[i:], uint64(i%1000))
+		want += float64(i % 1000)
+	}
+	if err := b.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	shipped, err := b.ShippedSum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulled, err := b.PulledSum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shipped-want) > 1e-6 || math.Abs(pulled-want) > 1e-6 {
+		t.Fatalf("shipped=%v pulled=%v want=%v", shipped, pulled, want)
+	}
+}

@@ -1,0 +1,255 @@
+package daemon
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PoolView composes a set of daemons into one logical pool from a
+// client's perspective: allocations are striped across the daemons'
+// shared regions, reads and writes are routed by a client-side coarse
+// map, and reductions are shipped to the owning daemons so only partial
+// results travel.
+type PoolView struct {
+	clients []*Client
+	stripe  int64
+
+	mu   sync.Mutex
+	next int
+}
+
+// NewPoolView builds a view over the daemons with the given stripe size.
+func NewPoolView(stripe int64, clients ...*Client) (*PoolView, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("daemon: pool view needs daemons")
+	}
+	if stripe <= 0 {
+		return nil, fmt.Errorf("daemon: stripe %d must be positive", stripe)
+	}
+	return &PoolView{clients: clients, stripe: stripe}, nil
+}
+
+// ViewChunk locates one striped piece of a distributed buffer.
+type ViewChunk struct {
+	Daemon int
+	Offset int64
+	Size   int64
+}
+
+// ViewBuffer is a buffer striped across daemons. It is safe for
+// concurrent use; migration re-binds chunks under the buffer's lock.
+type ViewBuffer struct {
+	view *PoolView
+	size int64
+
+	mu     sync.RWMutex
+	chunks []ViewChunk
+}
+
+// Size reports the buffer's byte size.
+func (b *ViewBuffer) Size() int64 { return b.size }
+
+// Chunks returns a copy of the placement (for inspection).
+func (b *ViewBuffer) Chunks() []ViewChunk {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]ViewChunk, len(b.chunks))
+	copy(out, b.chunks)
+	return out
+}
+
+// Alloc stripes n bytes across the daemons. On failure all partial
+// reservations are rolled back.
+func (v *PoolView) Alloc(n int64) (*ViewBuffer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("daemon: alloc of %d bytes", n)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	b := &ViewBuffer{view: v, size: n}
+	remaining := n
+	failures := 0
+	for remaining > 0 {
+		d := v.next
+		v.next = (v.next + 1) % len(v.clients)
+		sz := v.stripe
+		if remaining < sz {
+			sz = remaining
+		}
+		off, err := v.clients[d].Alloc(sz)
+		if err != nil {
+			failures++
+			if failures >= len(v.clients) {
+				v.rollback(b.chunks)
+				return nil, fmt.Errorf("daemon: pool exhausted with %d bytes unplaced: %w", remaining, err)
+			}
+			continue
+		}
+		failures = 0
+		b.chunks = append(b.chunks, ViewChunk{Daemon: d, Offset: off, Size: sz})
+		remaining -= sz
+	}
+	return b, nil
+}
+
+func (v *PoolView) rollback(chunks []ViewChunk) {
+	for _, c := range chunks {
+		_ = v.clients[c.Daemon].Free(c.Offset)
+	}
+}
+
+// Release frees every stripe.
+func (b *ViewBuffer) Release() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var firstErr error
+	for _, c := range b.chunks {
+		if err := b.view.clients[c.Daemon].Free(c.Offset); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	b.chunks = nil
+	return firstErr
+}
+
+// locate walks the chunks overlapping [off, off+n).
+func (b *ViewBuffer) locate(off, n int64, visit func(c ViewChunk, chunkOff, bufOff, length int64) error) error {
+	if off < 0 || n < 0 || off+n > b.size {
+		return fmt.Errorf("daemon: access [%d,%d) outside buffer of %d", off, off+n, b.size)
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var pos int64
+	for _, c := range b.chunks {
+		if n == 0 {
+			break
+		}
+		end := pos + c.Size
+		if off < end && pos < off+n {
+			lo := off
+			if pos > lo {
+				lo = pos
+			}
+			hi := off + n
+			if end < hi {
+				hi = end
+			}
+			if err := visit(c, lo-pos, lo-off, hi-lo); err != nil {
+				return err
+			}
+		}
+		pos = end
+	}
+	return nil
+}
+
+// WriteAt stores data at buffer offset off.
+func (b *ViewBuffer) WriteAt(data []byte, off int64) error {
+	return b.locate(off, int64(len(data)), func(c ViewChunk, chunkOff, bufOff, length int64) error {
+		return b.view.clients[c.Daemon].Write(c.Offset+chunkOff, data[bufOff:bufOff+length])
+	})
+}
+
+// ReadAt fills p from buffer offset off.
+func (b *ViewBuffer) ReadAt(p []byte, off int64) error {
+	return b.locate(off, int64(len(p)), func(c ViewChunk, chunkOff, bufOff, length int64) error {
+		got, err := b.view.clients[c.Daemon].Read(c.Offset+chunkOff, int(length))
+		if err != nil {
+			return err
+		}
+		copy(p[bufOff:bufOff+length], got)
+		return nil
+	})
+}
+
+// Migrate moves chunk index i of the buffer to another daemon: the live-
+// mode locality balancing mechanism. The chunk's position within the
+// buffer (its "logical address") is unchanged; only the backing daemon
+// and offset are.
+func (b *ViewBuffer) Migrate(i, toDaemon int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i < 0 || i >= len(b.chunks) {
+		return fmt.Errorf("daemon: no chunk %d", i)
+	}
+	if toDaemon < 0 || toDaemon >= len(b.view.clients) {
+		return fmt.Errorf("daemon: no daemon %d", toDaemon)
+	}
+	c := b.chunks[i]
+	if c.Daemon == toDaemon {
+		return nil
+	}
+	dst := b.view.clients[toDaemon]
+	newOff, err := dst.Alloc(c.Size)
+	if err != nil {
+		return fmt.Errorf("daemon: migrate chunk %d: %w", i, err)
+	}
+	data, err := b.view.clients[c.Daemon].Read(c.Offset, int(c.Size))
+	if err != nil {
+		_ = dst.Free(newOff)
+		return err
+	}
+	if err := dst.Write(newOff, data); err != nil {
+		_ = dst.Free(newOff)
+		return err
+	}
+	if err := b.view.clients[c.Daemon].Free(c.Offset); err != nil {
+		// The copy succeeded; report but do not roll back.
+		b.chunks[i] = ViewChunk{Daemon: toDaemon, Offset: newOff, Size: c.Size}
+		return fmt.Errorf("daemon: migrated but source free failed: %w", err)
+	}
+	b.chunks[i] = ViewChunk{Daemon: toDaemon, Offset: newOff, Size: c.Size}
+	return nil
+}
+
+// ShippedSum computes the sum of the buffer's little-endian uint64 words
+// by shipping the kernel to every owning daemon in parallel — the §4.4
+// near-memory pattern in the live mode.
+func (b *ViewBuffer) ShippedSum() (float64, error) {
+	type result struct {
+		v   float64
+		err error
+	}
+	chunks := b.Chunks()
+	results := make(chan result, len(chunks))
+	for _, c := range chunks {
+		c := c
+		go func() {
+			v, err := b.view.clients[c.Daemon].Sum(c.Offset, int(c.Size))
+			results <- result{v, err}
+		}()
+	}
+	var sum float64
+	for range chunks {
+		r := <-results
+		if r.err != nil {
+			return 0, r.err
+		}
+		sum += r.v
+	}
+	return sum, nil
+}
+
+// PulledSum computes the same reduction by pulling every byte to the
+// client — the baseline shipped execution beats.
+func (b *ViewBuffer) PulledSum() (float64, error) {
+	var sum float64
+	for _, c := range b.Chunks() {
+		data, err := b.view.clients[c.Daemon].Read(c.Offset, int(c.Size))
+		if err != nil {
+			return 0, err
+		}
+		i := 0
+		for ; i+8 <= len(data); i += 8 {
+			var w uint64
+			for k := 0; k < 8; k++ {
+				w |= uint64(data[i+k]) << (8 * k)
+			}
+			sum += float64(w)
+		}
+		for ; i < len(data); i++ {
+			sum += float64(data[i])
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,144 @@
+// Package fabric simulates a CXL-like memory fabric: endpoints (servers or
+// pooled-memory devices) attach to a switch through full-duplex adapter
+// ports; remote reads traverse the target's memory device, the target's
+// egress port, and the requester's ingress port, so port contention and
+// incast emerge naturally in the discrete-event simulation.
+//
+// The per-direction port rate and the remote access latency come from a
+// memsim link profile (Link0/Link1 of the paper's Table 2); the latency
+// curve covers the whole fabric round trip, as the paper measured it.
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/lmp-project/lmp/internal/memsim"
+	"github.com/lmp-project/lmp/internal/sim"
+)
+
+// EndpointID identifies an endpoint on the fabric.
+type EndpointID int
+
+// Endpoint is a fabric-attached entity: a server contributing shared
+// memory, or a physical memory pool device.
+type Endpoint struct {
+	ID   EndpointID
+	Name string
+
+	eng     *sim.Engine
+	ingress *sim.Pipe // toward this endpoint
+	egress  *sim.Pipe // away from this endpoint
+	mem     *memsim.Memory
+	link    memsim.Profile
+}
+
+// Mem returns the endpoint's memory device.
+func (e *Endpoint) Mem() *memsim.Memory { return e.mem }
+
+// IngressBytes reports the bytes delivered into this endpoint.
+func (e *Endpoint) IngressBytes() uint64 { return e.ingress.BytesServed() }
+
+// EgressBytes reports the bytes sent from this endpoint.
+func (e *Endpoint) EgressBytes() uint64 { return e.egress.BytesServed() }
+
+// Network is a single-switch fabric. The zero value is not usable; create
+// one with NewNetwork.
+type Network struct {
+	eng       *sim.Engine
+	endpoints []*Endpoint
+}
+
+// NewNetwork returns an empty fabric on eng.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{eng: eng}
+}
+
+// Engine returns the simulation engine driving this network.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddEndpoint attaches an endpoint whose adapter runs at the link profile's
+// bandwidth in each direction and whose local memory follows memProfile.
+func (n *Network) AddEndpoint(name string, link memsim.Profile, memProfile memsim.Profile) *Endpoint {
+	e := &Endpoint{
+		ID:      EndpointID(len(n.endpoints)),
+		Name:    name,
+		eng:     n.eng,
+		ingress: sim.NewPipe(n.eng, link.Bandwidth),
+		egress:  sim.NewPipe(n.eng, link.Bandwidth),
+		mem:     memsim.NewMemory(n.eng, memProfile),
+		link:    link,
+	}
+	n.endpoints = append(n.endpoints, e)
+	return e
+}
+
+// Endpoint returns the endpoint with the given id.
+func (n *Network) Endpoint(id EndpointID) (*Endpoint, error) {
+	if int(id) < 0 || int(id) >= len(n.endpoints) {
+		return nil, fmt.Errorf("fabric: no endpoint %d", id)
+	}
+	return n.endpoints[id], nil
+}
+
+// Endpoints returns all endpoints in attachment order.
+func (n *Network) Endpoints() []*Endpoint { return n.endpoints }
+
+// Read moves size bytes of memory at target to requester and calls done on
+// delivery. A local read (requester == target) touches only the local
+// memory device. A remote read pays the link's loaded latency, the remote
+// memory device, the target's egress port, and the requester's ingress
+// port; throughput is bounded by the slowest stage and incast contention
+// on the requester's ingress emerges when multiple targets respond.
+func (n *Network) Read(requester, target *Endpoint, size int, done func()) {
+	if requester == target {
+		target.mem.Read(size, done)
+		return
+	}
+	lat := target.link.Latency.Latency(target.egress.Utilization())
+	n.eng.After(sim.Duration(lat), func() {
+		target.mem.Read(size, func() {
+			target.egress.Transfer(size, func() {
+				requester.ingress.Transfer(size, done)
+			})
+		})
+	})
+}
+
+// Write moves size bytes from requester into memory at target, calling done
+// once the write is accepted by the target's memory device.
+func (n *Network) Write(requester, target *Endpoint, size int, done func()) {
+	if requester == target {
+		target.mem.Read(size, done) // symmetric timing for the model
+		return
+	}
+	lat := target.link.Latency.Latency(requester.egress.Utilization())
+	n.eng.After(sim.Duration(lat), func() {
+		requester.egress.Transfer(size, func() {
+			target.ingress.Transfer(size, func() {
+				target.mem.Read(size, done)
+			})
+		})
+	})
+}
+
+// FluidPort exposes the endpoint's adapter directions as fluid resources
+// for the analytic bandwidth model. The same endpoint always returns the
+// same resources so concurrent flows contend.
+type FluidPort struct {
+	Ingress *memsim.FluidResource
+	Egress  *memsim.FluidResource
+	Memory  *memsim.FluidResource
+}
+
+// FluidView builds the fluid resources for every endpoint.
+func (n *Network) FluidView() map[EndpointID]FluidPort {
+	v := make(map[EndpointID]FluidPort, len(n.endpoints))
+	for _, e := range n.endpoints {
+		v[e.ID] = FluidPort{
+			Ingress: &memsim.FluidResource{Name: e.Name + "/in", Rate: e.link.Bandwidth},
+			Egress:  &memsim.FluidResource{Name: e.Name + "/out", Rate: e.link.Bandwidth},
+			Memory:  &memsim.FluidResource{Name: e.Name + "/mem", Rate: e.mem.Profile.Bandwidth},
+		}
+	}
+	return v
+}

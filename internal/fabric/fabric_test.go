@@ -1,0 +1,152 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/memsim"
+	"github.com/lmp-project/lmp/internal/sim"
+)
+
+func newTestNet(t *testing.T, n int, link memsim.Profile) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := NewNetwork(eng)
+	for i := 0; i < n; i++ {
+		net.AddEndpoint("srv"+string(rune('0'+i)), link, memsim.LocalDRAM())
+	}
+	return eng, net
+}
+
+func TestLocalReadBypassesFabric(t *testing.T) {
+	eng, net := newTestNet(t, 1, memsim.Link1())
+	e := net.Endpoints()[0]
+	var at sim.Time
+	net.Read(e, e, 64, func() { at = eng.Now() })
+	eng.Run()
+	// Local read: ~82ns idle latency + line service.
+	if at < 80 || at > 120 {
+		t.Fatalf("local read completed at %v ns, want ~82-90", at)
+	}
+	if e.EgressBytes() != 0 || e.IngressBytes() != 0 {
+		t.Fatal("local read touched the fabric")
+	}
+}
+
+func TestRemoteReadPaysLinkLatency(t *testing.T) {
+	eng, net := newTestNet(t, 2, memsim.Link1())
+	a, b := net.Endpoints()[0], net.Endpoints()[1]
+	var at sim.Time
+	net.Read(a, b, 64, func() { at = eng.Now() })
+	eng.Run()
+	// Remote idle read: >= 261ns link latency (+ memory + port services).
+	if at < 261 {
+		t.Fatalf("remote read completed at %v ns, want >= 261", at)
+	}
+	if at > 600 {
+		t.Fatalf("remote idle read completed at %v ns, too slow", at)
+	}
+	if b.EgressBytes() != 64 || a.IngressBytes() != 64 {
+		t.Fatalf("fabric byte accounting: egress=%d ingress=%d", b.EgressBytes(), a.IngressBytes())
+	}
+}
+
+func TestRemoteThroughputBoundedByLink(t *testing.T) {
+	eng, net := newTestNet(t, 2, memsim.Link1())
+	a, b := net.Endpoints()[0], net.Endpoints()[1]
+	const total = 8 << 20
+	const line = 64
+	outstanding, sent := 0, 0
+	var pump func()
+	pump = func() {
+		for sent < total/line && outstanding < 256 {
+			sent++
+			outstanding++
+			net.Read(a, b, line, func() {
+				outstanding--
+				pump()
+			})
+		}
+	}
+	pump()
+	eng.Run()
+	bw := float64(total) / eng.Now().Sub(0).Seconds()
+	if bw > memsim.GBps(21)*1.05 {
+		t.Fatalf("remote bandwidth %.1f GB/s exceeds Link1 cap", bw/1e9)
+	}
+	if bw < memsim.GBps(21)*0.75 {
+		t.Fatalf("remote bandwidth %.1f GB/s too far below Link1 cap", bw/1e9)
+	}
+}
+
+func TestIncastContention(t *testing.T) {
+	// Three sources streaming into one sink share the sink's ingress port:
+	// aggregate delivered bandwidth must not exceed one link.
+	eng, net := newTestNet(t, 4, memsim.Link0())
+	sink := net.Endpoints()[0]
+	const perSource = 2 << 20
+	const line = 4096
+	for s := 1; s <= 3; s++ {
+		src := net.Endpoints()[s]
+		var remaining = perSource / line
+		var issue func()
+		inflight := 0
+		issue = func() {
+			for remaining > 0 && inflight < 32 {
+				remaining--
+				inflight++
+				net.Read(sink, src, line, func() {
+					inflight--
+					issue()
+				})
+			}
+		}
+		issue()
+	}
+	eng.Run()
+	bw := float64(3*perSource) / eng.Now().Sub(0).Seconds()
+	if bw > memsim.GBps(34.5)*1.05 {
+		t.Fatalf("incast delivered %.1f GB/s, above one-port cap 34.5", bw/1e9)
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	eng, net := newTestNet(t, 2, memsim.Link0())
+	a, b := net.Endpoints()[0], net.Endpoints()[1]
+	doneAt := sim.Time(-1)
+	net.Write(a, b, 4096, func() { doneAt = eng.Now() })
+	eng.Run()
+	if doneAt < 163 {
+		t.Fatalf("write completed at %v, want >= link latency", doneAt)
+	}
+	if a.EgressBytes() != 4096 || b.IngressBytes() != 4096 {
+		t.Fatalf("write byte accounting: egress=%d ingress=%d", a.EgressBytes(), b.IngressBytes())
+	}
+}
+
+func TestEndpointLookup(t *testing.T) {
+	_, net := newTestNet(t, 2, memsim.Link0())
+	if _, err := net.Endpoint(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint(5); err == nil {
+		t.Fatal("expected error for unknown endpoint")
+	}
+	if _, err := net.Endpoint(-1); err == nil {
+		t.Fatal("expected error for negative endpoint")
+	}
+}
+
+func TestFluidView(t *testing.T) {
+	_, net := newTestNet(t, 3, memsim.Link1())
+	v := net.FluidView()
+	if len(v) != 3 {
+		t.Fatalf("fluid view has %d ports, want 3", len(v))
+	}
+	p := v[0]
+	if p.Ingress.Rate != memsim.GBps(21) || p.Egress.Rate != memsim.GBps(21) {
+		t.Fatalf("port rates = %v/%v, want 21 GB/s", p.Ingress.Rate, p.Egress.Rate)
+	}
+	if p.Memory.Rate != memsim.GBps(97) {
+		t.Fatalf("memory rate = %v, want 97 GB/s", p.Memory.Rate)
+	}
+}

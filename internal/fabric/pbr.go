@@ -1,0 +1,174 @@
+package fabric
+
+import (
+	"fmt"
+
+	"github.com/lmp-project/lmp/internal/memsim"
+	"github.com/lmp-project/lmp/internal/sim"
+)
+
+// This file models the rack-scale form of the fabric: CXL 3 Global
+// Fabric-Attached Memory with Port Based Routing (§2.2). Endpoints attach
+// to leaf switches; leaves connect to a spine. Every switch holds a PBR
+// table mapping destination endpoint to output port, and each switch hop
+// adds latency (the re-timers and longer wires the paper expects to make
+// CXL fabrics slower than UPI).
+
+// RackEndpoint is a server or memory device attached to a leaf switch.
+type RackEndpoint struct {
+	ID   EndpointID
+	Name string
+	Leaf int
+
+	ingress *sim.Pipe
+	egress  *sim.Pipe
+	mem     *memsim.Memory
+}
+
+// Mem returns the endpoint's memory device.
+func (e *RackEndpoint) Mem() *memsim.Memory { return e.mem }
+
+// leafSwitch carries per-leaf uplink pipes and the PBR table.
+type leafSwitch struct {
+	up   *sim.Pipe // toward the spine
+	down *sim.Pipe // from the spine
+	// pbr maps destination endpoint to the local port ("deliver locally")
+	// or the uplink.
+	pbr map[EndpointID]int
+}
+
+// port numbers in the PBR table.
+const (
+	portLocal  = -1
+	portUplink = -2
+)
+
+// Rack is a two-tier (leaf/spine) fabric.
+type Rack struct {
+	eng        *sim.Engine
+	link       memsim.Profile
+	memProfile memsim.Profile
+	hopNS      float64
+
+	leaves    []*leafSwitch
+	endpoints []*RackEndpoint
+}
+
+// NewRack builds a rack fabric with the given number of leaf switches.
+// link sets endpoint and uplink port speeds; uplinkMultiple widens the
+// leaf↔spine links relative to an endpoint port (fan-in provisioning);
+// hopNS is the added latency per switch traversed.
+func NewRack(eng *sim.Engine, leaves int, link, memProfile memsim.Profile, uplinkMultiple float64, hopNS float64) (*Rack, error) {
+	if leaves <= 0 {
+		return nil, fmt.Errorf("fabric: rack needs leaves")
+	}
+	if uplinkMultiple <= 0 {
+		return nil, fmt.Errorf("fabric: uplink multiple %v must be positive", uplinkMultiple)
+	}
+	if hopNS < 0 {
+		return nil, fmt.Errorf("fabric: negative hop latency")
+	}
+	r := &Rack{eng: eng, link: link, memProfile: memProfile, hopNS: hopNS}
+	for i := 0; i < leaves; i++ {
+		r.leaves = append(r.leaves, &leafSwitch{
+			up:   sim.NewPipe(eng, link.Bandwidth*uplinkMultiple),
+			down: sim.NewPipe(eng, link.Bandwidth*uplinkMultiple),
+			pbr:  make(map[EndpointID]int),
+		})
+	}
+	return r, nil
+}
+
+// AddEndpoint attaches an endpoint to the given leaf and installs its
+// PBR entries on every switch.
+func (r *Rack) AddEndpoint(leaf int, name string) (*RackEndpoint, error) {
+	if leaf < 0 || leaf >= len(r.leaves) {
+		return nil, fmt.Errorf("fabric: no leaf %d", leaf)
+	}
+	e := &RackEndpoint{
+		ID:      EndpointID(len(r.endpoints)),
+		Name:    name,
+		Leaf:    leaf,
+		ingress: sim.NewPipe(r.eng, r.link.Bandwidth),
+		egress:  sim.NewPipe(r.eng, r.link.Bandwidth),
+		mem:     memsim.NewMemory(r.eng, r.memProfile),
+	}
+	r.endpoints = append(r.endpoints, e)
+	for li, l := range r.leaves {
+		if li == leaf {
+			l.pbr[e.ID] = portLocal
+		} else {
+			l.pbr[e.ID] = portUplink
+		}
+	}
+	return e, nil
+}
+
+// Route reports the switch hops a message from src to dst traverses
+// (leaf indexes), resolved through the PBR tables.
+func (r *Rack) Route(src, dst *RackEndpoint) ([]int, error) {
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("fabric: nil endpoint")
+	}
+	hops := []int{src.Leaf}
+	port, ok := r.leaves[src.Leaf].pbr[dst.ID]
+	if !ok {
+		return nil, fmt.Errorf("fabric: no PBR entry for endpoint %d on leaf %d", dst.ID, src.Leaf)
+	}
+	if port == portLocal {
+		return hops, nil
+	}
+	// Via the spine to the destination leaf.
+	hops = append(hops, dst.Leaf)
+	if _, ok := r.leaves[dst.Leaf].pbr[dst.ID]; !ok {
+		return nil, fmt.Errorf("fabric: destination leaf %d missing PBR entry", dst.Leaf)
+	}
+	return hops, nil
+}
+
+// Hops reports the number of switches traversed between two endpoints
+// (1 within a leaf, 2 across the spine — the spine itself is modeled as
+// wiring between leaves).
+func (r *Rack) Hops(src, dst *RackEndpoint) (int, error) {
+	route, err := r.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return len(route), nil
+}
+
+// Read moves size bytes from memory at target to requester. The path is
+// target memory → target egress port → (uplink + downlink when crossing
+// leaves) → requester ingress port, with hopNS added per switch.
+func (r *Rack) Read(requester, target *RackEndpoint, size int, done func()) error {
+	if requester == target {
+		target.mem.Read(size, done)
+		return nil
+	}
+	route, err := r.Route(target, requester) // data flows target -> requester
+	if err != nil {
+		return err
+	}
+	lat := r.link.Latency.Latency(target.egress.Utilization()) + r.hopNS*float64(len(route))
+	crossLeaf := len(route) > 1
+	r.eng.After(sim.Duration(lat), func() {
+		target.mem.Read(size, func() {
+			target.egress.Transfer(size, func() {
+				deliver := func() {
+					requester.ingress.Transfer(size, done)
+				}
+				if crossLeaf {
+					r.leaves[target.Leaf].up.Transfer(size, func() {
+						r.leaves[requester.Leaf].down.Transfer(size, deliver)
+					})
+				} else {
+					deliver()
+				}
+			})
+		})
+	})
+	return nil
+}
+
+// Endpoints returns the attached endpoints in attachment order.
+func (r *Rack) Endpoints() []*RackEndpoint { return r.endpoints }

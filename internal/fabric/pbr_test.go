@@ -1,0 +1,218 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/memsim"
+	"github.com/lmp-project/lmp/internal/sim"
+)
+
+func newTestRack(t *testing.T, leaves int, uplinkMult float64) (*sim.Engine, *Rack) {
+	t.Helper()
+	eng := sim.NewEngine()
+	r, err := NewRack(eng, leaves, memsim.Link1(), memsim.LocalDRAM(), uplinkMult, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, r
+}
+
+func TestNewRackValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := NewRack(eng, 0, memsim.Link1(), memsim.LocalDRAM(), 1, 0); err == nil {
+		t.Error("zero leaves accepted")
+	}
+	if _, err := NewRack(eng, 1, memsim.Link1(), memsim.LocalDRAM(), 0, 0); err == nil {
+		t.Error("zero uplink multiple accepted")
+	}
+	if _, err := NewRack(eng, 1, memsim.Link1(), memsim.LocalDRAM(), 1, -1); err == nil {
+		t.Error("negative hop latency accepted")
+	}
+	_, r := newTestRack(t, 2, 4)
+	if _, err := r.AddEndpoint(5, "x"); err == nil {
+		t.Error("bad leaf accepted")
+	}
+}
+
+func TestPBRRoutes(t *testing.T) {
+	_, r := newTestRack(t, 3, 4)
+	a, err := r.AddEndpoint(0, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.AddEndpoint(0, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.AddEndpoint(2, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops, err := r.Hops(a, b); err != nil || hops != 1 {
+		t.Fatalf("same-leaf hops = %d, %v", hops, err)
+	}
+	if hops, err := r.Hops(a, c); err != nil || hops != 2 {
+		t.Fatalf("cross-leaf hops = %d, %v", hops, err)
+	}
+	route, err := r.Route(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[0] != 0 || route[1] != 2 {
+		t.Fatalf("route = %v", route)
+	}
+}
+
+func TestRackSameLeafVsCrossLeafLatency(t *testing.T) {
+	eng, r := newTestRack(t, 2, 4)
+	a, _ := r.AddEndpoint(0, "a")
+	b, _ := r.AddEndpoint(0, "b")
+	c, _ := r.AddEndpoint(1, "c")
+
+	var sameLeaf, crossLeaf sim.Time
+	if err := r.Read(a, b, 64, func() { sameLeaf = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	start := eng.Now()
+	if err := r.Read(a, c, 64, func() { crossLeaf = eng.Now() - start }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if crossLeaf <= sameLeaf {
+		t.Fatalf("cross-leaf (%v) not slower than same-leaf (%v)", crossLeaf, sameLeaf)
+	}
+	// One extra hop (30ns) plus spine pipes.
+	if d := crossLeaf - sameLeaf; d < 30 {
+		t.Fatalf("cross-leaf penalty only %v ns", d)
+	}
+}
+
+func TestRackLocalReadBypassesFabric(t *testing.T) {
+	eng, r := newTestRack(t, 2, 4)
+	a, _ := r.AddEndpoint(0, "a")
+	var at sim.Time
+	if err := r.Read(a, a, 64, func() { at = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if at > 120 {
+		t.Fatalf("local read took %v ns", at)
+	}
+}
+
+func TestRackSpineBottleneck(t *testing.T) {
+	// Many cross-leaf flows share the uplink: with a 1x uplink, aggregate
+	// cross-leaf bandwidth is capped at one link.
+	eng, r := newTestRack(t, 2, 1)
+	var sources []*RackEndpoint
+	for i := 0; i < 3; i++ {
+		e, err := r.AddEndpoint(0, "src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, e)
+	}
+	sink, err := r.AddEndpoint(1, "sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perSource = 1 << 20
+	const chunk = 4096
+	for _, src := range sources {
+		src := src
+		remaining := perSource / chunk
+		inflight := 0
+		var pump func()
+		pump = func() {
+			for remaining > 0 && inflight < 16 {
+				remaining--
+				inflight++
+				if err := r.Read(sink, src, chunk, func() {
+					inflight--
+					pump()
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		pump()
+	}
+	eng.Run()
+	bw := float64(3*perSource) / eng.Now().Sub(0).Seconds()
+	if bw > memsim.GBps(21)*1.1 {
+		t.Fatalf("cross-leaf aggregate %.1f GB/s exceeds 1x uplink", bw/1e9)
+	}
+}
+
+func TestRackWideUplinkRemovesBottleneck(t *testing.T) {
+	// With a 4x uplink the same workload should exceed one link's worth.
+	eng, r := newTestRack(t, 2, 4)
+	var sources []*RackEndpoint
+	for i := 0; i < 3; i++ {
+		e, _ := r.AddEndpoint(0, "src")
+		sources = append(sources, e)
+	}
+	var sinks []*RackEndpoint
+	for i := 0; i < 3; i++ {
+		e, _ := r.AddEndpoint(1, "sink")
+		sinks = append(sinks, e)
+	}
+	const perFlow = 1 << 20
+	const chunk = 4096
+	for i := range sources {
+		src, dst := sources[i], sinks[i]
+		remaining := perFlow / chunk
+		inflight := 0
+		var pump func()
+		pump = func() {
+			for remaining > 0 && inflight < 16 {
+				remaining--
+				inflight++
+				if err := r.Read(dst, src, chunk, func() {
+					inflight--
+					pump()
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		pump()
+	}
+	eng.Run()
+	bw := float64(3*perFlow) / eng.Now().Sub(0).Seconds()
+	if bw < memsim.GBps(21)*1.5 {
+		t.Fatalf("wide uplink aggregate only %.1f GB/s", bw/1e9)
+	}
+}
+
+func TestRackScale(t *testing.T) {
+	// 32 endpoints across 4 leaves; every pair routes.
+	_, r := newTestRack(t, 4, 4)
+	for i := 0; i < 32; i++ {
+		if _, err := r.AddEndpoint(i%4, "e"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eps := r.Endpoints()
+	for _, a := range eps {
+		for _, b := range eps {
+			if a == b {
+				continue
+			}
+			hops, err := r.Hops(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 1
+			if a.Leaf != b.Leaf {
+				want = 2
+			}
+			if hops != want {
+				t.Fatalf("%d->%d: hops = %d, want %d", a.ID, b.ID, hops, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package failure
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Spot-check multiplicative structure.
+	if gfMul(0, 7) != 0 || gfMul(7, 0) != 0 {
+		t.Fatal("zero annihilation")
+	}
+	if gfMul(1, 133) != 133 {
+		t.Fatal("identity")
+	}
+	for a := 1; a < 256; a++ {
+		inv := gfInv(byte(a))
+		if gfMul(byte(a), inv) != 1 {
+			t.Fatalf("inverse of %d wrong", a)
+		}
+	}
+}
+
+func TestGFMulCommutativeAssociativeProperty(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		return gfMul(gfMul(a, b), c) == gfMul(a, gfMul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFDistributiveProperty(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero did not panic")
+		}
+	}()
+	gfDiv(3, 0)
+}
+
+func TestMatInvertIdentityAndSingular(t *testing.T) {
+	id := [][]byte{{1, 0}, {0, 1}}
+	if !matInvert(id) {
+		t.Fatal("identity not invertible")
+	}
+	if id[0][0] != 1 || id[0][1] != 0 || id[1][0] != 0 || id[1][1] != 1 {
+		t.Fatalf("identity inverse wrong: %v", id)
+	}
+	sing := [][]byte{{1, 1}, {1, 1}}
+	if matInvert(sing) {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+func TestNewRSValidation(t *testing.T) {
+	if _, err := NewRS(0, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewRS(3, -1); err == nil {
+		t.Error("m<0 accepted")
+	}
+	if _, err := NewRS(200, 60); err == nil {
+		t.Error("k+m>255 accepted")
+	}
+}
+
+func TestRSRoundTripAllErasurePatterns(t *testing.T) {
+	const k, m = 4, 2
+	rs, err := NewRS(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, 64)
+		for j := range data[i] {
+			data[i][j] = byte(i*64 + j)
+		}
+	}
+	parity, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pattern of up to m=2 erasures must reconstruct.
+	for a := 0; a < k+m; a++ {
+		for b := a; b < k+m; b++ {
+			shards := make([][]byte, k+m)
+			for i := 0; i < k; i++ {
+				shards[i] = data[i]
+			}
+			for i := 0; i < m; i++ {
+				shards[k+i] = parity[i]
+			}
+			shards[a] = nil
+			shards[b] = nil
+			got, err := rs.Reconstruct(shards)
+			if err != nil {
+				t.Fatalf("erase {%d,%d}: %v", a, b, err)
+			}
+			for i := range data {
+				if !bytes.Equal(got[i], data[i]) {
+					t.Fatalf("erase {%d,%d}: shard %d corrupt", a, b, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRSTooManyErasures(t *testing.T) {
+	rs, _ := NewRS(3, 2)
+	data := [][]byte{{1}, {2}, {3}}
+	parity, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{nil, nil, nil, parity[0], parity[1]}
+	shards[0] = data[0] // only 3 survivors needed; kill 3 total
+	shards[0] = nil
+	if _, err := rs.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("expected ErrTooFewShards, got %v", err)
+	}
+}
+
+func TestRSEncodeValidation(t *testing.T) {
+	rs, _ := NewRS(2, 1)
+	if _, err := rs.Encode([][]byte{{1}}); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	if _, err := rs.Encode([][]byte{{1, 2}, {3}}); !errors.Is(err, ErrShardSize) {
+		t.Errorf("uneven shards: %v", err)
+	}
+	if _, err := rs.Encode([][]byte{{}, {}}); !errors.Is(err, ErrShardSize) {
+		t.Errorf("empty shards: %v", err)
+	}
+}
+
+func TestRSReconstructShardCountValidation(t *testing.T) {
+	rs, _ := NewRS(2, 1)
+	if _, err := rs.Reconstruct([][]byte{{1}}); err == nil {
+		t.Error("wrong shard slice length accepted")
+	}
+}
+
+func TestRSRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(4)
+		rs, err := NewRS(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 1 + rng.Intn(200)
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, size)
+			rng.Read(data[i])
+		}
+		parity, err := rs.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := make([][]byte, k+m)
+		for i := 0; i < k; i++ {
+			shards[i] = data[i]
+		}
+		for i := 0; i < m; i++ {
+			shards[k+i] = parity[i]
+		}
+		// Erase up to m random shards.
+		for e := 0; e < m; e++ {
+			shards[rng.Intn(k+m)] = nil
+		}
+		got, err := rs.Reconstruct(shards)
+		if err != nil {
+			t.Fatalf("trial %d (k=%d m=%d): %v", trial, k, m, err)
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				t.Fatalf("trial %d: shard %d corrupt", trial, i)
+			}
+		}
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	buf := []byte("the quick brown fox jumps over the lazy dog")
+	for k := 1; k <= 7; k++ {
+		shards, shard, err := SplitInto(buf, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != k {
+			t.Fatalf("k=%d: %d shards", k, len(shards))
+		}
+		for i, s := range shards {
+			if len(s) != shard {
+				t.Fatalf("k=%d: shard %d has %d bytes, want %d", k, i, len(s), shard)
+			}
+		}
+		got := Join(shards, len(buf))
+		if !bytes.Equal(got, buf) {
+			t.Fatalf("k=%d: round trip failed: %q", k, got)
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	if _, _, err := SplitInto([]byte{1}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := SplitInto(nil, 3); err == nil {
+		t.Error("empty buffer accepted")
+	}
+}
+
+func TestPolicyValidateAndMetrics(t *testing.T) {
+	cases := []struct {
+		p         Policy
+		ok        bool
+		overhead  float64
+		tolerates int
+	}{
+		{Policy{Scheme: None}, true, 1, 0},
+		{Policy{Scheme: Replicate, Copies: 2}, true, 2, 1},
+		{Policy{Scheme: Replicate, Copies: 3}, true, 3, 2},
+		{Policy{Scheme: Replicate, Copies: 1}, false, 0, 0},
+		{Policy{Scheme: ErasureCode, K: 4, M: 2}, true, 1.5, 2},
+		{Policy{Scheme: ErasureCode, K: 0, M: 2}, false, 0, 0},
+		{Policy{Scheme: ErasureCode, K: 250, M: 10}, false, 0, 0},
+		{Policy{Scheme: Scheme(9)}, false, 0, 0},
+	}
+	for i, c := range cases {
+		err := c.p.Validate()
+		if c.ok && err != nil {
+			t.Errorf("case %d: unexpected error %v", i, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("case %d: bad policy accepted", i)
+			}
+			continue
+		}
+		if got := c.p.Overhead(); got != c.overhead {
+			t.Errorf("case %d: overhead = %v, want %v", i, got, c.overhead)
+		}
+		if got := c.p.Tolerates(); got != c.tolerates {
+			t.Errorf("case %d: tolerates = %v, want %v", i, got, c.tolerates)
+		}
+	}
+}
+
+func TestMemoryException(t *testing.T) {
+	e := &MemoryException{Addr: 0x1000, Server: 2}
+	wrapped := fmt.Errorf("read failed: %w", e)
+	if !IsMemoryException(wrapped) {
+		t.Fatal("wrapped exception not detected")
+	}
+	if IsMemoryException(errors.New("other")) {
+		t.Fatal("false positive")
+	}
+	if e.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if None.String() != "none" || Replicate.String() != "replicate" || ErasureCode.String() != "erasure-code" {
+		t.Fatal("scheme strings")
+	}
+	if Scheme(9).String() == "" {
+		t.Fatal("unknown scheme string")
+	}
+}

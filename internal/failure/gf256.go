@@ -1,0 +1,105 @@
+package failure
+
+// GF(2^8) arithmetic with the AES/QR-code polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), via exp/log tables. This is the field under the Reed–Solomon
+// codes used for failure masking.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // doubled so mul can skip a mod
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b; b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("failure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse; a must be non-zero.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfMulSlice adds c*src into dst (dst[i] ^= c*src[i]).
+func gfMulSlice(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}
+
+// matInvert inverts an n x n matrix over GF(256) in place using
+// Gauss-Jordan elimination. It reports whether the matrix was invertible.
+func matInvert(m [][]byte) bool {
+	n := len(m)
+	// Augment with identity.
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		inv := gfInv(aug[col][col])
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] = gfMul(aug[col][j], inv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] ^= gfMul(f, aug[col][j])
+			}
+		}
+	}
+	for i := range m {
+		copy(m[i], aug[i][n:])
+	}
+	return true
+}

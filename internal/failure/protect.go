@@ -1,0 +1,108 @@
+package failure
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/lmp-project/lmp/internal/addr"
+)
+
+// Scheme selects a protection strategy for pool data.
+type Scheme int
+
+const (
+	// None: a crash loses the data; readers get a MemoryException.
+	None Scheme = iota
+	// Replicate: full copies on distinct servers.
+	Replicate
+	// ErasureCode: Reed–Solomon K+M striping across servers.
+	ErasureCode
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case None:
+		return "none"
+	case Replicate:
+		return "replicate"
+	case ErasureCode:
+		return "erasure-code"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Policy is a protection configuration.
+type Policy struct {
+	Scheme Scheme
+	// Copies is the replica count for Replicate (>= 2 to survive one
+	// crash).
+	Copies int
+	// K, M configure ErasureCode.
+	K, M int
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	switch p.Scheme {
+	case None:
+		return nil
+	case Replicate:
+		if p.Copies < 2 {
+			return fmt.Errorf("failure: replicate needs >= 2 copies, have %d", p.Copies)
+		}
+	case ErasureCode:
+		if p.K <= 0 || p.M <= 0 {
+			return fmt.Errorf("failure: erasure code needs k>0, m>0 (k=%d m=%d)", p.K, p.M)
+		}
+		if p.K+p.M > 255 {
+			return fmt.Errorf("failure: k+m=%d exceeds 255", p.K+p.M)
+		}
+	default:
+		return fmt.Errorf("failure: unknown scheme %v", p.Scheme)
+	}
+	return nil
+}
+
+// Overhead reports the policy's space amplification (stored bytes per
+// data byte).
+func (p Policy) Overhead() float64 {
+	switch p.Scheme {
+	case Replicate:
+		return float64(p.Copies)
+	case ErasureCode:
+		return float64(p.K+p.M) / float64(p.K)
+	default:
+		return 1
+	}
+}
+
+// Tolerates reports how many simultaneous server losses the policy masks.
+func (p Policy) Tolerates() int {
+	switch p.Scheme {
+	case Replicate:
+		return p.Copies - 1
+	case ErasureCode:
+		return p.M
+	default:
+		return 0
+	}
+}
+
+// MemoryException is the exception-style failure report delivered to
+// applications whose unprotected data was lost in a crash (the paper's
+// "failure reporting to application through exceptions").
+type MemoryException struct {
+	Addr   addr.Logical
+	Server addr.ServerID
+}
+
+func (e *MemoryException) Error() string {
+	return fmt.Sprintf("memory exception: address %#x lost with server %d", uint64(e.Addr), e.Server)
+}
+
+// IsMemoryException reports whether err is (or wraps) a MemoryException.
+func IsMemoryException(err error) bool {
+	var me *MemoryException
+	return errors.As(err, &me)
+}

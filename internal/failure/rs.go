@@ -1,0 +1,183 @@
+// Package failure implements the LMP failure-domain machinery (§5
+// "Failure domains"): server-crash injection, and the two masking
+// strategies the paper points at — replication and Reed–Solomon erasure
+// coding (as in Carbink) — plus exception-style failure reporting for
+// unprotected data.
+package failure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooFewShards reports a reconstruction attempt with fewer than k
+// surviving shards.
+var ErrTooFewShards = errors.New("failure: too few surviving shards to reconstruct")
+
+// ErrShardSize reports inconsistent shard sizes.
+var ErrShardSize = errors.New("failure: inconsistent shard sizes")
+
+// RS is a systematic Reed–Solomon erasure code with K data shards and M
+// parity shards: any K of the K+M shards reconstruct the data.
+type RS struct {
+	K int
+	M int
+	// parity is the M x K coding matrix (a Cauchy matrix, so every square
+	// submatrix of [I; parity] is invertible).
+	parity [][]byte
+}
+
+// NewRS returns a code with k data and m parity shards. k+m must be at
+// most 255 (field size minus the zero element used by the Cauchy split).
+func NewRS(k, m int) (*RS, error) {
+	if k <= 0 || m < 0 {
+		return nil, fmt.Errorf("failure: invalid code k=%d m=%d", k, m)
+	}
+	if k+m > 255 {
+		return nil, fmt.Errorf("failure: k+m=%d exceeds field bound 255", k+m)
+	}
+	rs := &RS{K: k, M: m}
+	// Cauchy matrix: rows indexed by x_i = k+i, columns by y_j = j; all
+	// distinct, so x_i + y_j != 0 (XOR in GF(2^8)) and the matrix is MDS.
+	rs.parity = make([][]byte, m)
+	for i := 0; i < m; i++ {
+		rs.parity[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			rs.parity[i][j] = gfInv(byte(k+i) ^ byte(j))
+		}
+	}
+	return rs, nil
+}
+
+// Coefficient returns the encoding coefficient applied to data shard j
+// when computing parity row m. Exposed so callers can apply incremental
+// parity deltas: parity_m ^= coef * (old ^ new).
+func (r *RS) Coefficient(m, j int) byte { return r.parity[m][j] }
+
+// AddScaled adds coef*src into dst element-wise over GF(2^8):
+// dst[i] ^= coef*src[i]. len(src) must not exceed len(dst).
+func AddScaled(dst, src []byte, coef byte) { gfMulSlice(coef, src, dst) }
+
+// Encode computes the m parity shards for k equal-length data shards.
+func (r *RS) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != r.K {
+		return nil, fmt.Errorf("failure: %d data shards, want %d", len(data), r.K)
+	}
+	if r.K > 0 && len(data[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty shards", ErrShardSize)
+	}
+	size := len(data[0])
+	for i, d := range data {
+		if len(d) != size {
+			return nil, fmt.Errorf("%w: shard %d is %d bytes, want %d", ErrShardSize, i, len(d), size)
+		}
+	}
+	parity := make([][]byte, r.M)
+	for i := 0; i < r.M; i++ {
+		parity[i] = make([]byte, size)
+		for j := 0; j < r.K; j++ {
+			gfMulSlice(r.parity[i][j], data[j], parity[i])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct rebuilds the original K data shards from any K survivors.
+// shards has length K+M; missing shards are nil. The returned slice holds
+// the K data shards.
+func (r *RS) Reconstruct(shards [][]byte) ([][]byte, error) {
+	if len(shards) != r.K+r.M {
+		return nil, fmt.Errorf("failure: %d shards, want %d", len(shards), r.K+r.M)
+	}
+	// Fast path: all data shards present.
+	allData := true
+	size := -1
+	for i := 0; i < r.K; i++ {
+		if shards[i] == nil {
+			allData = false
+		} else if size < 0 {
+			size = len(shards[i])
+		}
+	}
+	if allData {
+		out := make([][]byte, r.K)
+		copy(out, shards[:r.K])
+		return out, nil
+	}
+	// Gather K survivors and the matching rows of [I; parity].
+	var rows [][]byte
+	var data [][]byte
+	for i := 0; i < r.K+r.M && len(rows) < r.K; i++ {
+		if shards[i] == nil {
+			continue
+		}
+		if size < 0 {
+			size = len(shards[i])
+		}
+		if len(shards[i]) != size {
+			return nil, fmt.Errorf("%w: shard %d", ErrShardSize, i)
+		}
+		row := make([]byte, r.K)
+		if i < r.K {
+			row[i] = 1
+		} else {
+			copy(row, r.parity[i-r.K])
+		}
+		rows = append(rows, row)
+		data = append(data, shards[i])
+	}
+	if len(rows) < r.K {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(rows), r.K)
+	}
+	if !matInvert(rows) {
+		return nil, errors.New("failure: decode matrix not invertible (corrupt code)")
+	}
+	out := make([][]byte, r.K)
+	for i := 0; i < r.K; i++ {
+		out[i] = make([]byte, size)
+		for j := 0; j < r.K; j++ {
+			gfMulSlice(rows[i][j], data[j], out[i])
+		}
+	}
+	return out, nil
+}
+
+// SplitInto slices buf into k shards, zero-padding the last one. The
+// shards alias buf where possible except the padded tail.
+func SplitInto(buf []byte, k int) ([][]byte, int, error) {
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("failure: split into %d shards", k)
+	}
+	if len(buf) == 0 {
+		return nil, 0, errors.New("failure: split of empty buffer")
+	}
+	shard := (len(buf) + k - 1) / k
+	out := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		lo := i * shard
+		hi := lo + shard
+		switch {
+		case lo >= len(buf):
+			out[i] = make([]byte, shard)
+		case hi > len(buf):
+			s := make([]byte, shard)
+			copy(s, buf[lo:])
+			out[i] = s
+		default:
+			out[i] = buf[lo:hi]
+		}
+	}
+	return out, shard, nil
+}
+
+// Join concatenates data shards and trims to length n.
+func Join(shards [][]byte, n int) []byte {
+	out := make([]byte, 0, n)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+// Package memnode implements a single server's memory for the LMP runtime:
+// a sparse, page-granular byte store covering the server's DRAM, split into
+// a private region and a shared region whose boundary can move at runtime
+// (the paper's ratio flexibility), plus per-page access statistics feeding
+// the migration and sizing policies.
+//
+// Pages are materialized on first write, so a node can model tens of
+// gigabytes of capacity while tests touch only megabytes.
+package memnode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the translation and tracking granularity, 4KiB as in the
+// host page tables the paper's runtime would manage.
+const PageSize = 4096
+
+// ErrOutOfRange reports an access beyond the node's capacity.
+var ErrOutOfRange = errors.New("memnode: access out of range")
+
+// ErrShrinkBelowUse reports a shared-region shrink below allocated bytes.
+var ErrShrinkBelowUse = errors.New("memnode: cannot shrink shared region below allocated bytes")
+
+// PageStats holds access statistics for one page.
+type PageStats struct {
+	Page        int64
+	LocalReads  uint64
+	RemoteReads uint64
+	Writes      uint64
+	// Heat is a decaying activity counter: incremented per access,
+	// halved by Decay. Remote accesses add extra weight because they are
+	// the ones migration can eliminate.
+	Heat uint64
+	// Accessed is the NUMA-style access bit, cleared by ClearAccessBits.
+	Accessed bool
+}
+
+// Node is one server's DRAM. It is safe for concurrent use.
+type Node struct {
+	name     string
+	capacity int64
+
+	mu     sync.RWMutex
+	shared int64 // bytes [0, shared) are the shared region
+	inUse  int64 // shared bytes currently allocated (maintained by the allocator)
+	pages  map[int64][]byte
+	stats  map[int64]*PageStats
+}
+
+// New returns a node with the given capacity and initial shared-region
+// size. sharedBytes must be in [0, capacity].
+func New(name string, capacity, sharedBytes int64) (*Node, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("memnode: capacity %d must be positive", capacity)
+	}
+	if sharedBytes < 0 || sharedBytes > capacity {
+		return nil, fmt.Errorf("memnode: shared %d outside [0,%d]", sharedBytes, capacity)
+	}
+	return &Node{
+		name:     name,
+		capacity: capacity,
+		shared:   sharedBytes,
+		pages:    make(map[int64][]byte),
+		stats:    make(map[int64]*PageStats),
+	}, nil
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Capacity reports total DRAM bytes.
+func (n *Node) Capacity() int64 { return n.capacity }
+
+// SharedBytes reports the current shared-region size.
+func (n *Node) SharedBytes() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.shared
+}
+
+// PrivateBytes reports capacity outside the shared region.
+func (n *Node) PrivateBytes() int64 { return n.capacity - n.SharedBytes() }
+
+// InUse reports shared bytes currently allocated.
+func (n *Node) InUse() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.inUse
+}
+
+// Reserve records alloc bytes as allocated in the shared region. It fails
+// if the region would overflow. Negative alloc releases bytes.
+func (n *Node) Reserve(alloc int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	next := n.inUse + alloc
+	if next < 0 {
+		return fmt.Errorf("memnode: release below zero (%d)", next)
+	}
+	if next > n.shared {
+		return fmt.Errorf("memnode: reserve %d exceeds shared region %d (in use %d)", alloc, n.shared, n.inUse)
+	}
+	n.inUse = next
+	return nil
+}
+
+// Resize moves the private/shared boundary. Growing is always allowed up
+// to capacity; shrinking fails if allocated bytes would not fit.
+func (n *Node) Resize(sharedBytes int64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if sharedBytes < 0 || sharedBytes > n.capacity {
+		return fmt.Errorf("memnode: resize to %d outside [0,%d]", sharedBytes, n.capacity)
+	}
+	if sharedBytes < n.inUse {
+		return fmt.Errorf("%w: want %d, in use %d", ErrShrinkBelowUse, sharedBytes, n.inUse)
+	}
+	n.shared = sharedBytes
+	return nil
+}
+
+func (n *Node) checkRange(off int64, length int) error {
+	if off < 0 || length < 0 || off+int64(length) > n.capacity {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+int64(length), n.capacity)
+	}
+	return nil
+}
+
+// ReadAt copies len(p) bytes at offset off into p. Unmaterialized pages
+// read as zeros.
+func (n *Node) ReadAt(p []byte, off int64) error {
+	if err := n.checkRange(off, len(p)); err != nil {
+		return err
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for done := 0; done < len(p); {
+		page := (off + int64(done)) / PageSize
+		po := int((off + int64(done)) % PageSize)
+		chunk := PageSize - po
+		if rem := len(p) - done; rem < chunk {
+			chunk = rem
+		}
+		if data := n.pages[page]; data != nil {
+			copy(p[done:done+chunk], data[po:po+chunk])
+		} else {
+			for i := done; i < done+chunk; i++ {
+				p[i] = 0
+			}
+		}
+		done += chunk
+	}
+	return nil
+}
+
+// WriteAt copies p into the node at offset off, materializing pages.
+func (n *Node) WriteAt(p []byte, off int64) error {
+	if err := n.checkRange(off, len(p)); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for done := 0; done < len(p); {
+		page := (off + int64(done)) / PageSize
+		po := int((off + int64(done)) % PageSize)
+		chunk := PageSize - po
+		if rem := len(p) - done; rem < chunk {
+			chunk = rem
+		}
+		data := n.pages[page]
+		if data == nil {
+			data = make([]byte, PageSize)
+			n.pages[page] = data
+		}
+		copy(data[po:po+chunk], p[done:done+chunk])
+		done += chunk
+	}
+	return nil
+}
+
+// DropPage discards a page's contents and statistics (used after
+// migration moves it away).
+func (n *Node) DropPage(page int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.pages, page)
+	delete(n.stats, page)
+}
+
+// DropRange discards the contents and statistics of every page fully
+// contained in [off, off+length) — the bulk form used when a whole slice
+// migrates away. Partially covered pages at the edges are kept.
+func (n *Node) DropRange(off, length int64) {
+	if length <= 0 {
+		return
+	}
+	first := (off + PageSize - 1) / PageSize
+	last := (off + length) / PageSize // exclusive
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for p := first; p < last; p++ {
+		delete(n.pages, p)
+		delete(n.stats, p)
+	}
+}
+
+// MaterializedPages reports how many pages hold data.
+func (n *Node) MaterializedPages() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.pages)
+}
+
+// RecordAccess updates statistics for the page containing off. remote
+// marks the access as issued by another server; write marks stores.
+func (n *Node) RecordAccess(off int64, remote, write bool) {
+	page := off / PageSize
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.stats[page]
+	if st == nil {
+		st = &PageStats{Page: page}
+		n.stats[page] = st
+	}
+	st.Accessed = true
+	switch {
+	case write:
+		st.Writes++
+		st.Heat++
+	case remote:
+		st.RemoteReads++
+		// Remote reads are what locality balancing can win back; weight
+		// them higher so hot remote pages surface first.
+		st.Heat += 4
+	default:
+		st.LocalReads++
+		st.Heat++
+	}
+}
+
+// Stats returns a copy of the statistics for the page containing off.
+func (n *Node) Stats(off int64) PageStats {
+	page := off / PageSize
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if st := n.stats[page]; st != nil {
+		return *st
+	}
+	return PageStats{Page: page}
+}
+
+// HottestPages returns up to k pages by descending heat.
+func (n *Node) HottestPages(k int) []PageStats {
+	n.mu.RLock()
+	all := make([]PageStats, 0, len(n.stats))
+	for _, st := range n.stats {
+		all = append(all, *st)
+	}
+	n.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Heat != all[j].Heat {
+			return all[i].Heat > all[j].Heat
+		}
+		return all[i].Page < all[j].Page
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Decay halves every page's heat, aging out stale hotness.
+func (n *Node) Decay() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, st := range n.stats {
+		st.Heat /= 2
+	}
+}
+
+// ClearAccessBits clears the NUMA-style access bits and reports how many
+// pages had been touched since the last clear.
+func (n *Node) ClearAccessBits() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	touched := 0
+	for _, st := range n.stats {
+		if st.Accessed {
+			touched++
+			st.Accessed = false
+		}
+	}
+	return touched
+}

@@ -1,0 +1,323 @@
+package memnode
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mustNode(t *testing.T, capacity, shared int64) *Node {
+	t.Helper()
+	n, err := New("n0", capacity, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", 0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New("x", 100, 200); err == nil {
+		t.Error("shared > capacity accepted")
+	}
+	if _, err := New("x", 100, -1); err == nil {
+		t.Error("negative shared accepted")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	n := mustNode(t, 1<<20, 1<<20)
+	msg := []byte("logical memory pools")
+	if err := n.WriteAt(msg, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := n.ReadAt(got, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip: got %q", got)
+	}
+}
+
+func TestReadUnmaterializedIsZero(t *testing.T) {
+	n := mustNode(t, 1<<20, 1<<20)
+	got := make([]byte, 100)
+	got[0] = 0xFF
+	if err := n.ReadAt(got, 5000); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %x, want 0", i, b)
+		}
+	}
+	if n.MaterializedPages() != 0 {
+		t.Fatal("read materialized a page")
+	}
+}
+
+func TestWriteSpanningPages(t *testing.T) {
+	n := mustNode(t, 1<<20, 1<<20)
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	off := int64(PageSize - 100)
+	if err := n.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := n.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("page-spanning round trip failed")
+	}
+	if n.MaterializedPages() != 4 {
+		t.Fatalf("materialized %d pages, want 4", n.MaterializedPages())
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	n := mustNode(t, 1000, 1000)
+	if err := n.WriteAt([]byte{1}, 1000); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write at capacity: %v", err)
+	}
+	if err := n.ReadAt(make([]byte, 10), 995); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read crossing capacity: %v", err)
+	}
+	if err := n.ReadAt(make([]byte, 1), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative offset: %v", err)
+	}
+}
+
+func TestResizeAndReserve(t *testing.T) {
+	n := mustNode(t, 100*PageSize, 50*PageSize)
+	if err := n.Reserve(40 * PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if n.InUse() != 40*PageSize {
+		t.Fatalf("in use = %d", n.InUse())
+	}
+	// Overflow the shared region.
+	if err := n.Reserve(20 * PageSize); err == nil {
+		t.Fatal("over-reserve accepted")
+	}
+	// Shrink below use fails.
+	if err := n.Resize(30 * PageSize); !errors.Is(err, ErrShrinkBelowUse) {
+		t.Fatalf("shrink below use: %v", err)
+	}
+	// Grow, then shrink to exactly in-use.
+	if err := n.Resize(100 * PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Resize(40 * PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if n.PrivateBytes() != 60*PageSize {
+		t.Fatalf("private = %d", n.PrivateBytes())
+	}
+	// Release.
+	if err := n.Reserve(-40 * PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Reserve(-1); err == nil {
+		t.Fatal("release below zero accepted")
+	}
+}
+
+func TestResizeBounds(t *testing.T) {
+	n := mustNode(t, 1000, 500)
+	if err := n.Resize(-1); err == nil {
+		t.Fatal("negative resize accepted")
+	}
+	if err := n.Resize(2000); err == nil {
+		t.Fatal("resize beyond capacity accepted")
+	}
+}
+
+func TestAccessStatsAndHeat(t *testing.T) {
+	n := mustNode(t, 1<<20, 1<<20)
+	off := int64(3 * PageSize)
+	n.RecordAccess(off, false, false) // local read: +1
+	n.RecordAccess(off, true, false)  // remote read: +4
+	n.RecordAccess(off, false, true)  // write: +1
+	st := n.Stats(off)
+	if st.LocalReads != 1 || st.RemoteReads != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Heat != 6 {
+		t.Fatalf("heat = %d, want 6", st.Heat)
+	}
+	n.Decay()
+	if got := n.Stats(off).Heat; got != 3 {
+		t.Fatalf("heat after decay = %d, want 3", got)
+	}
+}
+
+func TestHottestPagesOrdering(t *testing.T) {
+	n := mustNode(t, 1<<20, 1<<20)
+	// Page 5 hottest (remote), page 2 medium, page 9 cold.
+	for i := 0; i < 10; i++ {
+		n.RecordAccess(5*PageSize, true, false)
+	}
+	for i := 0; i < 3; i++ {
+		n.RecordAccess(2*PageSize, false, false)
+	}
+	n.RecordAccess(9*PageSize, false, false)
+	hot := n.HottestPages(2)
+	if len(hot) != 2 || hot[0].Page != 5 || hot[1].Page != 2 {
+		t.Fatalf("hottest = %+v", hot)
+	}
+	all := n.HottestPages(100)
+	if len(all) != 3 {
+		t.Fatalf("all pages = %d, want 3", len(all))
+	}
+}
+
+func TestAccessBits(t *testing.T) {
+	n := mustNode(t, 1<<20, 1<<20)
+	n.RecordAccess(0, false, false)
+	n.RecordAccess(PageSize, true, false)
+	if got := n.ClearAccessBits(); got != 2 {
+		t.Fatalf("touched = %d, want 2", got)
+	}
+	if got := n.ClearAccessBits(); got != 0 {
+		t.Fatalf("touched after clear = %d, want 0", got)
+	}
+	n.RecordAccess(0, false, false)
+	if got := n.ClearAccessBits(); got != 1 {
+		t.Fatalf("re-touched = %d, want 1", got)
+	}
+}
+
+func TestDropPage(t *testing.T) {
+	n := mustNode(t, 1<<20, 1<<20)
+	if err := n.WriteAt([]byte{1, 2, 3}, 7*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	n.RecordAccess(7*PageSize, false, false)
+	n.DropPage(7)
+	got := make([]byte, 3)
+	if err := n.ReadAt(got, 7*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("dropped page still has data")
+	}
+	if n.Stats(7*PageSize).Heat != 0 {
+		t.Fatal("dropped page still has stats")
+	}
+}
+
+func TestDropRange(t *testing.T) {
+	n := mustNode(t, 1<<22, 1<<22)
+	// Fill three pages plus the page after the range.
+	for p := int64(0); p < 4; p++ {
+		if err := n.WriteAt([]byte{byte(p + 1)}, p*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drop exactly pages 1 and 2.
+	n.DropRange(PageSize, 2*PageSize)
+	got := make([]byte, 1)
+	for p := int64(0); p < 4; p++ {
+		if err := n.ReadAt(got, p*PageSize); err != nil {
+			t.Fatal(err)
+		}
+		want := byte(p + 1)
+		if p == 1 || p == 2 {
+			want = 0
+		}
+		if got[0] != want {
+			t.Fatalf("page %d = %d, want %d", p, got[0], want)
+		}
+	}
+}
+
+func TestDropRangeKeepsPartialPages(t *testing.T) {
+	n := mustNode(t, 1<<22, 1<<22)
+	if err := n.WriteAt([]byte{9}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WriteAt([]byte{8}, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// A range covering only half of each page must not drop either.
+	n.DropRange(PageSize/2, 2*PageSize)
+	got := make([]byte, 1)
+	if err := n.ReadAt(got, 0); err != nil || got[0] != 9 {
+		t.Fatalf("partially covered head page dropped: %d %v", got[0], err)
+	}
+	if err := n.ReadAt(got, 2*PageSize); err != nil || got[0] != 8 {
+		t.Fatalf("partially covered tail page dropped: %d %v", got[0], err)
+	}
+	// Degenerate ranges are no-ops.
+	n.DropRange(0, 0)
+	n.DropRange(100, -5)
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	n := mustNode(t, 1<<22, 1<<22)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 128)
+			for i := range buf {
+				buf[i] = byte(g)
+			}
+			off := int64(g) * 64 * PageSize
+			for i := 0; i < 100; i++ {
+				if err := n.WriteAt(buf, off); err != nil {
+					t.Error(err)
+					return
+				}
+				got := make([]byte, 128)
+				if err := n.ReadAt(got, off); err != nil {
+					t.Error(err)
+					return
+				}
+				if got[0] != byte(g) {
+					t.Errorf("goroutine %d read %d", g, got[0])
+					return
+				}
+				n.RecordAccess(off, i%2 == 0, false)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: what you write is what you read back, for arbitrary offsets and
+// contents within capacity.
+func TestReadWriteProperty(t *testing.T) {
+	n := mustNode(t, 1<<20, 1<<20)
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off) * 7 % (1<<20 - int64(len(data)))
+		if o < 0 {
+			o = 0
+		}
+		if err := n.WriteAt(data, o); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := n.ReadAt(got, o); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

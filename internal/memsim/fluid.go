@@ -1,0 +1,212 @@
+package memsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FluidResource is a shared bandwidth capacity (bytes/second) allocated
+// max-min fairly among the flows crossing it: a memory controller, a fabric
+// link direction, a switch port, or a core's own streaming bound.
+type FluidResource struct {
+	Name string
+	Rate float64
+}
+
+// Segment is one leg of a flow: Bytes that must cross every resource in
+// Via simultaneously (e.g. core bound + local memory channel).
+type Segment struct {
+	Bytes float64
+	Via   []*FluidResource
+}
+
+// Flow is a sequence of segments processed in order; a flow models one
+// core scanning its contiguous chunk of a vector, whose pieces live on
+// different servers.
+type Flow struct {
+	Name     string
+	Segments []Segment
+
+	seg  int     // current segment index
+	left float64 // bytes remaining in current segment
+	done float64 // completion time, seconds
+	rate float64 // current fair-share rate
+}
+
+// FlowResult reports one flow's outcome.
+type FlowResult struct {
+	Name       string
+	FinishSec  float64
+	TotalBytes float64
+}
+
+// FluidResult is the outcome of a fluid simulation.
+type FluidResult struct {
+	// MakespanSec is the time at which the last flow finishes.
+	MakespanSec float64
+	Flows       []FlowResult
+}
+
+// TotalBytes sums bytes over all flows.
+func (r FluidResult) TotalBytes() float64 {
+	var t float64
+	for _, f := range r.Flows {
+		t += f.TotalBytes
+	}
+	return t
+}
+
+// AggregateBandwidth reports total bytes moved divided by the makespan.
+func (r FluidResult) AggregateBandwidth() float64 {
+	if r.MakespanSec == 0 {
+		return 0
+	}
+	return r.TotalBytes() / r.MakespanSec
+}
+
+var errNoProgress = errors.New("memsim: fluid simulation made no progress")
+
+// SimulateFluid runs the progressive-filling fluid model: at every instant
+// each active flow receives its max-min fair share of every resource on its
+// current segment; the simulation advances between segment completions.
+// Flows with zero-byte segments skip them. The flows are mutated during the
+// run and must not be reused.
+func SimulateFluid(flows []*Flow) (FluidResult, error) {
+	active := make([]*Flow, 0, len(flows))
+	for _, f := range flows {
+		f.seg = 0
+		f.advancePastEmpty()
+		if f.seg < len(f.Segments) {
+			active = append(active, f)
+		}
+	}
+	now := 0.0
+	for len(active) > 0 {
+		if err := assignRates(active); err != nil {
+			return FluidResult{}, err
+		}
+		// Time until the first segment completion.
+		dt := math.Inf(1)
+		for _, f := range active {
+			if f.rate <= 0 {
+				return FluidResult{}, fmt.Errorf("%w: flow %q got zero rate", errNoProgress, f.Name)
+			}
+			if t := f.left / f.rate; t < dt {
+				dt = t
+			}
+		}
+		now += dt
+		next := active[:0]
+		for _, f := range active {
+			f.left -= f.rate * dt
+			if f.left <= 1e-6 {
+				f.seg++
+				f.advancePastEmpty()
+				if f.seg >= len(f.Segments) {
+					f.done = now
+					continue
+				}
+			}
+			next = append(next, f)
+		}
+		active = next
+	}
+	res := FluidResult{}
+	for _, f := range flows {
+		total := 0.0
+		for _, s := range f.Segments {
+			total += s.Bytes
+		}
+		res.Flows = append(res.Flows, FlowResult{Name: f.Name, FinishSec: f.done, TotalBytes: total})
+		if f.done > res.MakespanSec {
+			res.MakespanSec = f.done
+		}
+	}
+	return res, nil
+}
+
+func (f *Flow) advancePastEmpty() {
+	for f.seg < len(f.Segments) && f.Segments[f.seg].Bytes <= 0 {
+		f.seg++
+	}
+	if f.seg < len(f.Segments) {
+		f.left = f.Segments[f.seg].Bytes
+	}
+}
+
+// assignRates computes max-min fair rates for the active flows' current
+// segments using the classic bottleneck-fixing algorithm.
+func assignRates(active []*Flow) error {
+	type rstate struct {
+		cap   float64
+		flows []*Flow
+	}
+	res := make(map[*FluidResource]*rstate)
+	for _, f := range active {
+		f.rate = 0
+		for _, r := range f.Segments[f.seg].Via {
+			st := res[r]
+			if st == nil {
+				if r.Rate <= 0 {
+					return fmt.Errorf("memsim: resource %q has non-positive rate", r.Name)
+				}
+				st = &rstate{cap: r.Rate}
+				res[r] = st
+			}
+			st.flows = append(st.flows, f)
+		}
+	}
+	unassigned := make(map[*Flow]bool, len(active))
+	for _, f := range active {
+		if len(f.Segments[f.seg].Via) == 0 {
+			return fmt.Errorf("memsim: flow %q segment has no resources", f.Name)
+		}
+		unassigned[f] = true
+	}
+	// Deterministic iteration order over resources.
+	order := make([]*FluidResource, 0, len(res))
+	for r := range res {
+		order = append(order, r)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Name < order[j].Name })
+
+	for len(unassigned) > 0 {
+		var bottleneck *FluidResource
+		share := math.Inf(1)
+		for _, r := range order {
+			st := res[r]
+			n := 0
+			for _, f := range st.flows {
+				if unassigned[f] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if s := st.cap / float64(n); s < share {
+				share = s
+				bottleneck = r
+			}
+		}
+		if bottleneck == nil {
+			return errNoProgress
+		}
+		for _, f := range res[bottleneck].flows {
+			if !unassigned[f] {
+				continue
+			}
+			f.rate = share
+			delete(unassigned, f)
+			for _, r := range f.Segments[f.seg].Via {
+				res[r].cap -= share
+				if res[r].cap < 0 {
+					res[r].cap = 0
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Fatalf("%s: got %.4g, want %.4g (±%.0f%%)", msg, got, want, tol*100)
+	}
+}
+
+func TestFluidSingleFlowSingleResource(t *testing.T) {
+	r := &FluidResource{Name: "mem", Rate: 100}
+	f := &Flow{Name: "f", Segments: []Segment{{Bytes: 1000, Via: []*FluidResource{r}}}}
+	res, err := SimulateFluid([]*Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.MakespanSec, 10, 1e-9, "makespan")
+	almost(t, res.AggregateBandwidth(), 100, 1e-9, "bandwidth")
+}
+
+func TestFluidFairSharing(t *testing.T) {
+	r := &FluidResource{Name: "mem", Rate: 100}
+	var flows []*Flow
+	for i := 0; i < 4; i++ {
+		flows = append(flows, &Flow{
+			Name:     fmt.Sprintf("f%d", i),
+			Segments: []Segment{{Bytes: 250, Via: []*FluidResource{r}}},
+		})
+	}
+	res, err := SimulateFluid(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 flows sharing 100 B/s, 250 B each => all finish at t=10.
+	for _, fr := range res.Flows {
+		almost(t, fr.FinishSec, 10, 1e-9, fr.Name+" finish")
+	}
+}
+
+func TestFluidBottleneckThenRelease(t *testing.T) {
+	// Two flows share a bottleneck; when the short one finishes, the long
+	// one should speed up to the full rate.
+	r := &FluidResource{Name: "link", Rate: 100}
+	short := &Flow{Name: "short", Segments: []Segment{{Bytes: 100, Via: []*FluidResource{r}}}}
+	long := &Flow{Name: "long", Segments: []Segment{{Bytes: 300, Via: []*FluidResource{r}}}}
+	res, err := SimulateFluid([]*Flow{short, long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared at 50 each until short is done at t=2 (long has 200 left),
+	// then long runs at 100 and finishes at t=4.
+	almost(t, res.Flows[0].FinishSec, 2, 1e-9, "short finish")
+	almost(t, res.Flows[1].FinishSec, 4, 1e-9, "long finish")
+}
+
+func TestFluidPerFlowCap(t *testing.T) {
+	// A flow crossing both its private core bound and a big shared resource
+	// is limited by the core bound.
+	mem := &FluidResource{Name: "mem", Rate: 1000}
+	core := &FluidResource{Name: "core", Rate: 10}
+	f := &Flow{Name: "f", Segments: []Segment{{Bytes: 100, Via: []*FluidResource{core, mem}}}}
+	res, err := SimulateFluid([]*Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.MakespanSec, 10, 1e-9, "makespan limited by core")
+}
+
+func TestFluidMaxMinAcrossHeterogeneousFlows(t *testing.T) {
+	// Classic max-min: flows A,B cross link1 (30); flow C crosses link1 and
+	// link2 (10). C is bottlenecked at link2 by... actually C shares link1
+	// too. Max-min: C gets min share; compute: link2 share for C = 10;
+	// link1 share = 30/3 = 10 -> all get 10.
+	l1 := &FluidResource{Name: "l1", Rate: 30}
+	l2 := &FluidResource{Name: "l2", Rate: 10}
+	a := &Flow{Name: "a", Segments: []Segment{{Bytes: 100, Via: []*FluidResource{l1}}}}
+	b := &Flow{Name: "b", Segments: []Segment{{Bytes: 100, Via: []*FluidResource{l1}}}}
+	c := &Flow{Name: "c", Segments: []Segment{{Bytes: 100, Via: []*FluidResource{l1, l2}}}}
+	res, err := SimulateFluid([]*Flow{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range res.Flows {
+		almost(t, fr.FinishSec, 10, 1e-6, fr.Name)
+	}
+}
+
+func TestFluidMaxMinUnevenShares(t *testing.T) {
+	// link1 rate 30 shared by A and C; link2 rate 6 constrains C.
+	// Max-min: C fixed at 6 (link2 bottleneck: 6/1), then A gets 30-6=24.
+	l1 := &FluidResource{Name: "l1", Rate: 30}
+	l2 := &FluidResource{Name: "l2", Rate: 6}
+	a := &Flow{Name: "a", Segments: []Segment{{Bytes: 240, Via: []*FluidResource{l1}}}}
+	c := &Flow{Name: "c", Segments: []Segment{{Bytes: 60, Via: []*FluidResource{l1, l2}}}}
+	res, err := SimulateFluid([]*Flow{a, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both finish at t=10: A at 24 B/s for 240, C at 6 B/s for 60.
+	almost(t, res.Flows[0].FinishSec, 10, 1e-6, "a")
+	almost(t, res.Flows[1].FinishSec, 10, 1e-6, "c")
+}
+
+func TestFluidMultiSegment(t *testing.T) {
+	// One flow: 100 bytes over a 10 B/s leg then 100 bytes over a 50 B/s leg.
+	r1 := &FluidResource{Name: "r1", Rate: 10}
+	r2 := &FluidResource{Name: "r2", Rate: 50}
+	f := &Flow{Name: "f", Segments: []Segment{
+		{Bytes: 100, Via: []*FluidResource{r1}},
+		{Bytes: 100, Via: []*FluidResource{r2}},
+	}}
+	res, err := SimulateFluid([]*Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.MakespanSec, 12, 1e-9, "sequential segments")
+}
+
+func TestFluidZeroByteSegmentsSkipped(t *testing.T) {
+	r := &FluidResource{Name: "r", Rate: 10}
+	f := &Flow{Name: "f", Segments: []Segment{
+		{Bytes: 0, Via: []*FluidResource{r}},
+		{Bytes: 100, Via: []*FluidResource{r}},
+		{Bytes: 0, Via: []*FluidResource{r}},
+	}}
+	res, err := SimulateFluid([]*Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.MakespanSec, 10, 1e-9, "zero segments skipped")
+}
+
+func TestFluidEmptyFlowSet(t *testing.T) {
+	res, err := SimulateFluid(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec != 0 || len(res.Flows) != 0 {
+		t.Fatalf("empty set: %+v", res)
+	}
+}
+
+func TestFluidAllEmptyFlow(t *testing.T) {
+	f := &Flow{Name: "f"}
+	res, err := SimulateFluid([]*Flow{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].FinishSec != 0 {
+		t.Fatalf("empty flow finish = %v, want 0", res.Flows[0].FinishSec)
+	}
+}
+
+func TestFluidErrorOnBadResource(t *testing.T) {
+	r := &FluidResource{Name: "bad", Rate: 0}
+	f := &Flow{Name: "f", Segments: []Segment{{Bytes: 1, Via: []*FluidResource{r}}}}
+	if _, err := SimulateFluid([]*Flow{f}); err == nil {
+		t.Fatal("expected error for zero-rate resource")
+	}
+}
+
+func TestFluidErrorOnNoResources(t *testing.T) {
+	f := &Flow{Name: "f", Segments: []Segment{{Bytes: 1}}}
+	if _, err := SimulateFluid([]*Flow{f}); err == nil {
+		t.Fatal("expected error for segment without resources")
+	}
+}
+
+// Property: for random single-segment configurations, the makespan is at
+// least the bytes-through-resource lower bound for every resource, and at
+// most the fully-serialized upper bound.
+func TestFluidBoundsProperty(t *testing.T) {
+	rng := newDeterministicRng()
+	for trial := 0; trial < 100; trial++ {
+		nRes := 1 + rng.Intn(4)
+		resources := make([]*FluidResource, nRes)
+		for i := range resources {
+			resources[i] = &FluidResource{
+				Name: fmt.Sprintf("r%d", i),
+				Rate: 1e6 * float64(1+rng.Intn(1000)),
+			}
+		}
+		nFlows := 1 + rng.Intn(8)
+		flows := make([]*Flow, nFlows)
+		through := make(map[*FluidResource]float64)
+		var serialized float64
+		for i := range flows {
+			bytes := float64(1 + rng.Intn(1_000_000))
+			// Each flow crosses a random non-empty subset of resources.
+			var via []*FluidResource
+			slowest := resources[rng.Intn(nRes)]
+			via = append(via, slowest)
+			for _, r := range resources {
+				if r != slowest && rng.Intn(2) == 0 {
+					via = append(via, r)
+				}
+			}
+			minRate := via[0].Rate
+			for _, r := range via {
+				through[r] += bytes
+				if r.Rate < minRate {
+					minRate = r.Rate
+				}
+			}
+			serialized += bytes / minRate
+			flows[i] = &Flow{Name: fmt.Sprintf("f%d", i), Segments: []Segment{{Bytes: bytes, Via: via}}}
+		}
+		res, err := SimulateFluid(flows)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for r, b := range through {
+			if res.MakespanSec < b/r.Rate-1e-6 {
+				t.Fatalf("trial %d: makespan %.6f below lower bound %.6f of %s",
+					trial, res.MakespanSec, b/r.Rate, r.Name)
+			}
+		}
+		if res.MakespanSec > serialized+1e-6 {
+			t.Fatalf("trial %d: makespan %.6f above serialized bound %.6f",
+				trial, res.MakespanSec, serialized)
+		}
+	}
+}
+
+func newDeterministicRng() *rand.Rand { return rand.New(rand.NewSource(12345)) }
+
+// Property: work conservation — makespan is at least total bytes / sum of
+// resource rates and at least any single flow's lower bound.
+func TestFluidWorkConservation(t *testing.T) {
+	link := &FluidResource{Name: "link", Rate: 21e9}
+	local := &FluidResource{Name: "local", Rate: 97e9}
+	var flows []*Flow
+	totalRemote, totalLocal := 0.0, 0.0
+	for i := 0; i < 14; i++ {
+		core := &FluidResource{Name: fmt.Sprintf("core%d", i), Rate: 18e9}
+		lb := 2e9 * float64(i%3)
+		rb := 1e9 * float64(14-i)
+		totalLocal += lb
+		totalRemote += rb
+		flows = append(flows, &Flow{
+			Name: fmt.Sprintf("c%d", i),
+			Segments: []Segment{
+				{Bytes: lb, Via: []*FluidResource{core, local}},
+				{Bytes: rb, Via: []*FluidResource{core, link}},
+			},
+		})
+	}
+	res, err := SimulateFluid(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanSec < totalRemote/21e9 {
+		t.Fatalf("makespan %.3f below link lower bound %.3f", res.MakespanSec, totalRemote/21e9)
+	}
+	if res.MakespanSec < totalLocal/97e9 {
+		t.Fatalf("makespan %.3f below local lower bound", res.MakespanSec)
+	}
+	if got := res.TotalBytes(); math.Abs(got-(totalLocal+totalRemote)) > 1 {
+		t.Fatalf("total bytes %.0f, want %.0f", got, totalLocal+totalRemote)
+	}
+}

@@ -1,0 +1,111 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyCurveEndpoints(t *testing.T) {
+	c := LatencyCurve{MinNS: 100, MaxNS: 500}
+	if got := c.Latency(0); got != 100 {
+		t.Fatalf("Latency(0) = %v, want 100", got)
+	}
+	if got := c.Latency(1); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("Latency(1) = %v, want 500", got)
+	}
+}
+
+func TestLatencyCurveClamping(t *testing.T) {
+	c := LatencyCurve{MinNS: 100, MaxNS: 500}
+	if got := c.Latency(-3); got != 100 {
+		t.Fatalf("Latency(-3) = %v, want 100", got)
+	}
+	if got := c.Latency(7); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("Latency(7) = %v, want 500", got)
+	}
+}
+
+func TestLatencyCurveMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		c := LatencyCurve{MinNS: 82, MaxNS: 418}
+		u1 := float64(a) / 255
+		u2 := float64(b) / 255
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return c.Latency(u1) <= c.Latency(u2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyCurveFlatBeforeKnee(t *testing.T) {
+	c := LatencyCurve{MinNS: 163, MaxNS: 418}
+	// At half utilization the curve should have used well under half of its
+	// dynamic range (the measured loaded-latency knee behaviour).
+	mid := c.Latency(0.5)
+	frac := (mid - 163) / (418 - 163)
+	if frac > 0.25 {
+		t.Fatalf("latency fraction at u=0.5 is %.2f, want < 0.25", frac)
+	}
+}
+
+func TestCalibratedProfilesMatchPaper(t *testing.T) {
+	cases := []struct {
+		p         Profile
+		min, max  float64
+		bandwidth float64 // GB/s
+	}{
+		{LocalDRAM(), 82, 148, 97},
+		{Link0(), 163, 418, 34.5},
+		{Link1(), 261, 527, 21.0},
+		{PondCXL(), 280, 700, 31},
+		{FPGACXL(), 303, 760, 20},
+	}
+	for _, c := range cases {
+		if c.p.Latency.MinNS != c.min || c.p.Latency.MaxNS != c.max {
+			t.Errorf("%s: latency %v-%v, want %v-%v", c.p.Name,
+				c.p.Latency.MinNS, c.p.Latency.MaxNS, c.min, c.max)
+		}
+		if math.Abs(c.p.Bandwidth-GBps(c.bandwidth)) > 1 {
+			t.Errorf("%s: bandwidth %v, want %v GB/s", c.p.Name, c.p.Bandwidth, c.bandwidth)
+		}
+	}
+}
+
+func TestRemoteLocalLoadedLatencyRatios(t *testing.T) {
+	// §4.3: max loaded remote latency is 2.8x (Link0) and 3.6x (Link1) the
+	// max loaded local latency.
+	local := LocalDRAM().Latency.MaxNS
+	if r := Link0().Latency.MaxNS / local; math.Abs(r-2.8) > 0.05 {
+		t.Errorf("Link0 loaded ratio = %.2f, want ~2.8", r)
+	}
+	if r := Link1().Latency.MaxNS / local; math.Abs(r-3.6) > 0.05 {
+		t.Errorf("Link1 loaded ratio = %.2f, want ~3.6", r)
+	}
+}
+
+func TestCoreStreamBandwidthSaturatesTestbed(t *testing.T) {
+	core := DefaultCore()
+	// 14 cores must be able to saturate local DRAM and both links.
+	if bw := 14 * core.StreamBandwidth(LocalDRAM().Latency.MinNS); bw < GBps(97) {
+		t.Errorf("14 cores reach %.1f GB/s local, want >= 97", bw/1e9)
+	}
+	if bw := 14 * core.StreamBandwidth(Link0().Latency.MinNS); bw < GBps(34.5) {
+		t.Errorf("14 cores reach %.1f GB/s on Link0, want >= 34.5", bw/1e9)
+	}
+	if bw := 14 * core.StreamBandwidth(Link1().Latency.MinNS); bw < GBps(21) {
+		t.Errorf("14 cores reach %.1f GB/s on Link1, want >= 21", bw/1e9)
+	}
+}
+
+func TestGBpsAndGB(t *testing.T) {
+	if GBps(1) != 1e9 {
+		t.Fatalf("GBps(1) = %v", GBps(1))
+	}
+	if GB != 1073741824 {
+		t.Fatalf("GB = %v", GB)
+	}
+}

@@ -1,0 +1,110 @@
+package memsim
+
+import "fmt"
+
+// SoftwarePaging models software memory disaggregation (§2.1): far memory
+// reached through page faults and explicit I/O (swap over RDMA, as in
+// CFM/Infiniswap, or runtime libraries like AIFM). Every miss pays a
+// software fault/IO-completion overhead on top of moving a whole page,
+// which is what makes it "slow and poorly aligned with CPU architectural
+// features" compared to CXL loads and stores.
+type SoftwarePaging struct {
+	// PageBytes is the transfer granularity (4KiB swap pages).
+	PageBytes int64
+	// FaultOverheadNS is the software cost per miss: fault entry, RDMA
+	// post, completion polling, page-table fixup.
+	FaultOverheadNS float64
+	// Net is the network the pages travel over.
+	Net Profile
+}
+
+// RDMASwap is a calibrated software-disaggregation point: 4KiB pages over
+// a 100Gb/s RDMA fabric with ~3µs of kernel/runtime overhead per fault
+// (the order reported by the far-memory systems the paper cites).
+func RDMASwap() SoftwarePaging {
+	return SoftwarePaging{
+		PageBytes:       4096,
+		FaultOverheadNS: 3000,
+		Net: Profile{
+			Name:      "RDMA 100Gb/s",
+			Latency:   LatencyCurve{MinNS: 1500, MaxNS: 5000},
+			Bandwidth: 12.5e9,
+		},
+	}
+}
+
+// Validate checks the configuration.
+func (s SoftwarePaging) Validate() error {
+	if s.PageBytes <= 0 {
+		return fmt.Errorf("memsim: page bytes %d", s.PageBytes)
+	}
+	if s.FaultOverheadNS < 0 {
+		return fmt.Errorf("memsim: negative fault overhead")
+	}
+	if s.Net.Bandwidth <= 0 {
+		return fmt.Errorf("memsim: paging network needs bandwidth")
+	}
+	return nil
+}
+
+// MissLatencyNS reports the time to service one page miss: software
+// overhead + network latency + page transfer.
+func (s SoftwarePaging) MissLatencyNS() float64 {
+	transfer := float64(s.PageBytes) / s.Net.Bandwidth * 1e9
+	return s.FaultOverheadNS + s.Net.Latency.MinNS + transfer
+}
+
+// SequentialBandwidth reports the achievable far-memory bandwidth of a
+// sequential scan: every byte of a page is used, but each page still pays
+// the fault overhead (prefetching hides latency, not CPU cost).
+func (s SoftwarePaging) SequentialBandwidth() float64 {
+	perPage := s.FaultOverheadNS + float64(s.PageBytes)/s.Net.Bandwidth*1e9
+	return float64(s.PageBytes) / (perPage * 1e-9)
+}
+
+// RandomBandwidth reports the useful bandwidth when accesses touch only
+// accessBytes per faulted page (the pointer-chasing case): the whole page
+// moves, a few bytes are used.
+func (s SoftwarePaging) RandomBandwidth(accessBytes int) float64 {
+	if accessBytes <= 0 {
+		return 0
+	}
+	return float64(accessBytes) / (s.MissLatencyNS() * 1e-9)
+}
+
+// HardwareRandomBandwidth is the CXL counterpart for the same access
+// pattern: a load moves one cache line at load latency, with the CPU's
+// MLP overlapping misses.
+func HardwareRandomBandwidth(p Profile, core CoreProfile, accessBytes int) float64 {
+	if accessBytes <= 0 {
+		return 0
+	}
+	if accessBytes > core.LineBytes {
+		accessBytes = core.LineBytes
+	}
+	// MLP concurrent misses, each completing in the idle latency.
+	return float64(core.MLP) * float64(accessBytes) / (p.Latency.MinNS * 1e-9)
+}
+
+// DisaggregationComparison summarizes §2.1's motivation quantitatively.
+type DisaggregationComparison struct {
+	HardwareSeqBps  float64
+	SoftwareSeqBps  float64
+	HardwareRandBps float64
+	SoftwareRandBps float64
+}
+
+// CompareDisaggregation evaluates hardware (CXL link profile) against
+// software (paging) disaggregation for sequential scans and 64-byte
+// random accesses.
+func CompareDisaggregation(hw Profile, core CoreProfile, sw SoftwarePaging) (DisaggregationComparison, error) {
+	if err := sw.Validate(); err != nil {
+		return DisaggregationComparison{}, err
+	}
+	return DisaggregationComparison{
+		HardwareSeqBps:  hw.Bandwidth,
+		SoftwareSeqBps:  sw.SequentialBandwidth(),
+		HardwareRandBps: HardwareRandomBandwidth(hw, core, 64),
+		SoftwareRandBps: sw.RandomBandwidth(64),
+	}, nil
+}

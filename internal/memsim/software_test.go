@@ -1,0 +1,81 @@
+package memsim
+
+import "testing"
+
+func TestSoftwarePagingValidation(t *testing.T) {
+	bad := SoftwarePaging{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty config accepted")
+	}
+	bad = RDMASwap()
+	bad.FaultOverheadNS = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	bad = RDMASwap()
+	bad.Net.Bandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero net bandwidth accepted")
+	}
+	if err := RDMASwap().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftwarePagingMissLatency(t *testing.T) {
+	sw := RDMASwap()
+	// 3000 (fault) + 1500 (net) + 4096/12.5e9 s (~328ns) ≈ 4828ns.
+	lat := sw.MissLatencyNS()
+	if lat < 4500 || lat > 5200 {
+		t.Fatalf("miss latency = %.0f ns", lat)
+	}
+	// Over an order of magnitude slower than a CXL load.
+	if lat < 10*Link1().Latency.MinNS {
+		t.Fatalf("software miss (%.0f ns) should dwarf CXL load (%.0f ns)", lat, Link1().Latency.MinNS)
+	}
+}
+
+func TestHardwareBeatsSoftwareDisaggregation(t *testing.T) {
+	cmp, err := CompareDisaggregation(Link1(), DefaultCore(), RDMASwap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2.1: hardware disaggregation "reduces CPU overheads, lowers
+	// latency, and increases throughput compared to previous software
+	// approaches".
+	if cmp.HardwareSeqBps < 5*cmp.SoftwareSeqBps {
+		t.Fatalf("sequential: hw %.1f GB/s vs sw %.2f GB/s — advantage too small",
+			cmp.HardwareSeqBps/1e9, cmp.SoftwareSeqBps/1e9)
+	}
+	if cmp.HardwareRandBps < 10*cmp.SoftwareRandBps {
+		t.Fatalf("random: hw %.3f GB/s vs sw %.4f GB/s — advantage too small",
+			cmp.HardwareRandBps/1e9, cmp.SoftwareRandBps/1e9)
+	}
+}
+
+func TestRandomBandwidthAmplification(t *testing.T) {
+	sw := RDMASwap()
+	// Touching 64B per 4KiB page wastes 98.4% of the transfer.
+	useful := sw.RandomBandwidth(64)
+	seq := sw.SequentialBandwidth()
+	if useful >= seq/10 {
+		t.Fatalf("random useful bandwidth %.3f GB/s too close to sequential %.3f",
+			useful/1e9, seq/1e9)
+	}
+	if sw.RandomBandwidth(0) != 0 {
+		t.Fatal("zero access bytes should yield zero")
+	}
+}
+
+func TestHardwareRandomBandwidthClampsToLine(t *testing.T) {
+	p := Link1()
+	core := DefaultCore()
+	full := HardwareRandomBandwidth(p, core, 64)
+	over := HardwareRandomBandwidth(p, core, 4096) // can't use more than a line per miss
+	if over != full {
+		t.Fatalf("over-line access not clamped: %v vs %v", over, full)
+	}
+	if HardwareRandomBandwidth(p, core, 0) != 0 {
+		t.Fatal("zero bytes should yield zero")
+	}
+}

@@ -1,0 +1,187 @@
+package memsim
+
+import (
+	"github.com/lmp-project/lmp/internal/sim"
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+// Memory is a discrete-event memory device: a bandwidth pipe plus a
+// latency-under-load curve. Reads experience the curve's latency at the
+// device's recent utilization, and occupy the pipe for the line's service
+// time, so both latency inflation and bandwidth saturation emerge in the
+// event simulation.
+type Memory struct {
+	Profile Profile
+
+	eng  *sim.Engine
+	pipe *sim.Pipe
+
+	// utilization EWMA sampled every sampleEvery.
+	util        float64
+	sampleEvery sim.Duration
+	samplerOn   bool
+
+	reads      uint64
+	latencySum float64
+
+	// LatencyHist, when set, receives every read's modeled latency (ns).
+	LatencyHist *telemetry.Histogram
+}
+
+// NewMemory attaches a memory device with the given profile to eng.
+func NewMemory(eng *sim.Engine, p Profile) *Memory {
+	return &Memory{
+		Profile:     p,
+		eng:         eng,
+		pipe:        sim.NewPipe(eng, p.Bandwidth),
+		sampleEvery: 2 * sim.Microsecond,
+	}
+}
+
+func (m *Memory) startSampler() {
+	if m.samplerOn {
+		return
+	}
+	m.samplerOn = true
+	m.pipe.ResetStats()
+	var tick func()
+	tick = func() {
+		const alpha = 0.3
+		u := m.pipe.Utilization()
+		m.util = alpha*u + (1-alpha)*m.util
+		m.pipe.ResetStats()
+		// Keep sampling only while this device is active; an idle device's
+		// sampler must not keep the event loop alive (a later Read restarts
+		// it).
+		if u > 0 || m.pipe.QueueDelay() > 0 {
+			m.eng.After(m.sampleEvery, tick)
+		} else {
+			m.samplerOn = false
+		}
+	}
+	m.eng.After(m.sampleEvery, tick)
+}
+
+// Utilization reports the EWMA utilization estimate in [0,1].
+func (m *Memory) Utilization() float64 { return m.util }
+
+// Read services a read of size bytes: latency from the loaded-latency curve
+// at current utilization, then pipe occupancy for the transfer. done runs
+// when the data has arrived. The reported latency statistic is the curve
+// output alone: the curve was measured under load, so it already includes
+// the device's queueing; the pipe's emergent queueing exists only to
+// enforce the bandwidth cap.
+func (m *Memory) Read(size int, done func()) {
+	m.startSampler()
+	lat := m.Profile.Latency.Latency(m.util)
+	m.reads++
+	m.latencySum += lat
+	if m.LatencyHist != nil {
+		m.LatencyHist.Observe(lat)
+	}
+	m.eng.After(sim.Duration(lat), func() {
+		m.pipe.Transfer(size, done)
+	})
+}
+
+// MeanLatencyNS reports the average latency (curve plus queueing) over all
+// reads so far, in nanoseconds.
+func (m *Memory) MeanLatencyNS() float64 {
+	if m.reads == 0 {
+		return 0
+	}
+	return m.latencySum / float64(m.reads)
+}
+
+// Reads reports the number of reads serviced.
+func (m *Memory) Reads() uint64 { return m.reads }
+
+// StreamResult reports a discrete-event streaming run.
+type StreamResult struct {
+	ElapsedSec    float64
+	Bytes         int64
+	BandwidthBps  float64
+	MeanLatencyNS float64
+}
+
+// RunStream simulates cores streaming totalBytes from mem, each core
+// keeping core.MLP line requests outstanding (Little's-law closed loop),
+// and reports achieved bandwidth and mean loaded latency. It drives eng to
+// completion of the stream.
+func RunStream(eng *sim.Engine, mem *Memory, cores int, core CoreProfile, totalBytes int64) StreamResult {
+	if cores <= 0 || totalBytes <= 0 {
+		return StreamResult{}
+	}
+	start := eng.Now()
+	startReads := mem.reads
+	startLatSum := mem.latencySum
+
+	line := int64(core.LineBytes)
+	perCore := totalBytes / int64(cores)
+	remaining := make([]int64, cores)
+	for i := range remaining {
+		remaining[i] = perCore
+	}
+	remaining[0] += totalBytes - perCore*int64(cores)
+
+	finished := 0
+	var issue func(c int)
+	inflight := make([]int, cores)
+	issue = func(c int) {
+		for remaining[c] > 0 && inflight[c] < core.MLP {
+			sz := line
+			if remaining[c] < sz {
+				sz = remaining[c]
+			}
+			remaining[c] -= sz
+			inflight[c]++
+			mem.Read(int(sz), func() {
+				inflight[c]--
+				if remaining[c] > 0 {
+					issue(c)
+				} else if inflight[c] == 0 {
+					finished++
+				}
+			})
+		}
+	}
+	for c := 0; c < cores; c++ {
+		c := c
+		if remaining[c] == 0 {
+			finished++
+			continue
+		}
+		eng.After(0, func() { issue(c) })
+	}
+	eng.Run()
+	elapsed := eng.Now().Sub(start).Seconds()
+	res := StreamResult{ElapsedSec: elapsed, Bytes: totalBytes}
+	if elapsed > 0 {
+		res.BandwidthBps = float64(totalBytes) / elapsed
+	}
+	if n := mem.reads - startReads; n > 0 {
+		res.MeanLatencyNS = (mem.latencySum - startLatSum) / float64(n)
+	}
+	return res
+}
+
+// LoadSweepPoint is one operating point of a latency-under-load sweep.
+type LoadSweepPoint struct {
+	Cores         int
+	BandwidthBps  float64
+	MeanLatencyNS float64
+}
+
+// LoadSweep measures latency and bandwidth for 1..maxCores streaming cores,
+// the methodology behind the paper's Table 2 (min latency at 1 core, max
+// loaded latency and saturation bandwidth at full thread count).
+func LoadSweep(p Profile, core CoreProfile, maxCores int, bytesPerPoint int64) []LoadSweepPoint {
+	pts := make([]LoadSweepPoint, 0, maxCores)
+	for n := 1; n <= maxCores; n++ {
+		eng := sim.NewEngine()
+		mem := NewMemory(eng, p)
+		r := RunStream(eng, mem, n, core, bytesPerPoint)
+		pts = append(pts, LoadSweepPoint{Cores: n, BandwidthBps: r.BandwidthBps, MeanLatencyNS: r.MeanLatencyNS})
+	}
+	return pts
+}

@@ -1,0 +1,122 @@
+package memsim
+
+import (
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/sim"
+)
+
+func TestStreamSingleCoreLatencyBound(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := NewMemory(eng, LocalDRAM())
+	core := DefaultCore()
+	r := RunStream(eng, mem, 1, core, 16<<20)
+	// One core is latency-bound: ~MLP*line/idleLatency.
+	want := core.StreamBandwidth(82)
+	if r.BandwidthBps < want*0.5 || r.BandwidthBps > want*1.2 {
+		t.Fatalf("1-core bandwidth %.2f GB/s, want ~%.2f", r.BandwidthBps/1e9, want/1e9)
+	}
+}
+
+func TestStreamManyCoresBandwidthBound(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := NewMemory(eng, Link1())
+	r := RunStream(eng, mem, 14, DefaultCore(), 64<<20)
+	// 14 cores saturate the 21 GB/s link.
+	if r.BandwidthBps < GBps(21)*0.85 || r.BandwidthBps > GBps(21)*1.05 {
+		t.Fatalf("14-core Link1 bandwidth %.2f GB/s, want ~21", r.BandwidthBps/1e9)
+	}
+}
+
+func TestStreamLoadedLatencyRises(t *testing.T) {
+	low := func() float64 {
+		eng := sim.NewEngine()
+		mem := NewMemory(eng, Link0())
+		return RunStream(eng, mem, 1, DefaultCore(), 8<<20).MeanLatencyNS
+	}()
+	high := func() float64 {
+		eng := sim.NewEngine()
+		mem := NewMemory(eng, Link0())
+		return RunStream(eng, mem, 14, DefaultCore(), 64<<20).MeanLatencyNS
+	}()
+	if high <= low {
+		t.Fatalf("loaded latency %.0f ns not above idle %.0f ns", high, low)
+	}
+	if low < 163*0.9 || low > 163*1.5 {
+		t.Fatalf("idle latency %.0f ns, want near 163", low)
+	}
+	if high > 418*1.3 {
+		t.Fatalf("loaded latency %.0f ns exceeds Table 2 max by too much", high)
+	}
+}
+
+func TestLoadSweepMonotoneBandwidth(t *testing.T) {
+	pts := LoadSweep(Link1(), DefaultCore(), 8, 8<<20)
+	if len(pts) != 8 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BandwidthBps < pts[i-1].BandwidthBps*0.95 {
+			t.Fatalf("bandwidth dropped at %d cores: %.2f -> %.2f GB/s",
+				pts[i].Cores, pts[i-1].BandwidthBps/1e9, pts[i].BandwidthBps/1e9)
+		}
+	}
+}
+
+// Cross-validation: the fluid model and the discrete-event streaming model
+// must agree on saturated bandwidth within tolerance.
+func TestFluidMatchesDiscreteEvent(t *testing.T) {
+	for _, p := range []Profile{LocalDRAM(), Link0(), Link1()} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			const cores = 14
+			const bytes = 64 << 20
+			core := DefaultCore()
+
+			eng := sim.NewEngine()
+			des := RunStream(eng, NewMemory(eng, p), cores, core, bytes)
+
+			shared := &FluidResource{Name: "mem", Rate: p.Bandwidth}
+			var flows []*Flow
+			for i := 0; i < cores; i++ {
+				cb := &FluidResource{Name: "core", Rate: core.StreamBandwidth(p.Latency.MinNS)}
+				flows = append(flows, &Flow{
+					Segments: []Segment{{Bytes: bytes / cores, Via: []*FluidResource{cb, shared}}},
+				})
+			}
+			fl, err := SimulateFluid(flows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := des.BandwidthBps / fl.AggregateBandwidth()
+			if ratio < 0.8 || ratio > 1.2 {
+				t.Fatalf("DES %.2f GB/s vs fluid %.2f GB/s (ratio %.2f)",
+					des.BandwidthBps/1e9, fl.AggregateBandwidth()/1e9, ratio)
+			}
+		})
+	}
+}
+
+func TestRunStreamDegenerate(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := NewMemory(eng, LocalDRAM())
+	if r := RunStream(eng, mem, 0, DefaultCore(), 100); r.Bytes != 0 {
+		t.Fatal("zero cores should be a no-op")
+	}
+	if r := RunStream(eng, mem, 4, DefaultCore(), 0); r.Bytes != 0 {
+		t.Fatal("zero bytes should be a no-op")
+	}
+}
+
+func TestRunStreamUnevenBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := NewMemory(eng, LocalDRAM())
+	// totalBytes not divisible by cores or line size.
+	r := RunStream(eng, mem, 3, DefaultCore(), 1<<20+37)
+	if r.Bytes != 1<<20+37 {
+		t.Fatalf("bytes = %d", r.Bytes)
+	}
+	if r.BandwidthBps <= 0 {
+		t.Fatal("no bandwidth reported")
+	}
+}

@@ -1,0 +1,160 @@
+// Package migrate implements locality balancing (§5 "Locality
+// balancing"): profiling which server accesses each slice of pool memory
+// (the performance-counter approach the paper suggests), and a policy that
+// periodically plans slice migrations toward their dominant accessors,
+// with hysteresis so ping-ponging data does not thrash.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/lmp-project/lmp/internal/addr"
+)
+
+// AccessMatrix records per-slice access counts by accessing server, the
+// data a performance-counter profiler would gather. It is safe for
+// concurrent use.
+type AccessMatrix struct {
+	mu     sync.Mutex
+	counts map[uint64]map[addr.ServerID]uint64
+}
+
+// NewAccessMatrix returns an empty matrix.
+func NewAccessMatrix() *AccessMatrix {
+	return &AccessMatrix{counts: make(map[uint64]map[addr.ServerID]uint64)}
+}
+
+// Record adds n accesses to slice s by server from.
+func (m *AccessMatrix) Record(s uint64, from addr.ServerID, n uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	row := m.counts[s]
+	if row == nil {
+		row = make(map[addr.ServerID]uint64)
+		m.counts[s] = row
+	}
+	row[from] += n
+}
+
+// Count reports accesses to slice s by server from.
+func (m *AccessMatrix) Count(s uint64, from addr.ServerID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts[s][from]
+}
+
+// Slices returns all recorded slice indices, ascending.
+func (m *AccessMatrix) Slices() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, 0, len(m.counts))
+	for s := range m.counts {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Decay halves all counts, aging the profile between rounds.
+func (m *AccessMatrix) Decay() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for s, row := range m.counts {
+		empty := true
+		for f, c := range row {
+			row[f] = c / 2
+			if row[f] > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			delete(m.counts, s)
+		}
+	}
+}
+
+// Move is one planned migration.
+type Move struct {
+	Slice uint64
+	From  addr.ServerID
+	To    addr.ServerID
+	// Gain is the access-count margin that justified the move.
+	Gain uint64
+}
+
+// Policy tunes the planner.
+type Policy struct {
+	// MinAccesses is the minimum access count for a slice to be
+	// considered at all (cold data stays put).
+	MinAccesses uint64
+	// HysteresisFactor requires the challenger to beat the current
+	// owner's local accesses by this multiple (>= 1).
+	HysteresisFactor float64
+	// MaxMoves caps migrations per round; 0 means unlimited.
+	MaxMoves int
+}
+
+// DefaultPolicy matches NUMA-balancing-style conservatism.
+func DefaultPolicy() Policy {
+	return Policy{MinAccesses: 16, HysteresisFactor: 2.0, MaxMoves: 64}
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.HysteresisFactor < 1 {
+		return fmt.Errorf("migrate: hysteresis factor %v must be >= 1", p.HysteresisFactor)
+	}
+	if p.MaxMoves < 0 {
+		return fmt.Errorf("migrate: max moves %d negative", p.MaxMoves)
+	}
+	return nil
+}
+
+// Plan examines the profile and current ownership (from the global map)
+// and returns migrations ordered by descending gain.
+func Plan(m *AccessMatrix, owners *addr.GlobalMap, p Policy) ([]Move, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var moves []Move
+	for _, s := range m.Slices() {
+		owner, err := owners.OwnerOfSlice(s)
+		if err != nil {
+			continue // unmapped slices cannot move
+		}
+		m.mu.Lock()
+		row := m.counts[s]
+		var best addr.ServerID
+		var bestC, ownerC, total uint64
+		first := true
+		for f, c := range row {
+			total += c
+			if f == owner {
+				ownerC = c
+			}
+			if first || c > bestC || (c == bestC && f < best) {
+				best, bestC, first = f, c, false
+			}
+		}
+		m.mu.Unlock()
+		if total < p.MinAccesses || best == owner {
+			continue
+		}
+		if float64(bestC) < p.HysteresisFactor*float64(ownerC)+1 {
+			continue
+		}
+		moves = append(moves, Move{Slice: s, From: owner, To: best, Gain: bestC - ownerC})
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].Gain != moves[j].Gain {
+			return moves[i].Gain > moves[j].Gain
+		}
+		return moves[i].Slice < moves[j].Slice
+	})
+	if p.MaxMoves > 0 && len(moves) > p.MaxMoves {
+		moves = moves[:p.MaxMoves]
+	}
+	return moves, nil
+}

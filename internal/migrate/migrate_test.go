@@ -1,0 +1,188 @@
+package migrate
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/addr"
+)
+
+func boundMap(t *testing.T, slices int, owner addr.ServerID) *addr.GlobalMap {
+	t.Helper()
+	g := addr.NewGlobalMap()
+	if err := g.Bind(addr.Range{Start: 0, Size: int64(slices) * addr.SliceSize}, owner); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAccessMatrixRecordAndDecay(t *testing.T) {
+	m := NewAccessMatrix()
+	m.Record(3, 1, 10)
+	m.Record(3, 2, 4)
+	if m.Count(3, 1) != 10 || m.Count(3, 2) != 4 {
+		t.Fatal("counts wrong")
+	}
+	m.Decay()
+	if m.Count(3, 1) != 5 || m.Count(3, 2) != 2 {
+		t.Fatal("decay wrong")
+	}
+	// Decaying to zero drops the slice.
+	m.Record(9, 0, 1)
+	m.Decay() // slice 9 -> 0
+	m.Decay()
+	m.Decay() // slice 3 -> 0 too
+	if len(m.Slices()) != 0 {
+		t.Fatalf("slices after full decay: %v", m.Slices())
+	}
+}
+
+func TestPlanMovesHotRemoteSlice(t *testing.T) {
+	owners := boundMap(t, 4, 0)
+	m := NewAccessMatrix()
+	// Slice 2 is hammered by server 1, barely touched by its owner 0.
+	m.Record(2, 1, 100)
+	m.Record(2, 0, 5)
+	moves, err := Plan(m, owners, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 {
+		t.Fatalf("moves = %+v, want 1", moves)
+	}
+	mv := moves[0]
+	if mv.Slice != 2 || mv.From != 0 || mv.To != 1 {
+		t.Fatalf("move = %+v", mv)
+	}
+	if mv.Gain != 95 {
+		t.Fatalf("gain = %d, want 95", mv.Gain)
+	}
+}
+
+func TestPlanHysteresisKeepsMarginalSlices(t *testing.T) {
+	owners := boundMap(t, 2, 0)
+	m := NewAccessMatrix()
+	// Challenger leads but not by the 2x hysteresis factor.
+	m.Record(0, 1, 30)
+	m.Record(0, 0, 20)
+	moves, err := Plan(m, owners, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("marginal slice moved: %+v", moves)
+	}
+}
+
+func TestPlanColdSlicesStayPut(t *testing.T) {
+	owners := boundMap(t, 2, 0)
+	m := NewAccessMatrix()
+	m.Record(1, 1, 5) // below MinAccesses=16
+	moves, err := Plan(m, owners, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("cold slice moved: %+v", moves)
+	}
+}
+
+func TestPlanLocalDominantNoMove(t *testing.T) {
+	owners := boundMap(t, 2, 0)
+	m := NewAccessMatrix()
+	m.Record(0, 0, 100)
+	m.Record(0, 1, 10)
+	moves, err := Plan(m, owners, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("locally-dominant slice moved: %+v", moves)
+	}
+}
+
+func TestPlanOrdersByGainAndCapsMoves(t *testing.T) {
+	owners := boundMap(t, 8, 0)
+	m := NewAccessMatrix()
+	for s := uint64(0); s < 8; s++ {
+		m.Record(s, 1, 50+10*s)
+	}
+	p := DefaultPolicy()
+	p.MaxMoves = 3
+	moves, err := Plan(m, owners, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 3 {
+		t.Fatalf("moves = %d, want capped 3", len(moves))
+	}
+	if moves[0].Slice != 7 || moves[1].Slice != 6 || moves[2].Slice != 5 {
+		t.Fatalf("not ordered by gain: %+v", moves)
+	}
+}
+
+func TestPlanSkipsUnmappedSlices(t *testing.T) {
+	owners := addr.NewGlobalMap() // nothing bound
+	m := NewAccessMatrix()
+	m.Record(0, 1, 1000)
+	moves, err := Plan(m, owners, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("unmapped slice moved: %+v", moves)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	p := Policy{HysteresisFactor: 0.5}
+	if _, err := Plan(NewAccessMatrix(), addr.NewGlobalMap(), p); err == nil {
+		t.Error("hysteresis < 1 accepted")
+	}
+	p = Policy{HysteresisFactor: 1, MaxMoves: -1}
+	if _, err := Plan(NewAccessMatrix(), addr.NewGlobalMap(), p); err == nil {
+		t.Error("negative max moves accepted")
+	}
+}
+
+func TestPlanDeterministicTieBreak(t *testing.T) {
+	owners := boundMap(t, 1, 0)
+	m := NewAccessMatrix()
+	// Servers 1 and 2 tie; lower id must win deterministically.
+	m.Record(0, 1, 50)
+	m.Record(0, 2, 50)
+	for i := 0; i < 5; i++ {
+		moves, err := Plan(m, owners, DefaultPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) != 1 || moves[0].To != 1 {
+			t.Fatalf("tie break: %+v", moves)
+		}
+	}
+}
+
+func TestAccessMatrixConcurrent(t *testing.T) {
+	m := NewAccessMatrix()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Record(uint64(i%16), addr.ServerID(g%4), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for _, s := range m.Slices() {
+		for f := addr.ServerID(0); f < 4; f++ {
+			total += m.Count(s, f)
+		}
+	}
+	if total != 4000 {
+		t.Fatalf("total recorded = %d, want 4000", total)
+	}
+}

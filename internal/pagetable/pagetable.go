@@ -1,0 +1,280 @@
+// Package pagetable implements the per-server fine-grained translation
+// structures behind the two-step addressing scheme: a four-level radix
+// page table (9 bits per level, 4KiB pages, x86-64 style) and a
+// set-associative TLB with hit/miss accounting. The LMP runtime uses them
+// as the server-local step that "can be resolved locally within the
+// target server" (§5).
+package pagetable
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageShift is the page granularity (4KiB).
+const PageShift = 12
+
+// PageSize is the translation granularity in bytes.
+const PageSize = 1 << PageShift
+
+const (
+	levels     = 4
+	levelBits  = 9
+	fanout     = 1 << levelBits
+	levelMask  = fanout - 1
+	vpageWidth = levels * levelBits
+)
+
+// MaxVPage is the largest mappable virtual page number.
+const MaxVPage = (1 << vpageWidth) - 1
+
+type node struct {
+	children [fanout]*node
+	leaves   []int64 // allocated at the last level only
+	present  []bool
+}
+
+// Table is a four-level radix page table mapping virtual page numbers to
+// physical frame offsets. It is safe for concurrent use.
+type Table struct {
+	mu    sync.RWMutex
+	root  *node
+	count int
+	// nodes tracks allocated interior/leaf nodes for memory accounting.
+	nodes int
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{root: &node{}, nodes: 1} }
+
+// Len reports the number of mappings.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Nodes reports the number of radix nodes allocated (an indicator of the
+// table's memory footprint).
+func (t *Table) Nodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes
+}
+
+func indexAt(vpage uint64, level int) int {
+	shift := uint((levels - 1 - level) * levelBits)
+	return int((vpage >> shift) & levelMask)
+}
+
+// Map binds virtual page vpage to physical frame offset pframe (a byte
+// offset, page aligned by convention of the caller).
+func (t *Table) Map(vpage uint64, pframe int64) error {
+	if vpage > MaxVPage {
+		return fmt.Errorf("pagetable: vpage %#x out of range", vpage)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for level := 0; level < levels-1; level++ {
+		i := indexAt(vpage, level)
+		if n.children[i] == nil {
+			n.children[i] = &node{}
+			t.nodes++
+		}
+		n = n.children[i]
+	}
+	if n.leaves == nil {
+		n.leaves = make([]int64, fanout)
+		n.present = make([]bool, fanout)
+	}
+	i := indexAt(vpage, levels-1)
+	if !n.present[i] {
+		t.count++
+	}
+	n.present[i] = true
+	n.leaves[i] = pframe
+	return nil
+}
+
+// Unmap removes the binding for vpage, reporting whether it existed.
+func (t *Table) Unmap(vpage uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for level := 0; level < levels-1; level++ {
+		n = n.children[indexAt(vpage, level)]
+		if n == nil {
+			return false
+		}
+	}
+	i := indexAt(vpage, levels-1)
+	if n.present == nil || !n.present[i] {
+		return false
+	}
+	n.present[i] = false
+	t.count--
+	return true
+}
+
+// Lookup walks the table for vpage. The second result reports presence;
+// walkLevels is the number of radix levels touched (the cost a hardware
+// walker would pay).
+func (t *Table) Lookup(vpage uint64) (pframe int64, ok bool, walkLevels int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for level := 0; level < levels-1; level++ {
+		walkLevels++
+		n = n.children[indexAt(vpage, level)]
+		if n == nil {
+			return 0, false, walkLevels
+		}
+	}
+	walkLevels++
+	i := indexAt(vpage, levels-1)
+	if n.present == nil || !n.present[i] {
+		return 0, false, walkLevels
+	}
+	return n.leaves[i], true, walkLevels
+}
+
+// TLB is a set-associative translation cache with FIFO replacement within
+// each set. It is safe for concurrent use.
+type TLB struct {
+	mu     sync.Mutex
+	sets   int
+	ways   int
+	tags   [][]uint64
+	vals   [][]int64
+	valid  [][]bool
+	cursor []int
+
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB returns a TLB with the given geometry. sets must be a power of
+// two; ways must be positive.
+func NewTLB(sets, ways int) (*TLB, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("pagetable: sets %d must be a power of two", sets)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("pagetable: ways %d must be positive", ways)
+	}
+	t := &TLB{sets: sets, ways: ways}
+	t.tags = make([][]uint64, sets)
+	t.vals = make([][]int64, sets)
+	t.valid = make([][]bool, sets)
+	t.cursor = make([]int, sets)
+	for i := 0; i < sets; i++ {
+		t.tags[i] = make([]uint64, ways)
+		t.vals[i] = make([]int64, ways)
+		t.valid[i] = make([]bool, ways)
+	}
+	return t, nil
+}
+
+func (t *TLB) set(vpage uint64) int { return int(vpage) & (t.sets - 1) }
+
+// Lookup checks the TLB for vpage.
+func (t *TLB) Lookup(vpage uint64) (int64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.set(vpage)
+	for w := 0; w < t.ways; w++ {
+		if t.valid[s][w] && t.tags[s][w] == vpage {
+			t.hits++
+			return t.vals[s][w], true
+		}
+	}
+	t.misses++
+	return 0, false
+}
+
+// Insert caches a translation, evicting FIFO within the set.
+func (t *TLB) Insert(vpage uint64, pframe int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.set(vpage)
+	for w := 0; w < t.ways; w++ {
+		if t.valid[s][w] && t.tags[s][w] == vpage {
+			t.vals[s][w] = pframe
+			return
+		}
+	}
+	w := t.cursor[s]
+	t.cursor[s] = (w + 1) % t.ways
+	t.tags[s][w] = vpage
+	t.vals[s][w] = pframe
+	t.valid[s][w] = true
+}
+
+// InvalidatePage drops any cached translation for vpage (a TLB shootdown
+// after unmap or migration).
+func (t *TLB) InvalidatePage(vpage uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.set(vpage)
+	for w := 0; w < t.ways; w++ {
+		if t.valid[s][w] && t.tags[s][w] == vpage {
+			t.valid[s][w] = false
+		}
+	}
+}
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for s := range t.valid {
+		for w := range t.valid[s] {
+			t.valid[s][w] = false
+		}
+	}
+}
+
+// Stats reports hit and miss counts since creation.
+func (t *TLB) Stats() (hits, misses uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses
+}
+
+// MMU couples a TLB with a page table, the structure a server's runtime
+// uses on its fine translation step.
+type MMU struct {
+	Table *Table
+	TLB   *TLB
+	// Walks counts page-table walks (TLB misses that hit the table).
+	Walks uint64
+	mu    sync.Mutex
+}
+
+// NewMMU returns an MMU with the standard geometry: 64-set, 4-way TLB.
+func NewMMU() *MMU {
+	tlb, err := NewTLB(64, 4)
+	if err != nil {
+		panic(err) // geometry is constant and valid
+	}
+	return &MMU{Table: New(), TLB: tlb}
+}
+
+// Translate maps a byte address to a physical byte offset, filling the TLB
+// on misses.
+func (m *MMU) Translate(vaddr uint64) (int64, error) {
+	vpage := vaddr >> PageShift
+	if p, ok := m.TLB.Lookup(vpage); ok {
+		return p + int64(vaddr&(PageSize-1)), nil
+	}
+	p, ok, _ := m.Table.Lookup(vpage)
+	if !ok {
+		return 0, fmt.Errorf("pagetable: page fault at %#x", vaddr)
+	}
+	m.mu.Lock()
+	m.Walks++
+	m.mu.Unlock()
+	m.TLB.Insert(vpage, p)
+	return p + int64(vaddr&(PageSize-1)), nil
+}

@@ -1,0 +1,283 @@
+package pagetable
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableMapLookup(t *testing.T) {
+	tb := New()
+	if err := tb.Map(42, 42*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	p, ok, walks := tb.Lookup(42)
+	if !ok || p != 42*PageSize {
+		t.Fatalf("lookup = %v,%v", p, ok)
+	}
+	if walks != 4 {
+		t.Fatalf("walk levels = %d, want 4", walks)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+}
+
+func TestTableMissingLookup(t *testing.T) {
+	tb := New()
+	if _, ok, _ := tb.Lookup(7); ok {
+		t.Fatal("lookup of empty table succeeded")
+	}
+	if err := tb.Map(1<<27, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Neighbour in a different subtree must miss.
+	if _, ok, _ := tb.Lookup(1<<27 + 1); ok {
+		t.Fatal("wrong page hit")
+	}
+}
+
+func TestTableRemapOverwrites(t *testing.T) {
+	tb := New()
+	if err := tb.Map(5, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(5, 200); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len after remap = %d", tb.Len())
+	}
+	p, _, _ := tb.Lookup(5)
+	if p != 200 {
+		t.Fatalf("remap value = %d", p)
+	}
+}
+
+func TestTableUnmap(t *testing.T) {
+	tb := New()
+	if err := tb.Map(9, 900); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Unmap(9) {
+		t.Fatal("unmap of mapped page failed")
+	}
+	if tb.Unmap(9) {
+		t.Fatal("double unmap succeeded")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if _, ok, _ := tb.Lookup(9); ok {
+		t.Fatal("unmapped page still resolves")
+	}
+	if tb.Unmap(12345678) {
+		t.Fatal("unmap of never-mapped page succeeded")
+	}
+}
+
+func TestTableVPageBounds(t *testing.T) {
+	tb := New()
+	if err := tb.Map(MaxVPage, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(MaxVPage+1, 1); err == nil {
+		t.Fatal("out-of-range vpage accepted")
+	}
+}
+
+func TestTableNodeSharing(t *testing.T) {
+	tb := New()
+	base := tb.Nodes()
+	// Pages in the same leaf share interior nodes.
+	if err := tb.Map(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	n1 := tb.Nodes()
+	if err := tb.Map(1, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Nodes() != n1 {
+		t.Fatal("adjacent page allocated new nodes")
+	}
+	if n1-base != 3 {
+		t.Fatalf("first mapping allocated %d nodes, want 3 interior", n1-base)
+	}
+}
+
+func TestTableSparseFootprint(t *testing.T) {
+	tb := New()
+	// Widely scattered pages each cost a path of nodes; count stays linear.
+	for i := uint64(0); i < 16; i++ {
+		if err := tb.Map(i<<27, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Len() != 16 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if tb.Nodes() > 1+16*3 {
+		t.Fatalf("nodes = %d, want <= 49", tb.Nodes())
+	}
+}
+
+func TestTLBGeometryValidation(t *testing.T) {
+	if _, err := NewTLB(3, 4); err == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+	if _, err := NewTLB(0, 4); err == nil {
+		t.Fatal("zero sets accepted")
+	}
+	if _, err := NewTLB(4, 0); err == nil {
+		t.Fatal("zero ways accepted")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb, err := NewTLB(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tlb.Lookup(10); ok {
+		t.Fatal("empty TLB hit")
+	}
+	tlb.Insert(10, 1000)
+	if p, ok := tlb.Lookup(10); !ok || p != 1000 {
+		t.Fatalf("lookup = %v,%v", p, ok)
+	}
+	hits, misses := tlb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestTLBEvictionWithinSet(t *testing.T) {
+	tlb, err := NewTLB(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three pages in the same set (stride = sets): FIFO evicts the first.
+	tlb.Insert(0, 1)
+	tlb.Insert(4, 2)
+	tlb.Insert(8, 3)
+	if _, ok := tlb.Lookup(0); ok {
+		t.Fatal("FIFO victim still present")
+	}
+	if _, ok := tlb.Lookup(4); !ok {
+		t.Fatal("survivor evicted")
+	}
+	if _, ok := tlb.Lookup(8); !ok {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestTLBInsertUpdatesExisting(t *testing.T) {
+	tlb, _ := NewTLB(4, 2)
+	tlb.Insert(5, 50)
+	tlb.Insert(5, 51)
+	if p, ok := tlb.Lookup(5); !ok || p != 51 {
+		t.Fatalf("update = %v,%v", p, ok)
+	}
+	// The update must not have consumed a second way: one more insert in
+	// the same set (set(5)=1, set(9)=1) keeps both entries resident.
+	tlb.Insert(9, 90)
+	if _, ok := tlb.Lookup(5); !ok {
+		t.Fatal("updated entry lost")
+	}
+	if _, ok := tlb.Lookup(9); !ok {
+		t.Fatal("second entry lost")
+	}
+}
+
+func TestTLBInvalidateAndFlush(t *testing.T) {
+	tlb, _ := NewTLB(4, 2)
+	tlb.Insert(3, 30)
+	tlb.InvalidatePage(3)
+	if _, ok := tlb.Lookup(3); ok {
+		t.Fatal("invalidated page hit")
+	}
+	tlb.Insert(1, 10)
+	tlb.Insert(2, 20)
+	tlb.Flush()
+	if _, ok := tlb.Lookup(1); ok {
+		t.Fatal("flush left entries")
+	}
+	if _, ok := tlb.Lookup(2); ok {
+		t.Fatal("flush left entries")
+	}
+}
+
+func TestMMUTranslate(t *testing.T) {
+	m := NewMMU()
+	if err := m.Table.Map(7, 7*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(7*PageSize + 123)
+	p, err := m.Translate(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 7*PageSize+123 {
+		t.Fatalf("translate = %d", p)
+	}
+	if m.Walks != 1 {
+		t.Fatalf("walks = %d, want 1", m.Walks)
+	}
+	// Second translation hits the TLB: no extra walk.
+	if _, err := m.Translate(addr + 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Walks != 1 {
+		t.Fatalf("walks after TLB hit = %d, want 1", m.Walks)
+	}
+}
+
+func TestMMUPageFault(t *testing.T) {
+	m := NewMMU()
+	if _, err := m.Translate(0xdead000); err == nil {
+		t.Fatal("unmapped translation succeeded")
+	}
+}
+
+func TestTableConcurrent(t *testing.T) {
+	tb := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := uint64(g*1000 + i)
+				if err := tb.Map(v, int64(v)); err != nil {
+					t.Error(err)
+					return
+				}
+				if p, ok, _ := tb.Lookup(v); !ok || p != int64(v) {
+					t.Errorf("lookup(%d) = %v,%v", v, p, ok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tb.Len() != 1600 {
+		t.Fatalf("len = %d, want 1600", tb.Len())
+	}
+}
+
+// Property: Map then Lookup returns the mapped frame for arbitrary vpages.
+func TestTableMapLookupProperty(t *testing.T) {
+	tb := New()
+	f := func(vp uint32, frame int32) bool {
+		v := uint64(vp)
+		if err := tb.Map(v, int64(frame)); err != nil {
+			return false
+		}
+		p, ok, _ := tb.Lookup(v)
+		return ok && p == int64(frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

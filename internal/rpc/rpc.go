@@ -1,0 +1,336 @@
+// Package rpc is a minimal binary RPC layer over TCP used by the live
+// (multi-process) LMP mode: lmpd servers expose shared-memory operations
+// (read, write, migrate, ship) and peers call them through a multiplexed
+// client. Frames are length-prefixed; concurrent calls on one connection
+// are matched by request id, so a single connection models a server's
+// fabric adapter.
+//
+// Wire format (big endian):
+//
+//	frame  = kind(1) method(1) id(8) len(4) payload(len)
+//	kind   = 1 request | 2 response | 3 error (payload is the message)
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+const (
+	kindRequest  = 1
+	kindResponse = 2
+	kindError    = 3
+)
+
+// MaxPayload bounds a frame payload (16 MiB), protecting against corrupt
+// length prefixes.
+const MaxPayload = 16 << 20
+
+// ErrClosed reports use of a closed client or server.
+var ErrClosed = errors.New("rpc: closed")
+
+// Handler serves one method: it receives the request payload and returns
+// the response payload. A returned error is delivered to the caller as a
+// string.
+type Handler func(payload []byte) ([]byte, error)
+
+type frameHeader struct {
+	kind   byte
+	method byte
+	id     uint64
+	length uint32
+}
+
+func writeFrame(w io.Writer, kind, method byte, id uint64, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("rpc: payload %d exceeds max %d", len(payload), MaxPayload)
+	}
+	var hdr [14]byte
+	hdr[0] = kind
+	hdr[1] = method
+	binary.BigEndian.PutUint64(hdr[2:10], id)
+	binary.BigEndian.PutUint32(hdr[10:14], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (frameHeader, []byte, error) {
+	var hdr [14]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frameHeader{}, nil, err
+	}
+	h := frameHeader{
+		kind:   hdr[0],
+		method: hdr[1],
+		id:     binary.BigEndian.Uint64(hdr[2:10]),
+		length: binary.BigEndian.Uint32(hdr[10:14]),
+	}
+	if h.length > MaxPayload {
+		return frameHeader{}, nil, fmt.Errorf("rpc: frame length %d exceeds max", h.length)
+	}
+	payload := make([]byte, h.length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frameHeader{}, nil, err
+	}
+	return h, payload, nil
+}
+
+// Server dispatches incoming requests to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[byte]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server with no handlers.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[byte]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers h for method. Registering after Serve is allowed;
+// re-registering replaces.
+func (s *Server) Handle(method byte, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen starts accepting on addr ("host:port"; ":0" picks a free port)
+// and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var wmu sync.Mutex // serializes response writes from handler goroutines
+	for {
+		h, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if h.kind != kindRequest {
+			return // protocol violation
+		}
+		s.mu.Lock()
+		handler := s.handlers[h.method]
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			var kind byte
+			var resp []byte
+			if handler == nil {
+				kind = kindError
+				resp = []byte(fmt.Sprintf("rpc: no handler for method %d", h.method))
+			} else if out, err := handler(payload); err != nil {
+				kind = kindError
+				resp = []byte(err.Error())
+			} else {
+				kind = kindResponse
+				resp = out
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = writeFrame(conn, kind, h.method, h.id, resp)
+		}()
+	}
+}
+
+// Close stops the listener and all connections, waiting for in-flight
+// handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+type pendingCall struct {
+	ch chan callResult
+}
+
+type callResult struct {
+	payload []byte
+	err     error
+}
+
+// Client is a multiplexing RPC client over one TCP connection. It is safe
+// for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	nextID  uint64
+	closed  bool
+	readErr error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]*pendingCall)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		h, payload, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		pc := c.pending[h.id]
+		delete(c.pending, h.id)
+		c.mu.Unlock()
+		if pc == nil {
+			continue // stale or duplicate response
+		}
+		switch h.kind {
+		case kindResponse:
+			pc.ch <- callResult{payload: payload}
+		case kindError:
+			pc.ch <- callResult{err: &RemoteError{Method: h.method, Message: string(payload)}}
+		default:
+			pc.ch <- callResult{err: fmt.Errorf("rpc: bad frame kind %d", h.kind)}
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readErr = err
+	for id, pc := range c.pending {
+		pc.ch <- callResult{err: err}
+		delete(c.pending, id)
+	}
+}
+
+// RemoteError is an error returned by a server handler.
+type RemoteError struct {
+	Method  byte
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: method %d: %s", e.Method, e.Message)
+}
+
+// Call sends a request and blocks for its response.
+func (c *Client) Call(method byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	pc := &pendingCall{ch: make(chan callResult, 1)}
+	c.pending[id] = pc
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.conn, kindRequest, method, id, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	res := <-pc.ch
+	return res.payload, res.err
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.failAll(ErrClosed)
+	return err
+}

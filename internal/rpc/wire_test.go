@@ -1,0 +1,139 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// rawDial opens a plain TCP connection to a test server.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestServerDisconnectsOnGarbage(t *testing.T) {
+	_, addr := startTestServer(t)
+	conn := rawDial(t, addr)
+	// Random junk that cannot be a valid request frame.
+	if _, err := conn.Write(bytes.Repeat([]byte{0xFF}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the connection (oversized length prefix).
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept the connection after garbage")
+	}
+}
+
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	_, addr := startTestServer(t)
+	conn := rawDial(t, addr)
+	var hdr [14]byte
+	hdr[0] = kindRequest
+	hdr[1] = methEcho
+	binary.BigEndian.PutUint64(hdr[2:10], 1)
+	binary.BigEndian.PutUint32(hdr[10:14], MaxPayload+1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != io.EOF {
+		t.Fatalf("expected EOF after oversized frame, got %v", err)
+	}
+}
+
+func TestServerDropsNonRequestFrames(t *testing.T) {
+	_, addr := startTestServer(t)
+	conn := rawDial(t, addr)
+	// A response frame arriving at the server is a protocol violation.
+	if err := writeFrame(conn, kindResponse, methEcho, 7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestClientSurvivesStaleResponseID(t *testing.T) {
+	// A server that answers with an unknown request id: the client must
+	// ignore it and still serve real calls afterwards.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// First, push an unsolicited response with a bogus id.
+		_ = writeFrame(conn, kindResponse, 1, 9999, []byte("stale"))
+		// Then behave: echo one real request.
+		h, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		_ = writeFrame(conn, kindResponse, h.method, h.id, payload)
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(1, []byte("real"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "real" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 70000)}
+	for i, p := range payloads {
+		buf.Reset()
+		if err := writeFrame(&buf, kindRequest, byte(i), uint64(i)*7, p); err != nil {
+			t.Fatal(err)
+		}
+		h, got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.kind != kindRequest || h.method != byte(i) || h.id != uint64(i)*7 {
+			t.Fatalf("header = %+v", h)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("payload %d corrupted", i)
+		}
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, kindRequest, 1, 1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, _, err := readFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

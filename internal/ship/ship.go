@@ -1,0 +1,190 @@
+// Package ship implements computation shipping (§4.4): instead of pulling
+// pool data across the fabric, a task is sent to each server that owns a
+// piece of the data and runs against local memory; only the small partial
+// results travel. The package provides the placement grouping, a parallel
+// map-reduce executor, and byte accounting that lets benchmarks compare
+// shipped against pulled execution.
+package ship
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/alloc"
+)
+
+// Task is the unit shipped to one server: the chunks of the target buffer
+// that live there.
+type Task struct {
+	Server addr.ServerID
+	Chunks []alloc.Chunk
+}
+
+// Bytes reports the data volume the task touches locally.
+func (t Task) Bytes() int64 {
+	var n int64
+	for _, c := range t.Chunks {
+		n += c.Size
+	}
+	return n
+}
+
+// GroupByServer splits a placed buffer into per-server tasks, ordered by
+// server id (deterministic execution plans).
+func GroupByServer(chunks []alloc.Chunk) []Task {
+	byServer := make(map[addr.ServerID][]alloc.Chunk)
+	for _, c := range chunks {
+		byServer[c.Server] = append(byServer[c.Server], c)
+	}
+	tasks := make([]Task, 0, len(byServer))
+	for s, cs := range byServer {
+		tasks = append(tasks, Task{Server: s, Chunks: cs})
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].Server < tasks[j].Server })
+	return tasks
+}
+
+// ChunkFunc computes a partial result from one chunk's bytes, running on
+// the owning server.
+type ChunkFunc func(server addr.ServerID, data []byte) (float64, error)
+
+// LocalReader fetches a chunk's bytes at its owning server (a local
+// memory access there).
+type LocalReader func(c alloc.Chunk) ([]byte, error)
+
+// Engine executes shipped computations.
+type Engine struct {
+	// Read fetches chunk bytes locally at the owner. Required.
+	Read LocalReader
+	// Parallelism bounds concurrently executing server tasks; 0 means one
+	// goroutine per server.
+	Parallelism int
+}
+
+// Result reports a shipped execution.
+type Result struct {
+	Value float64
+	// BytesLocal is the data volume processed without crossing the
+	// fabric.
+	BytesLocal int64
+	// ResultMessages is the number of partial results returned across the
+	// fabric (one per task).
+	ResultMessages int
+}
+
+// MapReduce ships f to every server owning part of the buffer, combines
+// the partials with reduce (which must be associative and commutative),
+// and returns the final value. init seeds the reduction.
+func (e *Engine) MapReduce(chunks []alloc.Chunk, f ChunkFunc, reduce func(a, b float64) float64, init float64) (Result, error) {
+	if e.Read == nil {
+		return Result{}, fmt.Errorf("ship: engine has no local reader")
+	}
+	if f == nil || reduce == nil {
+		return Result{}, fmt.Errorf("ship: nil function")
+	}
+	tasks := GroupByServer(chunks)
+	if len(tasks) == 0 {
+		return Result{Value: init}, nil
+	}
+	limit := e.Parallelism
+	if limit <= 0 {
+		limit = len(tasks)
+	}
+	sem := make(chan struct{}, limit)
+	partials := make([]float64, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, task := range tasks {
+		i, task := i, task
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			acc := init
+			for _, c := range task.Chunks {
+				data, err := e.Read(c)
+				if err != nil {
+					errs[i] = fmt.Errorf("ship: read on server %d: %w", task.Server, err)
+					return
+				}
+				v, err := f(task.Server, data)
+				if err != nil {
+					errs[i] = fmt.Errorf("ship: task on server %d: %w", task.Server, err)
+					return
+				}
+				acc = reduce(acc, v)
+			}
+			partials[i] = acc
+		}()
+	}
+	wg.Wait()
+	res := Result{Value: init, ResultMessages: len(tasks)}
+	for i := range tasks {
+		if errs[i] != nil {
+			return Result{}, errs[i]
+		}
+		res.Value = reduce(res.Value, partials[i])
+		res.BytesLocal += tasks[i].Bytes()
+	}
+	return res, nil
+}
+
+// Decision is the outcome of the ship-vs-pull policy.
+type Decision struct {
+	Ship bool
+	// PullSec and ShipSec are the modeled completion times.
+	PullSec float64
+	ShipSec float64
+}
+
+// CostModel parameterizes the decision: link bandwidth for pulling,
+// local memory bandwidth at the owners for shipped execution, and the
+// fixed per-task dispatch overhead.
+type CostModel struct {
+	LinkBps       float64
+	LocalBps      float64
+	TaskOverheadS float64
+}
+
+// Decide weighs shipping a computation against pulling the data: ship
+// when moving the kernel and its small result beats moving dataBytes
+// across the fabric (§3.1/§4.4). resultBytes is the size of the partial
+// results; tasks is the number of owners involved.
+func Decide(dataBytes, resultBytes int64, tasks int, m CostModel) (Decision, error) {
+	if m.LinkBps <= 0 || m.LocalBps <= 0 {
+		return Decision{}, fmt.Errorf("ship: cost model needs positive bandwidths")
+	}
+	if dataBytes < 0 || resultBytes < 0 || tasks <= 0 {
+		return Decision{}, fmt.Errorf("ship: bad inputs data=%d result=%d tasks=%d", dataBytes, resultBytes, tasks)
+	}
+	d := Decision{
+		PullSec: float64(dataBytes) / m.LinkBps,
+		ShipSec: float64(dataBytes)/float64(tasks)/m.LocalBps + // owners scan locally in parallel
+			float64(resultBytes)/m.LinkBps +
+			m.TaskOverheadS,
+	}
+	d.Ship = d.ShipSec < d.PullSec
+	return d, nil
+}
+
+// SumBytesLE treats data as little-endian uint64 words and sums them —
+// the aggregation kernel of the paper's microbenchmark. Trailing bytes
+// beyond the last full word are added byte-wise.
+func SumBytesLE(_ addr.ServerID, data []byte) (float64, error) {
+	var sum float64
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			w |= uint64(data[i+b]) << (8 * b)
+		}
+		sum += float64(w)
+	}
+	for ; i < len(data); i++ {
+		sum += float64(data[i])
+	}
+	return sum, nil
+}

@@ -1,0 +1,207 @@
+package ship
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/alloc"
+)
+
+func TestGroupByServer(t *testing.T) {
+	chunks := []alloc.Chunk{
+		{Server: 2, Offset: 0, Size: 10},
+		{Server: 0, Offset: 0, Size: 20},
+		{Server: 2, Offset: 64, Size: 30},
+	}
+	tasks := GroupByServer(chunks)
+	if len(tasks) != 2 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	if tasks[0].Server != 0 || tasks[1].Server != 2 {
+		t.Fatalf("order: %+v", tasks)
+	}
+	if tasks[1].Bytes() != 40 {
+		t.Fatalf("server 2 bytes = %d", tasks[1].Bytes())
+	}
+	if GroupByServer(nil) != nil && len(GroupByServer(nil)) != 0 {
+		t.Fatal("empty grouping")
+	}
+}
+
+func constReader(v byte, size int) LocalReader {
+	return func(c alloc.Chunk) ([]byte, error) {
+		buf := make([]byte, c.Size)
+		for i := range buf {
+			buf[i] = v
+		}
+		return buf, nil
+	}
+}
+
+func TestMapReduceSums(t *testing.T) {
+	chunks := []alloc.Chunk{
+		{Server: 0, Size: 16},
+		{Server: 1, Size: 16},
+		{Server: 2, Size: 32},
+	}
+	e := &Engine{Read: constReader(1, 0)}
+	count := func(_ addr.ServerID, data []byte) (float64, error) {
+		var s float64
+		for _, b := range data {
+			s += float64(b)
+		}
+		return s, nil
+	}
+	res, err := e.MapReduce(chunks, count, func(a, b float64) float64 { return a + b }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 64 {
+		t.Fatalf("value = %v, want 64", res.Value)
+	}
+	if res.BytesLocal != 64 {
+		t.Fatalf("local bytes = %d", res.BytesLocal)
+	}
+	if res.ResultMessages != 3 {
+		t.Fatalf("messages = %d, want 3 (one per server)", res.ResultMessages)
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	e := &Engine{Read: constReader(0, 0)}
+	res, err := e.MapReduce(nil, SumBytesLE, func(a, b float64) float64 { return a + b }, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 7 {
+		t.Fatalf("empty reduce = %v, want init", res.Value)
+	}
+}
+
+func TestMapReduceValidation(t *testing.T) {
+	e := &Engine{}
+	if _, err := e.MapReduce(nil, SumBytesLE, nil, 0); err == nil {
+		t.Fatal("nil reader accepted")
+	}
+	e.Read = constReader(0, 0)
+	if _, err := e.MapReduce(nil, nil, func(a, b float64) float64 { return a }, 0); err == nil {
+		t.Fatal("nil func accepted")
+	}
+}
+
+func TestMapReducePropagatesTaskError(t *testing.T) {
+	chunks := []alloc.Chunk{{Server: 0, Size: 8}, {Server: 1, Size: 8}}
+	e := &Engine{Read: constReader(0, 0)}
+	boom := errors.New("kernel fault")
+	f := func(s addr.ServerID, data []byte) (float64, error) {
+		if s == 1 {
+			return 0, boom
+		}
+		return 0, nil
+	}
+	_, err := e.MapReduce(chunks, f, func(a, b float64) float64 { return a + b }, 0)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestMapReducePropagatesReadError(t *testing.T) {
+	chunks := []alloc.Chunk{{Server: 0, Size: 8}}
+	e := &Engine{Read: func(c alloc.Chunk) ([]byte, error) {
+		return nil, fmt.Errorf("server down")
+	}}
+	if _, err := e.MapReduce(chunks, SumBytesLE, func(a, b float64) float64 { return a + b }, 0); err == nil {
+		t.Fatal("read error swallowed")
+	}
+}
+
+func TestMapReduceParallelismBound(t *testing.T) {
+	var inFlight, maxSeen atomic.Int32
+	chunks := make([]alloc.Chunk, 8)
+	for i := range chunks {
+		chunks[i] = alloc.Chunk{Server: addr.ServerID(i), Size: 4}
+	}
+	e := &Engine{
+		Parallelism: 2,
+		Read: func(c alloc.Chunk) ([]byte, error) {
+			cur := inFlight.Add(1)
+			for {
+				m := maxSeen.Load()
+				if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			defer inFlight.Add(-1)
+			return make([]byte, c.Size), nil
+		},
+	}
+	_, err := e.MapReduce(chunks, SumBytesLE, func(a, b float64) float64 { return a + b }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen.Load() > 2 {
+		t.Fatalf("max concurrent tasks = %d, want <= 2", maxSeen.Load())
+	}
+}
+
+func TestDecide(t *testing.T) {
+	m := CostModel{LinkBps: 21e9, LocalBps: 97e9, TaskOverheadS: 50e-6}
+	// Big data, tiny result: ship.
+	d, err := Decide(64<<30, 32, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Ship {
+		t.Fatalf("big reduction not shipped: %+v", d)
+	}
+	if d.ShipSec >= d.PullSec {
+		t.Fatalf("times inconsistent: %+v", d)
+	}
+	// Tiny data: overhead dominates, pull.
+	d, err = Decide(4096, 32, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ship {
+		t.Fatalf("tiny access shipped: %+v", d)
+	}
+	// Result as big as the data (no reduction): pulling is never worse.
+	d, err = Decide(1<<30, 1<<30, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ship {
+		t.Fatalf("non-reducing kernel shipped: %+v", d)
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	if _, err := Decide(1, 1, 1, CostModel{}); err == nil {
+		t.Error("zero bandwidths accepted")
+	}
+	m := CostModel{LinkBps: 1, LocalBps: 1}
+	if _, err := Decide(-1, 0, 1, m); err == nil {
+		t.Error("negative data accepted")
+	}
+	if _, err := Decide(1, 0, 0, m); err == nil {
+		t.Error("zero tasks accepted")
+	}
+}
+
+func TestSumBytesLE(t *testing.T) {
+	// One full word (value 1) plus trailing bytes 2,3.
+	data := []byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 3}
+	got, err := SumBytesLE(0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("sum = %v, want 6", got)
+	}
+	if got, _ := SumBytesLE(0, nil); got != 0 {
+		t.Fatalf("empty sum = %v", got)
+	}
+}

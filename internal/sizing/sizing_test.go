@@ -1,0 +1,187 @@
+package sizing
+
+import (
+	"errors"
+	"testing"
+)
+
+const step = 1 << 20 // 1MiB steps keep tests readable
+
+func TestOptimizeServesLocalDemand(t *testing.T) {
+	// One server with shared demand, others idle: the optimizer should
+	// grow exactly that server's region to its demand.
+	servers := []ServerLoad{
+		{Capacity: 64 * step, SharedDemand: 16 * step, SharedWeight: 1},
+		{Capacity: 64 * step},
+		{Capacity: 64 * step},
+	}
+	res, err := Optimize(servers, 0, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SharedBytes[0] != 16*step {
+		t.Fatalf("server 0 shared = %d MB, want 16", res.SharedBytes[0]/step)
+	}
+	if res.SharedBytes[1] != 0 || res.SharedBytes[2] != 0 {
+		t.Fatalf("idle servers shared = %v", res.SharedBytes)
+	}
+	if res.LocalSharedBytes[0] != 16*step {
+		t.Fatalf("local shared = %d", res.LocalSharedBytes[0])
+	}
+}
+
+func TestOptimizeProtectsPrivateWorkingSets(t *testing.T) {
+	// Required pool forces sharing; the server whose private working set
+	// is more valuable should give up less.
+	servers := []ServerLoad{
+		{Capacity: 32 * step, PrivateDemand: 32 * step, PrivateWeight: 10},
+		{Capacity: 32 * step, PrivateDemand: 32 * step, PrivateWeight: 1},
+	}
+	res, err := Optimize(servers, 32*step, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SharedBytes[0]+res.SharedBytes[1] != 32*step {
+		t.Fatalf("pool = %d, want 32MB", res.SharedBytes[0]+res.SharedBytes[1])
+	}
+	if res.SharedBytes[1] != 32*step {
+		t.Fatalf("low-value server shares %d MB, want all 32 (high-value server spared %d)",
+			res.SharedBytes[1]/step, res.SharedBytes[0]/step)
+	}
+}
+
+func TestOptimizeMeetsRequiredPool(t *testing.T) {
+	servers := []ServerLoad{
+		{Capacity: 24 * step, PrivateDemand: 24 * step, PrivateWeight: 1},
+		{Capacity: 24 * step, PrivateDemand: 24 * step, PrivateWeight: 1},
+		{Capacity: 24 * step, PrivateDemand: 24 * step, PrivateWeight: 1},
+		{Capacity: 24 * step, PrivateDemand: 24 * step, PrivateWeight: 1},
+	}
+	res, err := Optimize(servers, 96*step, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, s := range res.SharedBytes {
+		total += s
+	}
+	if total != 96*step {
+		t.Fatalf("pool = %d MB, want 96 (the Figure 5 full-contribution case)", total/step)
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	servers := []ServerLoad{{Capacity: 8 * step}}
+	if _, err := Optimize(servers, 16*step, step); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	if _, err := Optimize(nil, 0, step); err == nil {
+		t.Error("no servers accepted")
+	}
+	if _, err := Optimize([]ServerLoad{{Capacity: step}}, 0, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := Optimize([]ServerLoad{{Capacity: step}}, -1, step); err == nil {
+		t.Error("negative pool accepted")
+	}
+	if _, err := Optimize([]ServerLoad{{Capacity: 0}}, 0, step); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestOptimizeBeatsStaticSplit(t *testing.T) {
+	// Asymmetric demands: a static 50% split wastes capacity on the idle
+	// server and starves the busy one; the optimizer should score higher.
+	servers := []ServerLoad{
+		{Capacity: 32 * step, SharedDemand: 30 * step, SharedWeight: 2, PrivateDemand: 2 * step, PrivateWeight: 1},
+		{Capacity: 32 * step, SharedDemand: 0, PrivateDemand: 30 * step, PrivateWeight: 3},
+	}
+	res, err := Optimize(servers, 16*step, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := StaticSplit(servers, 0.5, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := Evaluate(servers, static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := Evaluate(servers, res.SharedBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov <= sv {
+		t.Fatalf("optimizer value %.0f not above static value %.0f", ov, sv)
+	}
+}
+
+func TestStaticSplitRoundsToStep(t *testing.T) {
+	servers := []ServerLoad{{Capacity: 10*step + 12345}}
+	out, err := StaticSplit(servers, 0.5, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]%step != 0 {
+		t.Fatalf("split %d not step-aligned", out[0])
+	}
+	if _, err := StaticSplit(servers, 1.5, step); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := StaticSplit(servers, 0.5, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	servers := []ServerLoad{{Capacity: 10 * step}}
+	if _, err := Evaluate(servers, []int64{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Evaluate(servers, []int64{20 * step}); err == nil {
+		t.Error("oversized share accepted")
+	}
+	if _, err := Evaluate(servers, []int64{-1}); err == nil {
+		t.Error("negative share accepted")
+	}
+}
+
+func TestOptimizerIsGreedyOptimalOnConcaveCase(t *testing.T) {
+	// With concave per-server values, greedy water-filling is optimal.
+	// Cross-check against brute force on a small instance.
+	servers := []ServerLoad{
+		{Capacity: 4 * step, SharedDemand: 2 * step, SharedWeight: 3, PrivateDemand: 3 * step, PrivateWeight: 2},
+		{Capacity: 4 * step, SharedDemand: 3 * step, SharedWeight: 1, PrivateDemand: 1 * step, PrivateWeight: 5},
+	}
+	const required = 4 * step
+	res, err := Optimize(servers, required, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestV := -1e18
+	for a := int64(0); a <= 4; a++ {
+		for b := int64(0); b <= 4; b++ {
+			if (a+b)*step < required {
+				continue
+			}
+			v, err := Evaluate(servers, []int64{a * step, b * step})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > bestV {
+				bestV = v
+			}
+		}
+	}
+	got, err := Evaluate(servers, res.SharedBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < bestV-1e-6 {
+		t.Fatalf("greedy value %.0f below brute-force optimum %.0f (split %v)", got, bestV, res.SharedBytes)
+	}
+}

@@ -1,0 +1,204 @@
+// Package telemetry provides the lightweight counters, gauges, and
+// histograms shared by the LMP runtime, the migration/sizing policies, and
+// the benchmark harness. All types are safe for concurrent use and their
+// zero values are ready to use.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records a distribution in exponential buckets: bucket i covers
+// [2^i, 2^(i+1)). It is sized for nanosecond latencies and byte sizes.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// Observe records one sample. Non-positive samples land in bucket 0.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	if v >= 1 {
+		i = int(math.Log2(v))
+		if i > 63 {
+			i = 63
+		}
+	}
+	h.buckets[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the buckets,
+// returning the upper bound of the bucket containing it.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum > target {
+			return math.Exp2(float64(i + 1))
+		}
+	}
+	return h.max
+}
+
+// Registry is a named collection of metrics for inspection and dumping.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot renders all metrics as sorted "name value" lines.
+func (r *Registry) Snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for n, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", n, c.Value()))
+	}
+	for n, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %d", n, g.Value()))
+	}
+	for n, h := range r.hists {
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%.1f p99=%.0f", n, h.Count(), h.Mean(), h.Quantile(0.99)))
+	}
+	sort.Strings(lines)
+	return lines
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 4, 8, 16} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-6.2) > 1e-9 {
+		t.Fatalf("mean = %v, want 6.2", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 16 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(10)
+	}
+	h.Observe(10000)
+	p50 := h.Quantile(0.5)
+	if p50 < 10 || p50 > 32 {
+		t.Fatalf("p50 = %v, want ~16 (bucket bound)", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 8192 {
+		t.Fatalf("p99.9 = %v, want >= 8192", p999)
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	if h.Quantile(-1) == 0 && h.Quantile(2) == 0 {
+		t.Fatal("quantiles of a populated histogram returned 0")
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
+func TestHistogramNonPositive(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != -5 {
+		t.Fatalf("min = %v", h.Min())
+	}
+}
+
+func TestHistogramMeanProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		var sum float64
+		for _, v := range vals {
+			h.Observe(float64(v))
+			sum += float64(v)
+		}
+		if len(vals) == 0 {
+			return h.Mean() == 0
+		}
+		return math.Abs(h.Mean()-sum/float64(len(vals))) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reads").Add(3)
+	if r.Counter("reads").Value() != 3 {
+		t.Fatal("counter not shared by name")
+	}
+	r.Gauge("shared_bytes").Set(42)
+	r.Histogram("latency").Observe(100)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d lines: %v", len(snap), snap)
+	}
+	joined := strings.Join(snap, "\n")
+	for _, want := range []string{"counter reads 3", "gauge shared_bytes 42", "histogram latency"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 800 {
+		t.Fatalf("counter = %d", r.Counter("c").Value())
+	}
+	if r.Histogram("h").Count() != 800 {
+		t.Fatalf("histogram count = %d", r.Histogram("h").Count())
+	}
+}

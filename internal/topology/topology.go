@@ -1,0 +1,199 @@
+// Package topology describes memory-pool deployments: the servers, their
+// DRAM capacities, how much each contributes to the disaggregated pool, and
+// — for physical pools — the separate pool device. It encodes the three
+// §4.1 configurations (Logical, Physical cache, Physical no-cache) and the
+// cost accounting of §4.2.
+package topology
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/lmp-project/lmp/internal/memsim"
+)
+
+// Kind distinguishes deployment architectures.
+type Kind int
+
+const (
+	// Logical carves the pool out of each server's DRAM (the paper's
+	// proposal).
+	Logical Kind = iota
+	// PhysicalCache uses a separate pool device; servers use their local
+	// DRAM as a cache for pooled data.
+	PhysicalCache
+	// PhysicalNoCache uses a separate pool device; servers access pooled
+	// data directly with no local caching.
+	PhysicalNoCache
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Logical:
+		return "Logical"
+	case PhysicalCache:
+		return "Physical cache"
+	case PhysicalNoCache:
+		return "Physical no-cache"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Server is one host in the deployment.
+type Server struct {
+	Name string
+	// TotalBytes is the DRAM installed in the server.
+	TotalBytes int64
+	// SharedBytes of TotalBytes are contributed to the pool (logical
+	// deployments only; zero for physical).
+	SharedBytes int64
+	// Cores available for computation.
+	Cores int
+}
+
+// PrivateBytes reports DRAM reserved for the server's own use.
+func (s Server) PrivateBytes() int64 { return s.TotalBytes - s.SharedBytes }
+
+// Deployment is a full memory-pool deployment description.
+type Deployment struct {
+	Kind    Kind
+	Servers []Server
+	// PoolBytes is the capacity of the separate pool device (physical
+	// deployments only; zero for logical).
+	PoolBytes int64
+	// Link is the fabric link profile connecting servers (and the pool
+	// device) to the switch.
+	Link memsim.Profile
+	// LocalMem is the DRAM profile inside each server.
+	LocalMem memsim.Profile
+	// Core describes each CPU core as a traffic source.
+	Core memsim.CoreProfile
+}
+
+// Validate checks internal consistency.
+func (d *Deployment) Validate() error {
+	if len(d.Servers) == 0 {
+		return errors.New("topology: deployment has no servers")
+	}
+	for i, s := range d.Servers {
+		if s.TotalBytes <= 0 {
+			return fmt.Errorf("topology: server %d has no memory", i)
+		}
+		if s.SharedBytes < 0 || s.SharedBytes > s.TotalBytes {
+			return fmt.Errorf("topology: server %d shares %d of %d bytes", i, s.SharedBytes, s.TotalBytes)
+		}
+		if s.Cores <= 0 {
+			return fmt.Errorf("topology: server %d has no cores", i)
+		}
+	}
+	switch d.Kind {
+	case Logical:
+		if d.PoolBytes != 0 {
+			return errors.New("topology: logical deployment must not have a pool device")
+		}
+	case PhysicalCache, PhysicalNoCache:
+		if d.PoolBytes <= 0 {
+			return errors.New("topology: physical deployment needs a pool device")
+		}
+		for i, s := range d.Servers {
+			if s.SharedBytes != 0 {
+				return fmt.Errorf("topology: physical deployment server %d contributes shared memory", i)
+			}
+		}
+	default:
+		return fmt.Errorf("topology: unknown kind %v", d.Kind)
+	}
+	if d.Link.Bandwidth <= 0 || d.LocalMem.Bandwidth <= 0 {
+		return errors.New("topology: missing link or memory profile")
+	}
+	if d.Core.MLP <= 0 || d.Core.LineBytes <= 0 {
+		return errors.New("topology: missing core profile")
+	}
+	return nil
+}
+
+// PoolCapacity reports the bytes available as disaggregated memory.
+func (d *Deployment) PoolCapacity() int64 {
+	if d.Kind == Logical {
+		var t int64
+		for _, s := range d.Servers {
+			t += s.SharedBytes
+		}
+		return t
+	}
+	return d.PoolBytes
+}
+
+// TotalMemory reports all DRAM in the deployment, servers plus pool device.
+func (d *Deployment) TotalMemory() int64 {
+	var t int64
+	for _, s := range d.Servers {
+		t += s.TotalBytes
+	}
+	return t + d.PoolBytes
+}
+
+// SwitchPorts reports fabric switch ports consumed: one per server, plus
+// pool-device ports for physical deployments (the paper notes the
+// switch-to-pool link must be provisioned thicker to avoid incast; we
+// count it as PoolPortCount ports).
+func (d *Deployment) SwitchPorts() int {
+	n := len(d.Servers)
+	if d.Kind != Logical {
+		n += d.PoolPortCount()
+	}
+	return n
+}
+
+// PoolPortCount reports how many switch ports the physical pool device
+// needs so its link is not the incast bottleneck: enough to match the
+// aggregate of all server links.
+func (d *Deployment) PoolPortCount() int {
+	if d.Kind == Logical {
+		return 0
+	}
+	return len(d.Servers)
+}
+
+// ExtraHardware lists the components a physical pool needs beyond the
+// servers (§4.2): chassis, power, controller silicon, rack space.
+func (d *Deployment) ExtraHardware() []string {
+	if d.Kind == Logical {
+		return nil
+	}
+	return []string{
+		"pool chassis + power supply",
+		"pool motherboard + CPU/ASIC/FPGA controller",
+		"rack space (1U+)",
+		fmt.Sprintf("%d extra switch ports", d.PoolPortCount()),
+	}
+}
+
+// PaperDeployment builds one of the §4.1 microbenchmark configurations:
+// 4 servers, 96GB total memory budget, 14 cores on the accessing server.
+//   - Logical: 24GB per server, all of it shareable.
+//   - Physical: 64GB pool device, 8GB local DRAM per server.
+func PaperDeployment(kind Kind, link memsim.Profile) *Deployment {
+	d := &Deployment{
+		Kind:     kind,
+		Link:     link,
+		LocalMem: memsim.LocalDRAM(),
+		Core:     memsim.DefaultCore(),
+	}
+	const servers = 4
+	for i := 0; i < servers; i++ {
+		s := Server{Name: fmt.Sprintf("server%d", i), Cores: 14}
+		if kind == Logical {
+			s.TotalBytes = 24 * memsim.GB
+			s.SharedBytes = 24 * memsim.GB
+		} else {
+			s.TotalBytes = 8 * memsim.GB
+		}
+		d.Servers = append(d.Servers, s)
+	}
+	if kind != Logical {
+		d.PoolBytes = 64 * memsim.GB
+	}
+	return d
+}

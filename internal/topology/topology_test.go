@@ -1,0 +1,123 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/memsim"
+)
+
+func TestPaperDeploymentLogical(t *testing.T) {
+	d := PaperDeployment(Logical, memsim.Link1())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PoolCapacity(); got != 96*memsim.GB {
+		t.Fatalf("pool capacity = %d GB, want 96", got/memsim.GB)
+	}
+	if got := d.TotalMemory(); got != 96*memsim.GB {
+		t.Fatalf("total memory = %d GB, want 96", got/memsim.GB)
+	}
+	if n := d.SwitchPorts(); n != 4 {
+		t.Fatalf("switch ports = %d, want 4", n)
+	}
+	if hw := d.ExtraHardware(); hw != nil {
+		t.Fatalf("logical deployment lists extra hardware: %v", hw)
+	}
+	for _, s := range d.Servers {
+		if s.PrivateBytes() != 0 {
+			t.Fatalf("server %s private = %d, want 0 (fully shareable)", s.Name, s.PrivateBytes())
+		}
+	}
+}
+
+func TestPaperDeploymentPhysical(t *testing.T) {
+	for _, kind := range []Kind{PhysicalCache, PhysicalNoCache} {
+		d := PaperDeployment(kind, memsim.Link0())
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := d.PoolCapacity(); got != 64*memsim.GB {
+			t.Fatalf("%v pool capacity = %d GB, want 64", kind, got/memsim.GB)
+		}
+		if got := d.TotalMemory(); got != 96*memsim.GB {
+			t.Fatalf("%v total = %d GB, want 96", kind, got/memsim.GB)
+		}
+		if n := d.SwitchPorts(); n != 8 {
+			t.Fatalf("%v switch ports = %d, want 8 (4 servers + 4 pool ports)", kind, n)
+		}
+		if hw := d.ExtraHardware(); len(hw) == 0 {
+			t.Fatalf("%v lists no extra hardware", kind)
+		}
+	}
+}
+
+func TestEqualTotalMemoryScenario(t *testing.T) {
+	// §4.2 second scenario: with equal total memory, physical servers end
+	// up with less local memory than LMP servers.
+	log := PaperDeployment(Logical, memsim.Link1())
+	phys := PaperDeployment(PhysicalCache, memsim.Link1())
+	if log.TotalMemory() != phys.TotalMemory() {
+		t.Fatal("scenario requires equal total memory")
+	}
+	if log.Servers[0].TotalBytes <= phys.Servers[0].TotalBytes {
+		t.Fatal("LMP servers should have more local memory than physical-pool servers")
+	}
+}
+
+func TestValidateRejectsBadDeployments(t *testing.T) {
+	link, local, core := memsim.Link0(), memsim.LocalDRAM(), memsim.DefaultCore()
+	cases := []struct {
+		name string
+		d    Deployment
+		want string
+	}{
+		{"no servers", Deployment{Kind: Logical, Link: link, LocalMem: local, Core: core}, "no servers"},
+		{"no memory", Deployment{Kind: Logical, Servers: []Server{{Cores: 1}}, Link: link, LocalMem: local, Core: core}, "no memory"},
+		{"overshared", Deployment{Kind: Logical, Servers: []Server{{TotalBytes: 10, SharedBytes: 20, Cores: 1}}, Link: link, LocalMem: local, Core: core}, "shares"},
+		{"no cores", Deployment{Kind: Logical, Servers: []Server{{TotalBytes: 10}}, Link: link, LocalMem: local, Core: core}, "no cores"},
+		{"logical with pool", Deployment{Kind: Logical, PoolBytes: 5, Servers: []Server{{TotalBytes: 10, Cores: 1}}, Link: link, LocalMem: local, Core: core}, "pool device"},
+		{"physical without pool", Deployment{Kind: PhysicalCache, Servers: []Server{{TotalBytes: 10, Cores: 1}}, Link: link, LocalMem: local, Core: core}, "pool device"},
+		{"physical with shared", Deployment{Kind: PhysicalNoCache, PoolBytes: 5, Servers: []Server{{TotalBytes: 10, SharedBytes: 5, Cores: 1}}, Link: link, LocalMem: local, Core: core}, "shared"},
+		{"missing profiles", Deployment{Kind: Logical, Servers: []Server{{TotalBytes: 10, Cores: 1}}, Core: core}, "profile"},
+		{"missing core", Deployment{Kind: Logical, Servers: []Server{{TotalBytes: 10, Cores: 1}}, Link: link, LocalMem: local}, "core profile"},
+	}
+	for _, c := range cases {
+		err := c.d.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a bad deployment", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Logical.String() != "Logical" ||
+		PhysicalCache.String() != "Physical cache" ||
+		PhysicalNoCache.String() != "Physical no-cache" {
+		t.Fatal("kind strings wrong")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestRatioFlexibility(t *testing.T) {
+	// A logical deployment can rebalance shared/private without changing
+	// totals; PoolCapacity follows.
+	d := PaperDeployment(Logical, memsim.Link1())
+	d.Servers[0].SharedBytes = 8 * memsim.GB
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(8+24+24+24) * memsim.GB
+	if got := d.PoolCapacity(); got != want {
+		t.Fatalf("pool capacity after resize = %d, want %d", got, want)
+	}
+	if d.Servers[0].PrivateBytes() != 16*memsim.GB {
+		t.Fatal("private bytes wrong after resize")
+	}
+}

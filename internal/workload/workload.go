@@ -1,0 +1,190 @@
+// Package workload generates memory access streams for the tests,
+// examples, and benchmark harness: sequential scans (the paper's vector
+// aggregation), uniform and zipfian random access, and skewed hot-set
+// patterns that exercise the migration policy.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Access is one memory operation in a generated stream.
+type Access struct {
+	Offset int64
+	Size   int
+	Write  bool
+}
+
+// Generator produces a finite access stream.
+type Generator interface {
+	// Next returns the next access; ok is false when the stream ends.
+	Next() (a Access, ok bool)
+	// Reset rewinds the stream to its beginning.
+	Reset()
+}
+
+// Sequential scans [start, start+total) in stride-sized reads — the §4
+// vector-sum traffic pattern of one core.
+type Sequential struct {
+	Start  int64
+	Total  int64
+	Stride int
+
+	pos int64
+}
+
+// NewSequential returns a sequential scan generator.
+func NewSequential(start, total int64, stride int) (*Sequential, error) {
+	if total < 0 || stride <= 0 {
+		return nil, fmt.Errorf("workload: bad sequential spec total=%d stride=%d", total, stride)
+	}
+	return &Sequential{Start: start, Total: total, Stride: stride}, nil
+}
+
+// Next implements Generator.
+func (s *Sequential) Next() (Access, bool) {
+	if s.pos >= s.Total {
+		return Access{}, false
+	}
+	sz := int64(s.Stride)
+	if rem := s.Total - s.pos; rem < sz {
+		sz = rem
+	}
+	a := Access{Offset: s.Start + s.pos, Size: int(sz)}
+	s.pos += sz
+	return a, true
+}
+
+// Reset implements Generator.
+func (s *Sequential) Reset() { s.pos = 0 }
+
+// Uniform issues count accesses of size stride at uniformly random
+// stride-aligned offsets in [start, start+span).
+type Uniform struct {
+	Start  int64
+	Span   int64
+	Stride int
+	Count  int
+	Writes float64 // fraction of writes in [0,1]
+
+	seed int64
+	rng  *rand.Rand
+	done int
+}
+
+// NewUniform returns a uniform random access generator with a fixed seed
+// for reproducibility.
+func NewUniform(start, span int64, stride, count int, writeFrac float64, seed int64) (*Uniform, error) {
+	if span <= 0 || stride <= 0 || count < 0 || int64(stride) > span {
+		return nil, fmt.Errorf("workload: bad uniform spec span=%d stride=%d count=%d", span, stride, count)
+	}
+	if writeFrac < 0 || writeFrac > 1 {
+		return nil, fmt.Errorf("workload: write fraction %v outside [0,1]", writeFrac)
+	}
+	u := &Uniform{Start: start, Span: span, Stride: stride, Count: count, Writes: writeFrac, seed: seed}
+	u.Reset()
+	return u, nil
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() (Access, bool) {
+	if u.done >= u.Count {
+		return Access{}, false
+	}
+	u.done++
+	slots := u.Span / int64(u.Stride)
+	off := u.Start + u.rng.Int63n(slots)*int64(u.Stride)
+	return Access{Offset: off, Size: u.Stride, Write: u.rng.Float64() < u.Writes}, true
+}
+
+// Reset implements Generator.
+func (u *Uniform) Reset() {
+	u.rng = rand.New(rand.NewSource(u.seed))
+	u.done = 0
+}
+
+// Zipf issues count accesses with zipfian popularity over stride-aligned
+// slots — the skewed pattern under which locality balancing pays off.
+type Zipf struct {
+	Start  int64
+	Span   int64
+	Stride int
+	Count  int
+	S      float64 // zipf skew parameter, > 1
+
+	seed int64
+	rng  *rand.Rand
+	z    *rand.Zipf
+	done int
+}
+
+// NewZipf returns a zipfian generator. s must be > 1 (rand.Zipf's domain).
+func NewZipf(start, span int64, stride, count int, s float64, seed int64) (*Zipf, error) {
+	if span <= 0 || stride <= 0 || int64(stride) > span {
+		return nil, fmt.Errorf("workload: bad zipf spec span=%d stride=%d", span, stride)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf s=%v must be > 1", s)
+	}
+	z := &Zipf{Start: start, Span: span, Stride: stride, Count: count, S: s, seed: seed}
+	z.Reset()
+	return z, nil
+}
+
+// Next implements Generator.
+func (z *Zipf) Next() (Access, bool) {
+	if z.done >= z.Count {
+		return Access{}, false
+	}
+	z.done++
+	off := z.Start + int64(z.z.Uint64())*int64(z.Stride)
+	return Access{Offset: off, Size: z.Stride}, true
+}
+
+// Reset implements Generator.
+func (z *Zipf) Reset() {
+	z.rng = rand.New(rand.NewSource(z.seed))
+	slots := uint64(z.Span / int64(z.Stride))
+	if slots == 0 {
+		slots = 1
+	}
+	z.z = rand.NewZipf(z.rng, z.S, 1, slots-1)
+	z.done = 0
+}
+
+// Partition splits [0, total) into n contiguous chunks, the way the §4
+// microbenchmark deals a vector to cores. The first chunk absorbs the
+// remainder.
+func Partition(total int64, n int) []struct{ Start, Size int64 } {
+	if n <= 0 || total <= 0 {
+		return nil
+	}
+	out := make([]struct{ Start, Size int64 }, n)
+	base := total / int64(n)
+	rem := total - base*int64(n)
+	var pos int64
+	for i := 0; i < n; i++ {
+		sz := base
+		if i == 0 {
+			sz += rem
+		}
+		out[i].Start = pos
+		out[i].Size = sz
+		pos += sz
+	}
+	return out
+}
+
+// Drain runs a generator to exhaustion and returns its accesses (test and
+// trace-capture helper).
+func Drain(g Generator) []Access {
+	var out []Access
+	for {
+		a, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}

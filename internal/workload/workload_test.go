@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialCoversRange(t *testing.T) {
+	g, err := NewSequential(100, 1000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := Drain(g)
+	var total int64
+	pos := int64(100)
+	for _, a := range accs {
+		if a.Offset != pos {
+			t.Fatalf("gap at %d, got %d", pos, a.Offset)
+		}
+		pos += int64(a.Size)
+		total += int64(a.Size)
+	}
+	if total != 1000 {
+		t.Fatalf("total = %d", total)
+	}
+	// Final partial access: 1000 % 64 = 40.
+	if last := accs[len(accs)-1]; last.Size != 40 {
+		t.Fatalf("last size = %d, want 40", last.Size)
+	}
+}
+
+func TestSequentialReset(t *testing.T) {
+	g, _ := NewSequential(0, 128, 64)
+	a1 := Drain(g)
+	g.Reset()
+	a2 := Drain(g)
+	if len(a1) != 2 || len(a2) != 2 || a1[0] != a2[0] {
+		t.Fatalf("reset mismatch: %v vs %v", a1, a2)
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	if _, err := NewSequential(0, -1, 64); err == nil {
+		t.Error("negative total accepted")
+	}
+	if _, err := NewSequential(0, 100, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+func TestUniformStaysInRangeAndReproducible(t *testing.T) {
+	g, err := NewUniform(1000, 4096, 64, 500, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := Drain(g)
+	if len(a1) != 500 {
+		t.Fatalf("count = %d", len(a1))
+	}
+	writes := 0
+	for _, a := range a1 {
+		if a.Offset < 1000 || a.Offset+int64(a.Size) > 1000+4096 {
+			t.Fatalf("access out of range: %+v", a)
+		}
+		if (a.Offset-1000)%64 != 0 {
+			t.Fatalf("unaligned access: %+v", a)
+		}
+		if a.Write {
+			writes++
+		}
+	}
+	if writes < 75 || writes > 175 {
+		t.Fatalf("writes = %d, want ~125", writes)
+	}
+	g.Reset()
+	a2 := Drain(g)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("uniform stream not reproducible after reset")
+		}
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := NewUniform(0, 0, 64, 1, 0, 1); err == nil {
+		t.Error("zero span accepted")
+	}
+	if _, err := NewUniform(0, 32, 64, 1, 0, 1); err == nil {
+		t.Error("stride > span accepted")
+	}
+	if _, err := NewUniform(0, 128, 64, 1, 1.5, 1); err == nil {
+		t.Error("write fraction > 1 accepted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, err := NewZipf(0, 64*1024, 64, 10000, 1.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int{}
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		if a.Offset < 0 || a.Offset >= 64*1024 {
+			t.Fatalf("zipf out of range: %+v", a)
+		}
+		counts[a.Offset]++
+	}
+	// The most popular slot must dominate: > 10% of accesses.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 {
+		t.Fatalf("hottest slot got %d of 10000 accesses; not skewed", max)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1024, 64, 10, 1.0, 1); err == nil {
+		t.Error("s=1 accepted")
+	}
+	if _, err := NewZipf(0, 0, 64, 10, 1.5, 1); err == nil {
+		t.Error("zero span accepted")
+	}
+}
+
+func TestPartitionExact(t *testing.T) {
+	parts := Partition(100, 4)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	var total int64
+	pos := int64(0)
+	for _, p := range parts {
+		if p.Start != pos {
+			t.Fatalf("part start %d, want %d", p.Start, pos)
+		}
+		pos += p.Size
+		total += p.Size
+	}
+	if total != 100 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	if Partition(0, 4) != nil || Partition(100, 0) != nil {
+		t.Fatal("degenerate partitions should be nil")
+	}
+}
+
+// Property: partitions tile the range exactly for any sizes.
+func TestPartitionProperty(t *testing.T) {
+	f := func(total uint32, n uint8) bool {
+		tt := int64(total%1_000_000) + 1
+		nn := int(n%32) + 1
+		parts := Partition(tt, nn)
+		if len(parts) != nn {
+			return false
+		}
+		var pos, sum int64
+		for _, p := range parts {
+			if p.Start != pos || p.Size < 0 {
+				return false
+			}
+			pos += p.Size
+			sum += p.Size
+		}
+		return sum == tt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package lmp is the public API of the Logical Memory Pool library, a
+// reproduction of "Logical Memory Pools: Flexible and Local Disaggregated
+// Memory" (HotNets '23).
+//
+// A logical memory pool carves the disaggregated memory pool out of each
+// server's local DRAM instead of deploying a separate memory box on the
+// CXL fabric. The library provides:
+//
+//   - the LMP runtime (Pool): allocation at stable logical addresses,
+//     local/remote load-store access, two-step address translation,
+//     locality balancing, shared-region sizing, a coherent region with
+//     locks, and crash masking via replication or Reed–Solomon codes;
+//   - the physical-pool baselines (PhysicalPool) with no-cache, pinned-
+//     cache and LRU-cache local memory modes;
+//   - the calibrated bandwidth/latency models that regenerate the paper's
+//     evaluation (Tables 1-2, Figures 2-5);
+//   - a live distributed mode where per-server daemons serve pool
+//     operations over TCP.
+//
+// Quickstart:
+//
+//	pool, err := lmp.New(lmp.Config{
+//		Servers: []lmp.ServerConfig{
+//			{Name: "a", Capacity: 1 << 30, SharedBytes: 1 << 30},
+//			{Name: "b", Capacity: 1 << 30, SharedBytes: 1 << 30},
+//		},
+//		Placement: lmp.LocalityAware,
+//	})
+//	buf, err := pool.Alloc(64<<20, 0)          // place 64MiB near server 0
+//	err = pool.Write(0, buf.Addr(), data)      // local write
+//	err = pool.Read(1, buf.Addr(), out)        // remote read from server 1
+package lmp
+
+import (
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/core"
+	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/memsim"
+	"github.com/lmp-project/lmp/internal/migrate"
+	"github.com/lmp-project/lmp/internal/sizing"
+	"github.com/lmp-project/lmp/internal/topology"
+)
+
+// Core runtime types.
+type (
+	// Pool is a logical memory pool across a set of servers.
+	Pool = core.Pool
+	// Buffer is an allocation at a stable logical address range.
+	Buffer = core.Buffer
+	// Config configures a logical pool.
+	Config = core.Config
+	// ServerConfig describes one server joining the pool.
+	ServerConfig = core.ServerConfig
+	// PhysicalPool is the physically separate pool baseline.
+	PhysicalPool = core.PhysicalPool
+	// PhysicalConfig configures the baseline.
+	PhysicalConfig = core.PhysicalConfig
+	// CacheMode selects the baseline's local-memory caching behaviour.
+	CacheMode = core.CacheMode
+	// ServerID identifies a server participating in a pool.
+	ServerID = addr.ServerID
+	// Logical is an address in the pool's global address space.
+	Logical = addr.Logical
+	// RunnerConfig configures the pool's background tasks.
+	RunnerConfig = core.RunnerConfig
+	// Runner owns a pool's background goroutines.
+	Runner = core.Runner
+	// AddressSpace is the application library's per-process VA view.
+	AddressSpace = core.AddressSpace
+	// Mapping is one buffer's window in an address space.
+	Mapping = core.Mapping
+)
+
+// Placement policies.
+const (
+	FirstFit      = alloc.FirstFit
+	RoundRobin    = alloc.RoundRobin
+	LocalityAware = alloc.LocalityAware
+	Striped       = alloc.Striped
+)
+
+// Physical-pool cache modes.
+const (
+	NoCache     = core.NoCache
+	PinnedCache = core.PinnedCache
+	LRUCache    = core.LRUCache
+)
+
+// SliceSize is the pool's allocation/migration granularity (2MiB).
+const SliceSize = core.SliceSize
+
+// New builds a logical pool from the configuration.
+func New(cfg Config) (*Pool, error) { return core.New(cfg) }
+
+// NewPhysical builds a physical-pool baseline.
+func NewPhysical(cfg PhysicalConfig) (*PhysicalPool, error) { return core.NewPhysical(cfg) }
+
+// Protection policies (failure masking, §5 "Failure domains").
+type ProtectionPolicy = failure.Policy
+
+// Protection schemes.
+const (
+	ProtectNone    = failure.None
+	ProtectReplica = failure.Replicate
+	ProtectErasure = failure.ErasureCode
+)
+
+// IsMemoryException reports whether err is the exception raised when
+// unprotected pool data is lost in a server crash.
+func IsMemoryException(err error) bool { return failure.IsMemoryException(err) }
+
+// Policy types for the background tasks.
+type (
+	// MigrationPolicy tunes the locality balancer.
+	MigrationPolicy = migrate.Policy
+	// ServerLoad feeds the shared-region sizing optimizer.
+	ServerLoad = sizing.ServerLoad
+)
+
+// Deployment modeling (the paper's evaluation configurations).
+type (
+	// Deployment describes a memory-pool deployment for the analytic
+	// bandwidth model.
+	Deployment = topology.Deployment
+	// MemoryProfile is a calibrated latency/bandwidth point.
+	MemoryProfile = memsim.Profile
+	// VectorSumConfig parameterizes the §4 microbenchmark.
+	VectorSumConfig = core.VectorSumConfig
+	// BandwidthResult reports a modeled experiment.
+	BandwidthResult = core.BandwidthResult
+	// NearMemoryResult reports the computation-shipping experiment.
+	NearMemoryResult = core.NearMemoryResult
+)
+
+// Deployment kinds.
+const (
+	DeployLogical         = topology.Logical
+	DeployPhysicalCache   = topology.PhysicalCache
+	DeployPhysicalNoCache = topology.PhysicalNoCache
+)
+
+// Calibrated link and memory profiles (paper Tables 1-2).
+var (
+	LocalDRAM = memsim.LocalDRAM
+	Link0     = memsim.Link0
+	Link1     = memsim.Link1
+	PondCXL   = memsim.PondCXL
+	FPGACXL   = memsim.FPGACXL
+)
+
+// PaperDeployment builds one of the §4.1 microbenchmark configurations
+// (4 servers, 96GB budget).
+func PaperDeployment(kind topology.Kind, link memsim.Profile) *Deployment {
+	return topology.PaperDeployment(kind, link)
+}
+
+// VectorSumBandwidth evaluates the §4 microbenchmark on the fluid model.
+func VectorSumBandwidth(cfg VectorSumConfig) (BandwidthResult, error) {
+	return core.VectorSumBandwidth(cfg)
+}
+
+// NearMemorySum models the §4.4 distributed (shipped) aggregation.
+func NearMemorySum(cfg VectorSumConfig) (NearMemoryResult, error) {
+	return core.NearMemorySum(cfg)
+}
+
+// GB is 2^30 bytes.
+const GB = memsim.GB

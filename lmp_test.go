@@ -1,0 +1,153 @@
+package lmp_test
+
+import (
+	"bytes"
+	"testing"
+
+	lmp "github.com/lmp-project/lmp"
+	"github.com/lmp-project/lmp/internal/memsim"
+)
+
+// TestFacadeEndToEnd drives the public API the way the README shows.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := lmp.Config{Placement: lmp.LocalityAware}
+	for i := 0; i < 4; i++ {
+		cfg.Servers = append(cfg.Servers, lmp.ServerConfig{
+			Name: "s", Capacity: 16 * lmp.SliceSize, SharedBytes: 16 * lmp.SliceSize,
+		})
+	}
+	pool, err := lmp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Servers() != 4 {
+		t.Fatalf("servers = %d", pool.Servers())
+	}
+	buf, err := pool.Alloc(2*lmp.SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("through the facade")
+	if err := pool.Write(0, buf.Addr(), data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := pool.Read(3, buf.Addr(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %q", got)
+	}
+	if _, err := pool.BalanceOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.ResizeShared(1, 8*lmp.SliceSize); err != nil {
+		t.Fatal(err)
+	}
+	lock, err := pool.NewLock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lock.Lock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lock.Unlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeProtectionAndCrash(t *testing.T) {
+	cfg := lmp.Config{Placement: lmp.LocalityAware}
+	for i := 0; i < 3; i++ {
+		cfg.Servers = append(cfg.Servers, lmp.ServerConfig{
+			Capacity: 8 * lmp.SliceSize, SharedBytes: 8 * lmp.SliceSize,
+		})
+	}
+	pool, err := lmp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unprot, err := pool.Alloc(lmp.SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := pool.AllocProtected(lmp.SliceSize, 0,
+		lmp.ProtectionPolicy{Scheme: lmp.ProtectReplica, Copies: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("precious")
+	if err := pool.Write(0, unprot.Addr(), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Write(0, prot.Addr(), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := pool.Read(1, unprot.Addr(), got); !lmp.IsMemoryException(err) {
+		t.Fatalf("want memory exception, got %v", err)
+	}
+	if err := pool.Read(1, prot.Addr(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("replica data corrupt")
+	}
+}
+
+func TestFacadeModelAPI(t *testing.T) {
+	d := lmp.PaperDeployment(lmp.DeployLogical, lmp.Link1())
+	res, err := lmp.VectorSumBandwidth(lmp.VectorSumConfig{
+		Deployment:  d,
+		VectorBytes: 8 * lmp.GB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.BandwidthBps < memsim.GBps(90) {
+		t.Fatalf("model via facade: %+v", res)
+	}
+	nm, err := lmp.NearMemorySum(lmp.VectorSumConfig{
+		Deployment:  d,
+		VectorBytes: 96 * lmp.GB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.SpeedupVsPull < 2 {
+		t.Fatalf("near-memory speedup = %v", nm.SpeedupVsPull)
+	}
+}
+
+func TestFacadePhysicalBaseline(t *testing.T) {
+	pp, err := lmp.NewPhysical(lmp.PhysicalConfig{
+		Servers:    2,
+		LocalBytes: 1 << 16,
+		PoolBytes:  1 << 20,
+		Mode:       lmp.PinnedCache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pp.Alloc(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("baseline")
+	if err := pp.Write(0, b.Addr(), msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := pp.Read(1, b.Addr(), got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip: %q", got)
+	}
+}
