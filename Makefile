@@ -1,0 +1,41 @@
+# Developer entry points. CI runs `make race` as the concurrency gate and
+# `make bench-smoke` to catch hot-path regressions without full benchmark
+# runtimes.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke vet examples
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency gate: vet plus the full suite (including the
+# reader/writer/migration stress test) under the race detector.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Smoke mode for the parallel hot-path benchmark: a fixed small iteration
+# count proves the path works at every goroutine level without
+# benchmark-grade runtimes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolParallelReadWrite' -benchtime=100x .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/vectorsum
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/mmap
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/sizing

@@ -1,0 +1,97 @@
+// Parallel hot-path benchmarks: unlike the simulation benchmarks in
+// bench_test.go, these measure the real concurrency of the runtime's
+// Read/Write path. The workload models the paper's §4 argument that a
+// logical pool wins because many servers drive the fabric at once: every
+// worker issues cache-line-sized accesses (one read of a shared striped
+// buffer, one write to a worker-private buffer per op), so per-op
+// locking and bookkeeping — not memcpy — dominate, exactly as in a
+// load/store disaggregated-memory hot path.
+package lmp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	lmp "github.com/lmp-project/lmp"
+)
+
+const parallelAccessBytes = 64
+
+// BenchmarkPoolParallelReadWrite measures pool ops/sec at increasing
+// goroutine counts. One op = one 64B read from a shared 16MiB buffer
+// striped over 8 servers + one 64B write to a worker-private slice.
+func BenchmarkPoolParallelReadWrite(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("goroutines-%d", workers), func(b *testing.B) {
+			runParallelReadWrite(b, workers)
+		})
+	}
+}
+
+func runParallelReadWrite(b *testing.B, workers int) {
+	const servers = 8
+	cfg := lmp.Config{Placement: lmp.Striped}
+	for s := 0; s < servers; s++ {
+		cfg.Servers = append(cfg.Servers, lmp.ServerConfig{
+			Name:     fmt.Sprintf("s%d", s),
+			Capacity: 32 * lmp.SliceSize, SharedBytes: 32 * lmp.SliceSize,
+		})
+	}
+	pool, err := lmp.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shared, err := pool.Alloc(8*lmp.SliceSize, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := make([]byte, 4096)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	for off := int64(0); off < shared.Size(); off += int64(len(seed)) {
+		if err := pool.Write(0, shared.Addr()+lmp.Logical(off), seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	own := make([]*lmp.Buffer, workers)
+	for w := range own {
+		if own[w], err = pool.Alloc(lmp.SliceSize, lmp.ServerID(w%servers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	readSpan := shared.Size() - parallelAccessBytes
+	writeSpan := int64(lmp.SliceSize - parallelAccessBytes)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		// Split b.N across workers; the remainder goes to worker 0.
+		n := b.N / workers
+		if w == 0 {
+			n += b.N % workers
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rbuf := make([]byte, parallelAccessBytes)
+			wbuf := make([]byte, parallelAccessBytes)
+			from := lmp.ServerID(w % servers)
+			base := int64(w) * lmp.SliceSize
+			for i := 0; i < n; i++ {
+				roff := (base + int64(i)*parallelAccessBytes) % readSpan
+				if err := pool.Read(from, shared.Addr()+lmp.Logical(roff), rbuf); err != nil {
+					panic(err)
+				}
+				woff := (int64(i) * parallelAccessBytes) % writeSpan
+				if err := pool.Write(from, own[w].Addr()+lmp.Logical(woff), wbuf); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

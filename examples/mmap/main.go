@@ -6,20 +6,22 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"log"
 
 	lmp "github.com/lmp-project/lmp"
 )
 
 func main() {
-	cfg := lmp.Config{Placement: lmp.LocalityAware}
+	cfg := lmp.Config{}
 	for i := 0; i < 4; i++ {
 		cfg.Servers = append(cfg.Servers, lmp.ServerConfig{
 			Name: fmt.Sprintf("server%d", i), Capacity: 64 << 20, SharedBytes: 64 << 20,
 		})
 	}
-	pool, err := lmp.New(cfg)
+	pool, err := lmp.New(cfg, lmp.WithPlacement(lmp.LocalityAware))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,6 +73,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("after migration to server %d the same VA still reads: %q\n", owner, got)
+
+	// The same buffer composes with the standard library through the
+	// io.ReaderAt adapter — here an io.SectionReader over the record,
+	// as seen from server 2.
+	sec := io.NewSectionReader(buf.ReaderAt(2), 4096*42, int64(len(record)))
+	var sb bytes.Buffer
+	if _, err := io.Copy(&sb, sec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("io.SectionReader over pool memory: %q\n", sb.String())
 
 	// Unmap: further access faults.
 	if err := as.Unmap(m); err != nil {

@@ -20,6 +20,7 @@ type BalanceReport struct {
 // toward dominant accessors, executes them (preserving every logical
 // address), and ages the profile.
 func (p *Pool) BalanceOnce() (BalanceReport, error) {
+	p.harvestAccessCounts()
 	moves, err := migrate.Plan(p.matrix, p.global, p.cfg.Migration)
 	if err != nil {
 		return BalanceReport{}, err
@@ -28,7 +29,7 @@ func (p *Pool) BalanceOnce() (BalanceReport, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, mv := range moves {
-		if p.dead[mv.To] || p.dead[mv.From] {
+		if p.isDead(mv.To) || p.isDead(mv.From) {
 			rep.Skipped++
 			continue
 		}
@@ -47,8 +48,13 @@ func (p *Pool) BalanceOnce() (BalanceReport, error) {
 // address does not change: only the coarse map binding and the two local
 // maps do. Migration refuses to collocate a slice with its own replicas
 // or its stripe's other shards — that would silently void the protection.
+//
+// The caller holds p.mu; the copy and rebind run under the slice's
+// stripe lock in write mode, so a migration is atomic with respect to
+// concurrent Read/Write traffic on the slice: an access lands entirely
+// on the old backing or entirely on the new one.
 func (p *Pool) migrateSliceLocked(s uint64, to addr.ServerID) error {
-	back := p.slices[s]
+	back := p.lookupSlice(s)
 	if back == nil {
 		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
 	}
@@ -64,6 +70,9 @@ func (p *Pool) migrateSliceLocked(s uint64, to addr.ServerID) error {
 	if err != nil {
 		return fmt.Errorf("core: migrate slice %d to %d: %w", s, to, err)
 	}
+	st := p.stripeFor(s)
+	st.Lock()
+	defer st.Unlock()
 	buf := make([]byte, SliceSize)
 	if err := p.nodes[back.server].ReadAt(buf, back.offset); err != nil {
 		_ = p.regions[to].Free(newOff)
@@ -97,15 +106,19 @@ func (p *Pool) MigrateSlice(s uint64, to addr.ServerID) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.dead[to] {
+	if p.isDead(to) {
 		return fmt.Errorf("%w: server %d", ErrServerDead, to)
 	}
 	return p.migrateSliceLocked(s, to)
 }
 
 // AccessProfile exposes the balancer's access matrix (for tests and
-// tooling).
-func (p *Pool) AccessProfile() *migrate.AccessMatrix { return p.matrix }
+// tooling), first draining the hot path's per-slice atomic counters into
+// it.
+func (p *Pool) AccessProfile() *migrate.AccessMatrix {
+	p.harvestAccessCounts()
+	return p.matrix
+}
 
 // ResizeReport summarizes one sizing round.
 type ResizeReport struct {

@@ -37,7 +37,7 @@ func (p *Pool) CompactServer(s addr.ServerID, targetBytes int64) (CompactReport,
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.dead[s] {
+	if p.isDead(s) {
 		return CompactReport{}, fmt.Errorf("%w: server %d", ErrServerDead, s)
 	}
 	var rep CompactReport
@@ -49,9 +49,11 @@ func (p *Pool) CompactServer(s addr.ServerID, targetBytes int64) (CompactReport,
 		back  *sliceBacking
 	}
 	var victims []victim
-	for sl, back := range p.slices {
-		if back.server == s && back.offset >= targetBytes {
-			victims = append(victims, victim{sl, back})
+	t := p.table.Load()
+	for sl := range t.entries {
+		back := t.entries[sl].Load()
+		if back != nil && back.server == s && back.offset >= targetBytes {
+			victims = append(victims, victim{uint64(sl), back})
 		}
 	}
 	sort.Slice(victims, func(i, j int) bool { return victims[i].back.offset > victims[j].back.offset })
@@ -71,19 +73,27 @@ func (p *Pool) CompactServer(s addr.ServerID, targetBytes int64) (CompactReport,
 	}
 
 	// Pass 2: protection blocks (replica copies and EC parity) in the
-	// tail.
+	// tail. Replica blocks are written through under the protected
+	// slice's stripe lock, so their relocation holds that stripe lock;
+	// parity blocks are serialized by the buffer's EC lock.
 	for _, b := range p.buffers {
 		for _, cp := range b.copies {
 			for i := range cp {
 				if cp[i].Server != s || cp[i].Offset < targetBytes {
 					continue
 				}
-				newSrv, newOff, err := p.relocateBlockLocked(b, s, cp[i].Offset, targetBytes, b.firstSlice()+uint64(i))
+				protectedSlice := b.firstSlice() + uint64(i)
+				stLock := p.stripeFor(protectedSlice)
+				stLock.Lock()
+				newSrv, newOff, err := p.relocateBlockLocked(b, s, cp[i].Offset, targetBytes, protectedSlice)
+				if err == nil {
+					cp[i].Server = newSrv
+					cp[i].Offset = newOff
+				}
+				stLock.Unlock()
 				if err != nil {
 					return rep, err
 				}
-				cp[i].Server = newSrv
-				cp[i].Offset = newOff
 				if newSrv == s {
 					rep.RelocatedLocal++
 				} else {
@@ -99,12 +109,16 @@ func (p *Pool) CompactServer(s addr.ServerID, targetBytes int64) (CompactReport,
 					if pb.server != s || pb.offset < targetBytes {
 						continue
 					}
+					b.ec.mu.Lock()
 					newSrv, newOff, err := p.relocateBlockLocked(b, s, pb.offset, targetBytes, b.firstSlice()+st.firstIdx)
+					if err == nil {
+						pb.server = newSrv
+						pb.offset = newOff
+					}
+					b.ec.mu.Unlock()
 					if err != nil {
 						return rep, err
 					}
-					pb.server = newSrv
-					pb.offset = newOff
 					if newSrv == s {
 						rep.RelocatedLocal++
 					} else {
@@ -121,12 +135,16 @@ func (p *Pool) CompactServer(s addr.ServerID, targetBytes int64) (CompactReport,
 // relocateSliceLocked moves a primary slice off the tail. It prefers a
 // lower offset on the same server, falling back to another live server
 // that does not hold the slice's protection state. Reports whether it
-// moved and whether the move stayed local.
+// moved and whether the move stayed local. The caller holds p.mu; the
+// copy and rebind run under the slice's stripe lock.
 func (p *Pool) relocateSliceLocked(sl uint64, back *sliceBacking, s addr.ServerID, target int64) (moved, local bool, err error) {
+	stLock := p.stripeFor(sl)
 	// Try a local slot below the target (extents are first-fit from the
 	// bottom, so any grant below target is final).
 	if newOff, aerr := p.regions[s].Alloc(SliceSize); aerr == nil {
 		if newOff < target {
+			stLock.Lock()
+			defer stLock.Unlock()
 			if err := p.copySliceBackingLocked(s, back.offset, s, newOff); err != nil {
 				_ = p.regions[s].Free(newOff)
 				return false, false, err
@@ -149,6 +167,8 @@ func (p *Pool) relocateSliceLocked(sl uint64, back *sliceBacking, s addr.ServerI
 	if aerr != nil {
 		return false, false, nil // caller reports no-space
 	}
+	stLock.Lock()
+	defer stLock.Unlock()
 	if err := p.copySliceBackingLocked(s, back.offset, dst, newOff); err != nil {
 		_ = p.regions[dst].Free(newOff)
 		return false, false, err
@@ -168,7 +188,9 @@ func (p *Pool) relocateSliceLocked(sl uint64, back *sliceBacking, s addr.ServerI
 
 // relocateBlockLocked moves a protection block (replica or parity) out of
 // the tail, preferring local space below target, else another server that
-// does not weaken the protected slice.
+// does not weaken the protected slice. The caller holds p.mu plus the
+// lock serializing writers of the block (the protected slice's stripe
+// lock for replicas, the buffer's EC lock for parity).
 func (p *Pool) relocateBlockLocked(b *Buffer, s addr.ServerID, oldOff, target int64, protectedSlice uint64) (addr.ServerID, int64, error) {
 	if newOff, aerr := p.regions[s].Alloc(SliceSize); aerr == nil {
 		if newOff < target {
@@ -182,7 +204,7 @@ func (p *Pool) relocateBlockLocked(b *Buffer, s addr.ServerID, oldOff, target in
 		_ = p.regions[s].Free(newOff)
 	}
 	avoid := map[addr.ServerID]bool{s: true}
-	if back := p.slices[protectedSlice]; back != nil {
+	if back := p.lookupSlice(protectedSlice); back != nil {
 		avoid[back.server] = true
 	}
 	for srv := range p.protectionServersLocked(b, protectedSlice-b.firstSlice()) {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/lmp-project/lmp/internal/addr"
+)
+
+// ReaderAt returns an io.ReaderAt view of the buffer with accesses
+// issued by server from, for composing pool memory with the standard
+// library (io.SectionReader, io.Copy, archive readers, ...). Reads past
+// the buffer's end return io.EOF after the available bytes; reads of a
+// released buffer fail with ErrReleased.
+func (b *Buffer) ReaderAt(from addr.ServerID) io.ReaderAt {
+	return bufferReaderAt{b: b, from: from}
+}
+
+// WriterAt returns an io.WriterAt view of the buffer with accesses
+// issued by server from. Writes that would cross the buffer's end fail
+// with a bounds error without writing anything; writes to a released
+// buffer fail with ErrReleased.
+func (b *Buffer) WriterAt(from addr.ServerID) io.WriterAt {
+	return bufferWriterAt{b: b, from: from}
+}
+
+type bufferReaderAt struct {
+	b    *Buffer
+	from addr.ServerID
+}
+
+func (r bufferReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: read at negative offset %d", off)
+	}
+	if off >= r.b.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if max := r.b.size - off; int64(n) > max {
+		n = int(max)
+	}
+	if err := r.b.ReadAt(r.from, p[:n], off); err != nil {
+		return 0, err
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+type bufferWriterAt struct {
+	b    *Buffer
+	from addr.ServerID
+}
+
+func (w bufferWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	if err := w.b.WriteAt(w.from, p, off); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}

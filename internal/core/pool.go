@@ -9,12 +9,37 @@
 // background tasks rebalance data placement (migration) and region sizes
 // (the sizing optimizer). A small coherent region provides synchronization
 // primitives; replication or erasure coding masks server crashes.
+//
+// # Concurrency
+//
+// The paper's whole bandwidth argument (§4) depends on many servers
+// driving the fabric at once, so the data path must not serialize. The
+// runtime therefore splits its locking in two:
+//
+//   - The structural lock (Pool.mu) serializes operations that change
+//     the shape of the pool: allocation, release, migration, compaction,
+//     resizing, crash and repair, and coherent-region bookkeeping.
+//   - The data path (Read/Write/ReadV/WriteV and friends) never takes
+//     the structural lock. It resolves slices through an atomically
+//     published slice table and holds only a striped per-slice
+//     reader/writer lock (reads share, writes to the same stripe
+//     serialize) for the duration of the access.
+//
+// Structural operations that rebind a slice (migration, recovery,
+// compaction, release) additionally take that slice's stripe lock in
+// write mode, so they linearize with in-flight accesses: an access
+// observes the slice either entirely before or entirely after the move,
+// never mid-copy. Lock order is always structural lock → stripe lock →
+// erasure-coding stripe lock; the data path classifies failures only
+// after dropping its stripe lock, so the order is never inverted.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/lmp-project/lmp/internal/addr"
 	"github.com/lmp-project/lmp/internal/alloc"
@@ -75,11 +100,31 @@ func (c *Config) fillDefaults() {
 }
 
 // sliceBacking is the authoritative physical location of one logical
-// slice.
+// slice. server and offset are mutated only under the structural lock
+// plus the slice's stripe lock held in write mode; the data path reads
+// them under the stripe lock in read (or write) mode.
 type sliceBacking struct {
 	server addr.ServerID
 	offset int64
 	buf    *Buffer
+	// counts accumulates per-accessing-server access counts on the data
+	// path with a single atomic add; the locality balancer harvests them
+	// into its access matrix (see Pool.harvestAccessCounts).
+	counts []atomic.Uint64
+}
+
+// sliceTable is the atomically published slice index → backing table.
+// Entries are atomic so the data path reads them lock-free; the table is
+// grown copy-on-write under the structural lock.
+type sliceTable struct {
+	entries []atomic.Pointer[sliceBacking]
+}
+
+// stripe is one lane of the striped slice lock, padded out to a cache
+// line so adjacent stripes do not false-share.
+type stripe struct {
+	sync.RWMutex
+	_ [40]byte
 }
 
 // sliceMap adapts a pagetable.Table to the addr.LocalMap interface: the
@@ -105,10 +150,20 @@ func (m *sliceMap) LookupSlice(s uint64) (int64, bool) {
 	return off, ok
 }
 
+// hotPath caches the resolved counters for one (kind, locality) class of
+// access, so the data path records telemetry with two atomic adds and no
+// registry lookups or string building.
+type hotPath struct {
+	ops   *telemetry.Counter
+	bytes *telemetry.Counter
+}
+
 // Pool is a logical memory pool across a set of servers.
 type Pool struct {
 	cfg Config
 
+	// mu is the structural lock; see the package comment. The data path
+	// never holds it.
 	mu      sync.Mutex
 	nodes   []*memnode.Node
 	regions []*alloc.Extents
@@ -120,9 +175,12 @@ type Pool struct {
 	nextSlice uint64
 	freeRuns  []addr.Range
 
-	slices  map[uint64]*sliceBacking
+	table      atomic.Pointer[sliceTable]
+	stripes    []stripe
+	stripeMask uint64
+
 	buffers map[addr.Logical]*Buffer
-	dead    map[addr.ServerID]bool
+	dead    []atomic.Bool
 
 	matrix *migrate.AccessMatrix
 
@@ -131,6 +189,8 @@ type Pool struct {
 	coherentNext int64
 
 	metrics *telemetry.Registry
+	// hot caches access counters, indexed [write][remote].
+	hot [2][2]hotPath
 }
 
 // New builds a pool from the configuration.
@@ -153,14 +213,20 @@ func New(cfg Config) (*Pool, error) {
 	p := &Pool{
 		cfg:      cfg,
 		global:   addr.NewGlobalMap(),
-		slices:   make(map[uint64]*sliceBacking),
 		buffers:  make(map[addr.Logical]*Buffer),
-		dead:     make(map[addr.ServerID]bool),
+		dead:     make([]atomic.Bool, len(cfg.Servers)),
 		matrix:   migrate.NewAccessMatrix(),
 		dir:      dir,
 		coherent: make([]byte, cfg.CoherentBytes),
 		metrics:  telemetry.NewRegistry(),
 	}
+	p.stripes = make([]stripe, stripeCount())
+	p.stripeMask = uint64(len(p.stripes) - 1)
+	p.table.Store(&sliceTable{})
+	p.hot[0][0] = hotPath{p.metrics.Counter("pool.reads.local"), p.metrics.Counter("pool.bytes.read.local")}
+	p.hot[0][1] = hotPath{p.metrics.Counter("pool.reads.remote"), p.metrics.Counter("pool.bytes.read.remote")}
+	p.hot[1][0] = hotPath{p.metrics.Counter("pool.writes.local"), p.metrics.Counter("pool.bytes.write.local")}
+	p.hot[1][1] = hotPath{p.metrics.Counter("pool.writes.remote"), p.metrics.Counter("pool.bytes.write.remote")}
 	var regions []*alloc.Region
 	for i, sc := range cfg.Servers {
 		if sc.Capacity <= 0 {
@@ -197,6 +263,75 @@ func New(cfg Config) (*Pool, error) {
 	return p, nil
 }
 
+// stripeCount picks the number of slice-lock stripes: a power of two of
+// at least max(64, 8×GOMAXPROCS), so goroutines rarely collide on a
+// stripe they do not actually share data with.
+func stripeCount() int {
+	n := runtime.GOMAXPROCS(0) * 8
+	if n < 64 {
+		n = 64
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// stripeFor returns the lock stripe guarding slice s.
+func (p *Pool) stripeFor(s uint64) *stripe {
+	return &p.stripes[s&p.stripeMask]
+}
+
+// lookupSlice resolves a slice index through the published table without
+// any lock.
+func (p *Pool) lookupSlice(s uint64) *sliceBacking {
+	t := p.table.Load()
+	if s >= uint64(len(t.entries)) {
+		return nil
+	}
+	return t.entries[s].Load()
+}
+
+// setSlice publishes a backing for slice s. Caller holds p.mu.
+func (p *Pool) setSlice(s uint64, b *sliceBacking) {
+	t := p.table.Load()
+	if s >= uint64(len(t.entries)) {
+		need := s + 1
+		grown := make([]atomic.Pointer[sliceBacking], need+need/2+64)
+		for i := range t.entries {
+			grown[i].Store(t.entries[i].Load())
+		}
+		t = &sliceTable{entries: grown}
+		p.table.Store(t)
+	}
+	t.entries[s].Store(b)
+}
+
+// deleteSlice unpublishes slice s. Caller holds p.mu.
+func (p *Pool) deleteSlice(s uint64) {
+	t := p.table.Load()
+	if s < uint64(len(t.entries)) {
+		t.entries[s].Store(nil)
+	}
+}
+
+// newBacking builds a backing record with an access-count lane per
+// server.
+func (p *Pool) newBacking(server addr.ServerID, offset int64, buf *Buffer) *sliceBacking {
+	return &sliceBacking{
+		server: server,
+		offset: offset,
+		buf:    buf,
+		counts: make([]atomic.Uint64, len(p.nodes)),
+	}
+}
+
+// isDead reports whether server s has crashed (lock-free).
+func (p *Pool) isDead(s addr.ServerID) bool {
+	return int(s) >= 0 && int(s) < len(p.dead) && p.dead[s].Load()
+}
+
 // Servers reports the number of pool servers.
 func (p *Pool) Servers() int { return len(p.nodes) }
 
@@ -224,7 +359,7 @@ type Buffer struct {
 	copies [][]alloc.Chunk
 	ec     *ecState
 
-	released bool
+	released atomic.Bool
 }
 
 // Addr returns the buffer's base logical address (stable across
@@ -240,36 +375,45 @@ func (b *Buffer) Range() addr.Range { return b.rng }
 // Protection returns the buffer's protection policy.
 func (b *Buffer) Protection() failure.Policy { return b.prot }
 
+// Released reports whether the buffer has been released.
+func (b *Buffer) Released() bool { return b.released.Load() }
+
 func (b *Buffer) sliceCount() uint64 { return uint64(b.rng.Size / SliceSize) }
 
 func (b *Buffer) firstSlice() uint64 { return addr.SliceOf(b.rng.Start) }
 
-// ReadAt copies len(p) bytes from the buffer at offset off, issued by
-// server from.
-func (b *Buffer) ReadAt(from addr.ServerID, p []byte, off int64) error {
-	if off < 0 || off+int64(len(p)) > b.size {
-		return fmt.Errorf("core: read [%d,%d) outside buffer of %d", off, off+int64(len(p)), b.size)
+func (b *Buffer) checkWindow(off int64, n int, what string) error {
+	if off < 0 || off+int64(n) > b.size {
+		return fmt.Errorf("core: %s [%d,%d) outside buffer of %d", what, off, off+int64(n), b.size)
 	}
-	if b.released {
+	if b.released.Load() {
 		return ErrReleased
+	}
+	return nil
+}
+
+// ReadAt copies len(p) bytes from the buffer at offset off, issued by
+// server from. It fails with ErrReleased after Release.
+func (b *Buffer) ReadAt(from addr.ServerID, p []byte, off int64) error {
+	if err := b.checkWindow(off, len(p), "read"); err != nil {
+		return err
 	}
 	return b.pool.Read(from, b.rng.Start+addr.Logical(off), p)
 }
 
 // WriteAt copies data into the buffer at offset off, issued by server
-// from.
+// from. It fails with ErrReleased after Release.
 func (b *Buffer) WriteAt(from addr.ServerID, data []byte, off int64) error {
-	if off < 0 || off+int64(len(data)) > b.size {
-		return fmt.Errorf("core: write [%d,%d) outside buffer of %d", off, off+int64(len(data)), b.size)
-	}
-	if b.released {
-		return ErrReleased
+	if err := b.checkWindow(off, len(data), "write"); err != nil {
+		return err
 	}
 	return b.pool.Write(from, b.rng.Start+addr.Logical(off), data)
 }
 
 // Alloc places size bytes in the pool with the pool's default protection.
 // from is the requesting server (used by locality-aware placement).
+// It fails with an error wrapping alloc.ErrNoSpace when the pool cannot
+// hold the buffer.
 func (p *Pool) Alloc(size int64, from addr.ServerID) (*Buffer, error) {
 	return p.AllocProtected(size, from, p.cfg.Protection)
 }
@@ -303,7 +447,7 @@ func (p *Pool) AllocProtected(size int64, from addr.ServerID, prot failure.Polic
 	first := addr.SliceOf(rng.Start)
 	for i, c := range chunks {
 		s := first + uint64(i)
-		p.slices[s] = &sliceBacking{server: c.Server, offset: c.Offset, buf: b}
+		p.setSlice(s, p.newBacking(c.Server, c.Offset, b))
 		p.locals[c.Server].MapSlice(s, c.Offset)
 	}
 	for i, c := range chunks {
@@ -346,7 +490,7 @@ func (p *Pool) reserveLogicalLocked(size int64) addr.Range {
 // allocator contract that keeps fresh replicas and parity trivially
 // consistent).
 func (p *Pool) freeBackingLocked(server addr.ServerID, offset int64) {
-	if p.dead[server] {
+	if p.isDead(server) {
 		return
 	}
 	_ = p.regions[server].Free(offset)
@@ -357,33 +501,39 @@ func (p *Pool) releasePartialLocked(b *Buffer, chunks []alloc.Chunk) {
 	first := b.firstSlice()
 	for i, c := range chunks {
 		s := first + uint64(i)
-		delete(p.slices, s)
+		p.deleteSlice(s)
 		p.locals[c.Server].UnmapSlice(s)
 		p.freeBackingLocked(c.Server, c.Offset)
 	}
 	p.freeRuns = append(p.freeRuns, b.rng)
 }
 
-// Release frees the buffer, its replicas, and its parity blocks.
+// Release frees the buffer, its replicas, and its parity blocks. A
+// second Release, and any access after the first, fails with
+// ErrReleased.
 func (b *Buffer) Release() error {
 	p := b.pool
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if b.released {
+	if b.released.Swap(true) {
 		return ErrReleased
 	}
-	b.released = true
 	first := b.firstSlice()
 	for i := uint64(0); i < b.sliceCount(); i++ {
 		s := first + i
-		back := p.slices[s]
+		back := p.lookupSlice(s)
 		if back == nil {
 			continue
 		}
-		delete(p.slices, s)
+		// The stripe lock drains in-flight accesses to the slice before
+		// its backing disappears.
+		st := p.stripeFor(s)
+		st.Lock()
+		p.deleteSlice(s)
 		p.locals[back.server].UnmapSlice(s)
 		p.freeBackingLocked(back.server, back.offset)
 		_ = p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, addr.NoServer)
+		st.Unlock()
 	}
 	for _, replica := range b.copies {
 		for _, c := range replica {
@@ -403,7 +553,7 @@ func (b *Buffer) Release() error {
 	return nil
 }
 
-// segment visits [la, la+n) split at slice boundaries.
+// eachSegment visits [la, la+n) split at slice boundaries.
 func eachSegment(la addr.Logical, n int, visit func(s uint64, sliceOff int64, bufOff int, length int) error) error {
 	done := 0
 	for done < n {
@@ -425,85 +575,200 @@ func eachSegment(la addr.Logical, n int, visit func(s uint64, sliceOff int64, bu
 // Read copies len(buf) bytes at logical address la into buf, as issued by
 // server from. Remote segments pay fabric accounting; crashed owners are
 // masked through replicas or erasure coding when the buffer is protected.
+// It fails with an error wrapping addr.ErrUnmapped for unallocated
+// addresses (additionally wrapping ErrReleased if the range was freed by
+// Release), and with a failure.MemoryException when an unprotected owner
+// has crashed.
 func (p *Pool) Read(from addr.ServerID, la addr.Logical, buf []byte) error {
+	// Fast path: the common case of an access within one slice.
+	if end := la + addr.Logical(len(buf)) - 1; len(buf) > 0 && addr.SliceOf(la) == addr.SliceOf(end) {
+		return p.accessSlice(from, addr.SliceOf(la), int64(uint64(la)%SliceSize), buf, false)
+	}
 	return eachSegment(la, len(buf), func(s uint64, sliceOff int64, bufOff, length int) error {
 		return p.accessSlice(from, s, sliceOff, buf[bufOff:bufOff+length], false)
 	})
 }
 
 // Write copies data into the pool at logical address la, as issued by
-// server from, updating replicas and parity.
+// server from, updating replicas and parity. Its error contract matches
+// Read's.
 func (p *Pool) Write(from addr.ServerID, la addr.Logical, data []byte) error {
+	if end := la + addr.Logical(len(data)) - 1; len(data) > 0 && addr.SliceOf(la) == addr.SliceOf(end) {
+		return p.accessSlice(from, addr.SliceOf(la), int64(uint64(la)%SliceSize), data, true)
+	}
 	return eachSegment(la, len(data), func(s uint64, sliceOff int64, bufOff, length int) error {
 		return p.accessSlice(from, s, sliceOff, data[bufOff:bufOff+length], true)
 	})
 }
 
-func (p *Pool) accessSlice(from addr.ServerID, s uint64, sliceOff int64, part []byte, write bool) error {
-	p.mu.Lock()
-	back := p.slices[s]
-	if back == nil {
-		p.mu.Unlock()
-		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
-	}
-	if p.dead[back.server] {
-		// Recovery path: mask the failure or raise an exception.
-		err := p.recoverSliceLocked(s)
-		if err != nil {
-			p.mu.Unlock()
-			return err
-		}
-		back = p.slices[s]
-	}
-	owner := back.server
-	offset := back.offset + sliceOff
-	buf := back.buf
-	p.mu.Unlock()
+// accessStatus is the outcome of one locked access attempt.
+type accessStatus int
 
-	node := p.nodes[owner]
-	remote := owner != from
-	if write {
-		// Erasure-coded buffers need the old bytes to delta the parity.
-		var old []byte
-		if buf != nil && buf.prot.Scheme == failure.ErasureCode {
-			old = make([]byte, len(part))
-			if err := node.ReadAt(old, offset); err != nil {
+const (
+	accessOK      accessStatus = iota
+	accessMissing              // no backing published for the slice
+	accessDead                 // the owning server has crashed
+	accessFailed               // I/O or protection error (see err)
+)
+
+// maxRecoverAttempts bounds how many times one access retries through
+// crash recovery before reporting the server dead.
+const maxRecoverAttempts = 3
+
+// accessSlice performs one intra-slice access, retrying through crash
+// recovery when the owner is dead. Failure classification happens only
+// after the stripe lock is dropped, keeping the structural → stripe lock
+// order acyclic.
+func (p *Pool) accessSlice(from addr.ServerID, s uint64, sliceOff int64, part []byte, write bool) error {
+	for attempt := 0; ; attempt++ {
+		status, err := p.accessSliceOnce(from, s, sliceOff, part, write)
+		switch status {
+		case accessOK:
+			return nil
+		case accessMissing:
+			return p.missingSliceError(s)
+		case accessDead:
+			if attempt >= maxRecoverAttempts {
+				return fmt.Errorf("%w: slice %d not recoverable", ErrServerDead, s)
+			}
+			if err := p.recoverSlice(s); err != nil {
 				return err
 			}
+		default:
+			return err
+		}
+	}
+}
+
+// accessSliceOnce is the locked body of one access attempt. It acquires
+// exactly one stripe lock and releases it on every path through a single
+// deferred unlock, so no branch can leak or double-release the lock.
+func (p *Pool) accessSliceOnce(from addr.ServerID, s uint64, sliceOff int64, part []byte, write bool) (accessStatus, error) {
+	lock := p.stripeFor(s)
+	if write {
+		lock.Lock()
+		defer lock.Unlock()
+	} else {
+		lock.RLock()
+		defer lock.RUnlock()
+	}
+	back := p.lookupSlice(s)
+	if back == nil {
+		return accessMissing, nil
+	}
+	if p.isDead(back.server) {
+		return accessDead, nil
+	}
+	node := p.nodes[back.server]
+	offset := back.offset + sliceOff
+	remote := back.server != from
+	if write {
+		if err := p.writeSliceLocked(back, node, s, sliceOff, offset, part); err != nil {
+			return accessFailed, err
+		}
+	} else if err := node.ReadAt(part, offset); err != nil {
+		return accessFailed, err
+	}
+	node.RecordAccess(offset, remote, write)
+	if int(from) >= 0 && int(from) < len(back.counts) {
+		back.counts[from].Add(1)
+	}
+	p.recordAccessMetrics(remote, write, len(part))
+	return accessOK, nil
+}
+
+// writeSliceLocked applies a write to the primary backing and its
+// protection state. Caller holds the slice's stripe lock in write mode.
+func (p *Pool) writeSliceLocked(back *sliceBacking, node *memnode.Node, s uint64, sliceOff, offset int64, part []byte) error {
+	buf := back.buf
+	if buf != nil && buf.prot.Scheme == failure.ErasureCode {
+		// Erasure-coded writes delta the parity from the old bytes; the
+		// read-modify-write of shared parity blocks is serialized by the
+		// buffer's EC lock (writers of sibling slices share parity).
+		buf.ec.mu.Lock()
+		defer buf.ec.mu.Unlock()
+		old := make([]byte, len(part))
+		if err := node.ReadAt(old, offset); err != nil {
+			return err
 		}
 		if err := node.WriteAt(part, offset); err != nil {
 			return err
 		}
-		if old != nil {
-			if err := p.writeParityDelta(buf, s-buf.firstSlice(), sliceOff, old, part); err != nil {
-				return err
-			}
-		}
-	} else if err := node.ReadAt(part, offset); err != nil {
+		return p.writeParityDelta(buf, s-buf.firstSlice(), sliceOff, old, part)
+	}
+	if err := node.WriteAt(part, offset); err != nil {
 		return err
 	}
-	node.RecordAccess(offset, remote, write)
-	p.matrix.Record(s, from, 1)
-	p.recordMetrics(remote, write, len(part))
-	if write && buf != nil {
-		if err := p.updateProtection(buf, s, sliceOff, part); err != nil {
-			return err
-		}
+	if buf != nil && buf.prot.Scheme == failure.Replicate {
+		return p.writeReplicas(buf, s-buf.firstSlice(), sliceOff, part)
 	}
 	return nil
 }
 
-func (p *Pool) recordMetrics(remote, write bool, n int) {
-	kind := "read"
+// missingSliceError classifies an access to a slice with no backing:
+// addresses inside a freed logical run report the release, others are
+// plainly unmapped. Both wrap addr.ErrUnmapped.
+func (p *Pool) missingSliceError(s uint64) error {
+	la := addr.SliceBase(s)
+	p.mu.Lock()
+	released := false
+	for _, r := range p.freeRuns {
+		if r.Contains(la) {
+			released = true
+			break
+		}
+	}
+	p.mu.Unlock()
+	if released {
+		return fmt.Errorf("%w: %w: slice %d", ErrReleased, addr.ErrUnmapped, s)
+	}
+	return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
+}
+
+// recoverSlice rebuilds a slice whose owner crashed, taking the
+// structural lock (the access path calls it with no stripe lock held).
+func (p *Pool) recoverSlice(s uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	back := p.lookupSlice(s)
+	if back == nil {
+		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
+	}
+	if !p.isDead(back.server) {
+		return nil // another goroutine already recovered it
+	}
+	return p.recoverSliceLocked(s)
+}
+
+// recordAccessMetrics bumps the cached op and byte counters.
+func (p *Pool) recordAccessMetrics(remote, write bool, n int) {
+	w, r := 0, 0
 	if write {
-		kind = "write"
+		w = 1
 	}
-	locality := "local"
 	if remote {
-		locality = "remote"
+		r = 1
 	}
-	p.metrics.Counter("pool." + kind + "s." + locality).Inc()
-	p.metrics.Counter("pool.bytes." + kind + "." + locality).Add(uint64(n))
+	h := &p.hot[w][r]
+	h.ops.Inc()
+	h.bytes.Add(uint64(n))
+}
+
+// harvestAccessCounts drains the per-slice atomic access counters into
+// the balancer's access matrix. Called before planning and profiling.
+func (p *Pool) harvestAccessCounts() {
+	t := p.table.Load()
+	for s := range t.entries {
+		back := t.entries[s].Load()
+		if back == nil {
+			continue
+		}
+		for srv := range back.counts {
+			if n := back.counts[srv].Swap(0); n > 0 {
+				p.matrix.Record(uint64(s), addr.ServerID(srv), n)
+			}
+		}
+	}
 }
 
 // Translate resolves a logical address through the two-step scheme.

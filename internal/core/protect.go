@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/lmp-project/lmp/internal/addr"
 	"github.com/lmp-project/lmp/internal/alloc"
@@ -14,6 +15,11 @@ import (
 type ecState struct {
 	rs      *failure.RS
 	stripes []ecStripe
+	// mu serializes parity read-modify-writes: writers of sibling data
+	// slices in one stripe share parity blocks, and their slice stripe
+	// locks do not order them against each other. Lock order: stripe
+	// lock → ec.mu.
+	mu sync.Mutex
 }
 
 type ecStripe struct {
@@ -57,7 +63,7 @@ func (p *Pool) allocAvoiding(avoid map[addr.ServerID]bool) (addr.ServerID, int64
 	var primary, fallback []cand
 	for i := range p.regions {
 		s := addr.ServerID(i)
-		if p.dead[s] {
+		if p.isDead(s) {
 			continue
 		}
 		c := cand{s: s, free: p.regions[i].FreeBytes()}
@@ -144,51 +150,26 @@ func (p *Pool) setupErasureLocked(b *Buffer, chunks []alloc.Chunk) error {
 	return nil
 }
 
-// updateProtection propagates a write to replicas (write-through) and
-// parity (delta update: parity ^= coef * (old ^ new) over the written
-// range — but since the primary was already overwritten, the caller's
-// data is the new value and we use the replica copy as the old value for
-// replication, and a read-before-write is unnecessary because we maintain
-// parity from replica... ).
-//
-// Implementation note: for erasure coding we need the OLD data to delta
-// parity. The primary has already been overwritten by the caller, so we
-// keep parity correct by recomputing the delta against the first replica
-// when present — and when there is none (pure EC), accessSlice gives us
-// the new bytes only, so the EC path below reads old bytes from a shadow
-// read performed before the write. To keep the write path simple and
-// correct, EC parity is updated with a full delta computed from an
-// old-data snapshot captured in accessSliceOld.
-func (p *Pool) updateProtection(b *Buffer, s uint64, sliceOff int64, newData []byte) error {
-	switch b.prot.Scheme {
-	case failure.Replicate:
-		idx := s - b.firstSlice()
-		for _, cp := range b.copies {
-			c := cp[idx]
-			if p.isDead(c.Server) {
-				continue // stale replica; repaired on RepairServer
-			}
-			if err := p.nodes[c.Server].WriteAt(newData, c.Offset+sliceOff); err != nil {
-				return err
-			}
+// writeReplicas propagates a write through to the buffer's replica
+// copies. idx is the slice index within the buffer. The caller holds the
+// primary slice's stripe lock in write mode, which serializes replica
+// updates for that slice.
+func (p *Pool) writeReplicas(b *Buffer, idx uint64, sliceOff int64, newData []byte) error {
+	for _, cp := range b.copies {
+		c := cp[idx]
+		if p.isDead(c.Server) {
+			continue // stale replica; repaired on RepairServer
 		}
-		return nil
-	case failure.ErasureCode:
-		// Handled in accessSlice via writeWithParity; nothing here.
-		return nil
-	default:
-		return nil
+		if err := p.nodes[c.Server].WriteAt(newData, c.Offset+sliceOff); err != nil {
+			return err
+		}
 	}
-}
-
-func (p *Pool) isDead(s addr.ServerID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.dead[s]
+	return nil
 }
 
 // writeParityDelta applies an EC parity delta for a write of newData at
-// sliceOff within buffer slice index idx, given the old bytes.
+// sliceOff within buffer slice index idx, given the old bytes. The
+// caller holds b.ec.mu.
 func (p *Pool) writeParityDelta(b *Buffer, idx uint64, sliceOff int64, oldData, newData []byte) error {
 	k := uint64(b.prot.K)
 	stripeIdx := idx / k
@@ -243,7 +224,7 @@ func (p *Pool) protectionServersLocked(b *Buffer, idx uint64) map[addr.ServerID]
 				if slIdx == idx || slIdx >= b.sliceCount() {
 					continue
 				}
-				if sib := p.slices[first+slIdx]; sib != nil {
+				if sib := p.lookupSlice(first + slIdx); sib != nil {
 					avoid[sib.server] = true
 				}
 			}
@@ -261,7 +242,7 @@ func (p *Pool) Crash(s addr.ServerID) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.dead[s] = true
+	p.dead[s].Store(true)
 	p.metrics.Counter("pool.crashes").Inc()
 	return nil
 }
@@ -271,9 +252,10 @@ func (p *Pool) Dead(s addr.ServerID) bool { return p.isDead(s) }
 
 // recoverSliceLocked rebuilds slice s (whose owner is dead) onto a live
 // server, using a replica or erasure-coded reconstruction. The caller
-// holds p.mu.
+// holds p.mu; the rebind itself additionally takes the slice's stripe
+// lock so it linearizes with in-flight accesses.
 func (p *Pool) recoverSliceLocked(s uint64) error {
-	back := p.slices[s]
+	back := p.lookupSlice(s)
 	if back == nil {
 		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
 	}
@@ -289,7 +271,7 @@ func (p *Pool) recoverSliceLocked(s uint64) error {
 		found := false
 		for _, cp := range b.copies {
 			c := cp[idx]
-			if p.dead[c.Server] {
+			if p.isDead(c.Server) {
 				continue
 			}
 			if err := p.nodes[c.Server].ReadAt(data, c.Offset); err != nil {
@@ -315,6 +297,9 @@ func (p *Pool) recoverSliceLocked(s uint64) error {
 	if err := p.nodes[srv].WriteAt(data, off); err != nil {
 		return err
 	}
+	st := p.stripeFor(s)
+	st.Lock()
+	defer st.Unlock()
 	p.locals[deadServer].UnmapSlice(s)
 	p.locals[srv].MapSlice(s, off)
 	if err := p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, srv); err != nil {
@@ -342,8 +327,8 @@ func (p *Pool) reconstructECLocked(b *Buffer, idx uint64, out []byte) error {
 			shards[j] = make([]byte, SliceSize)
 			continue
 		}
-		back := p.slices[first+slIdx]
-		if back == nil || p.dead[back.server] {
+		back := p.lookupSlice(first + slIdx)
+		if back == nil || p.isDead(back.server) {
 			continue // erased
 		}
 		buf := make([]byte, SliceSize)
@@ -353,7 +338,7 @@ func (p *Pool) reconstructECLocked(b *Buffer, idx uint64, out []byte) error {
 		shards[j] = buf
 	}
 	for m, pb := range st.parity {
-		if p.dead[pb.server] {
+		if p.isDead(pb.server) {
 			continue
 		}
 		buf := make([]byte, SliceSize)
@@ -376,14 +361,16 @@ func (p *Pool) reconstructECLocked(b *Buffer, idx uint64, out []byte) error {
 func (p *Pool) RepairServer(s addr.ServerID) (recovered int, firstErr error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if !p.dead[s] {
+	if !p.isDead(s) {
 		return 0, fmt.Errorf("core: server %d is alive", s)
 	}
-	for sl, back := range p.slices {
-		if back.server != s {
+	t := p.table.Load()
+	for sl := range t.entries {
+		back := t.entries[sl].Load()
+		if back == nil || back.server != s {
 			continue
 		}
-		if err := p.recoverSliceLocked(sl); err != nil {
+		if err := p.recoverSliceLocked(uint64(sl)); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/failure"
+)
+
+// Vec is one element of a vectored access: a logical address and the
+// bytes to read into or write from it.
+type Vec struct {
+	Addr addr.Logical
+	Data []byte
+}
+
+// ctxErr reports a cancelled or expired context as a pool access error
+// (wrapping context.Canceled / context.DeadlineExceeded for errors.Is).
+// A nil context never fails.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: access cancelled: %w", err)
+	}
+	return nil
+}
+
+// ReadCtx is Read with cancellation: the context is checked before each
+// slice segment, so a cancelled context stops a large multi-slice read
+// between segments. The error wraps ctx.Err() on cancellation; the rest
+// of the contract matches Read.
+func (p *Pool) ReadCtx(ctx context.Context, from addr.ServerID, la addr.Logical, buf []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return eachSegment(la, len(buf), func(s uint64, sliceOff int64, bufOff, length int) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		return p.accessSlice(from, s, sliceOff, buf[bufOff:bufOff+length], false)
+	})
+}
+
+// WriteCtx is Write with cancellation, checked before each slice
+// segment. A write cancelled between segments leaves the earlier
+// segments written (pool writes are not transactional).
+func (p *Pool) WriteCtx(ctx context.Context, from addr.ServerID, la addr.Logical, data []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return eachSegment(la, len(data), func(s uint64, sliceOff int64, bufOff, length int) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		return p.accessSlice(from, s, sliceOff, data[bufOff:bufOff+length], true)
+	})
+}
+
+// ReadV performs a vectored read: every element of vecs is filled as by
+// Read(from, v.Addr, v.Data), but under one lock acquisition. All
+// touched stripes are locked in canonical (ascending) order and all
+// addresses are resolved before any byte moves, so a ReadV fails on an
+// unmapped or released range without partial effects, and physically
+// contiguous segments on one server coalesce into a single access.
+func (p *Pool) ReadV(from addr.ServerID, vecs []Vec) error {
+	return p.vectored(nil, from, vecs, false)
+}
+
+// WriteV performs a vectored write with the same locking, resolution,
+// and coalescing as ReadV. Because all stripes are held in write mode
+// for the whole operation, a WriteV is atomic with respect to
+// concurrent Read/ReadV traffic on the same slices.
+func (p *Pool) WriteV(from addr.ServerID, vecs []Vec) error {
+	return p.vectored(nil, from, vecs, true)
+}
+
+// ReadVCtx is ReadV with cancellation, checked between coalesced runs.
+func (p *Pool) ReadVCtx(ctx context.Context, from addr.ServerID, vecs []Vec) error {
+	return p.vectored(ctx, from, vecs, false)
+}
+
+// WriteVCtx is WriteV with cancellation, checked between coalesced runs.
+func (p *Pool) WriteVCtx(ctx context.Context, from addr.ServerID, vecs []Vec) error {
+	return p.vectored(ctx, from, vecs, true)
+}
+
+// vecSeg is one intra-slice piece of a vectored operation.
+type vecSeg struct {
+	s        uint64
+	sliceOff int64
+	vec      *Vec
+	bufOff   int
+	data     []byte
+}
+
+func (p *Pool) vectored(ctx context.Context, from addr.ServerID, vecs []Vec, write bool) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	segs := make([]vecSeg, 0, len(vecs))
+	for i := range vecs {
+		v := &vecs[i]
+		if len(v.Data) == 0 {
+			continue
+		}
+		_ = eachSegment(v.Addr, len(v.Data), func(s uint64, sliceOff int64, bufOff, length int) error {
+			segs = append(segs, vecSeg{s: s, sliceOff: sliceOff, vec: v, bufOff: bufOff, data: v.Data[bufOff : bufOff+length]})
+			return nil
+		})
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].s != segs[j].s {
+			return segs[i].s < segs[j].s
+		}
+		return segs[i].sliceOff < segs[j].sliceOff
+	})
+	// Bound retries generously: recovery repairs one slice at a time, and
+	// a crashed server can own every slice the operation touches.
+	for attempt := 0; ; attempt++ {
+		status, failSlice, err := p.vectoredOnce(ctx, from, segs, write)
+		switch status {
+		case accessOK:
+			return nil
+		case accessMissing:
+			return p.missingSliceError(failSlice)
+		case accessDead:
+			if attempt >= len(segs)+maxRecoverAttempts {
+				return fmt.Errorf("%w: slice %d not recoverable", ErrServerDead, failSlice)
+			}
+			if err := p.recoverSlice(failSlice); err != nil {
+				return err
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// vectoredOnce is one locked attempt at a vectored operation. Stripe
+// locks are acquired in ascending stripe order — a canonical global
+// order, so concurrent vectored operations cannot deadlock against each
+// other (single-address operations hold one stripe and cannot be part of
+// a cycle) — and all released through a single deferred unlock.
+func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, segs []vecSeg, write bool) (accessStatus, uint64, error) {
+	seen := make([]bool, len(p.stripes))
+	order := make([]uint64, 0, len(segs))
+	for _, sg := range segs {
+		idx := sg.s & p.stripeMask
+		if !seen[idx] {
+			seen[idx] = true
+			order = append(order, idx)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, idx := range order {
+		if write {
+			p.stripes[idx].Lock()
+		} else {
+			p.stripes[idx].RLock()
+		}
+	}
+	defer func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			if write {
+				p.stripes[order[i]].Unlock()
+			} else {
+				p.stripes[order[i]].RUnlock()
+			}
+		}
+	}()
+
+	// Resolve every address before moving any byte: a vectored op with a
+	// bad address fails without partial effects.
+	backs := make([]*sliceBacking, len(segs))
+	for i, sg := range segs {
+		back := p.lookupSlice(sg.s)
+		if back == nil {
+			return accessMissing, sg.s, nil
+		}
+		if p.isDead(back.server) {
+			return accessDead, sg.s, nil
+		}
+		backs[i] = back
+	}
+
+	for i := 0; i < len(segs); {
+		if err := ctxErr(ctx); err != nil {
+			return accessFailed, 0, err
+		}
+		back, sg := backs[i], segs[i]
+		node := p.nodes[back.server]
+		offset := back.offset + sg.sliceOff
+		remote := back.server != from
+		// Protected writes go through the per-slice protection machinery
+		// one segment at a time; everything else coalesces.
+		if write && back.buf != nil && back.buf.prot.Scheme != failure.None {
+			if err := p.writeSliceLocked(back, node, sg.s, sg.sliceOff, offset, sg.data); err != nil {
+				return accessFailed, 0, err
+			}
+			node.RecordAccess(offset, remote, write)
+			if int(from) >= 0 && int(from) < len(back.counts) {
+				back.counts[from].Add(1)
+			}
+			p.recordAccessMetrics(remote, write, len(sg.data))
+			i++
+			continue
+		}
+		// Extend the run while the next segment continues this one: same
+		// server, same source/destination vector, and contiguous both
+		// logically (buffer offsets) and physically (node offsets).
+		j := i + 1
+		for j < len(segs) {
+			prev, prevBack := segs[j-1], backs[j-1]
+			next, nextBack := segs[j], backs[j]
+			if nextBack.server != back.server || next.vec != sg.vec {
+				break
+			}
+			if write && nextBack.buf != nil && nextBack.buf.prot.Scheme != failure.None {
+				break
+			}
+			if next.bufOff != prev.bufOff+len(prev.data) {
+				break
+			}
+			if nextBack.offset+next.sliceOff != prevBack.offset+prev.sliceOff+int64(len(prev.data)) {
+				break
+			}
+			j++
+		}
+		data := sg.data
+		if j > i+1 {
+			last := segs[j-1]
+			data = sg.vec.Data[sg.bufOff : last.bufOff+len(last.data)]
+		}
+		var err error
+		if write {
+			err = node.WriteAt(data, offset)
+		} else {
+			err = node.ReadAt(data, offset)
+		}
+		if err != nil {
+			return accessFailed, 0, err
+		}
+		// One fabric access for the whole run; locality accounting still
+		// attributes each touched slice.
+		node.RecordAccess(offset, remote, write)
+		for k := i; k < j; k++ {
+			if int(from) >= 0 && int(from) < len(backs[k].counts) {
+				backs[k].counts[from].Add(1)
+			}
+		}
+		p.recordAccessMetrics(remote, write, len(data))
+		i = j
+	}
+	return accessOK, 0, nil
+}

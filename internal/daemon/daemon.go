@@ -8,6 +8,7 @@
 package daemon
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -281,18 +282,32 @@ func (c *Client) Free(off int64) error {
 
 // Read fetches n bytes at off.
 func (c *Client) Read(off int64, n int) ([]byte, error) {
+	return c.ReadCtx(nil, off, n)
+}
+
+// ReadCtx is Read with cancellation: a context that ends before the
+// daemon responds fails the call with an error wrapping ctx.Err(),
+// leaving the connection usable (the stale response is discarded).
+func (c *Client) ReadCtx(ctx context.Context, off int64, n int) ([]byte, error) {
 	req := make([]byte, 12)
 	binary.BigEndian.PutUint64(req[0:8], uint64(off))
 	binary.BigEndian.PutUint32(req[8:12], uint32(n))
-	return c.c.Call(MethodRead, req)
+	return c.c.CallCtx(ctx, MethodRead, req)
 }
 
 // Write stores data at off.
 func (c *Client) Write(off int64, data []byte) error {
+	return c.WriteCtx(nil, off, data)
+}
+
+// WriteCtx is Write with cancellation, with ReadCtx's semantics. A
+// cancelled write may or may not have been applied by the daemon — the
+// cancellation is client-side.
+func (c *Client) WriteCtx(ctx context.Context, off int64, data []byte) error {
 	req := make([]byte, 8+len(data))
 	binary.BigEndian.PutUint64(req[0:8], uint64(off))
 	copy(req[8:], data)
-	_, err := c.c.Call(MethodWrite, req)
+	_, err := c.c.CallCtx(ctx, MethodWrite, req)
 	return err
 }
 

@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -145,15 +146,27 @@ func (b *ViewBuffer) locate(off, n int64, visit func(c ViewChunk, chunkOff, bufO
 
 // WriteAt stores data at buffer offset off.
 func (b *ViewBuffer) WriteAt(data []byte, off int64) error {
+	return b.WriteAtCtx(nil, data, off)
+}
+
+// WriteAtCtx is WriteAt with cancellation: the context is checked before
+// each chunk RPC and aborts the in-flight call, so cancelling a large
+// cross-daemon write does not wait for the slowest daemon.
+func (b *ViewBuffer) WriteAtCtx(ctx context.Context, data []byte, off int64) error {
 	return b.locate(off, int64(len(data)), func(c ViewChunk, chunkOff, bufOff, length int64) error {
-		return b.view.clients[c.Daemon].Write(c.Offset+chunkOff, data[bufOff:bufOff+length])
+		return b.view.clients[c.Daemon].WriteCtx(ctx, c.Offset+chunkOff, data[bufOff:bufOff+length])
 	})
 }
 
 // ReadAt fills p from buffer offset off.
 func (b *ViewBuffer) ReadAt(p []byte, off int64) error {
+	return b.ReadAtCtx(nil, p, off)
+}
+
+// ReadAtCtx is ReadAt with cancellation, with WriteAtCtx's semantics.
+func (b *ViewBuffer) ReadAtCtx(ctx context.Context, p []byte, off int64) error {
 	return b.locate(off, int64(len(p)), func(c ViewChunk, chunkOff, bufOff, length int64) error {
-		got, err := b.view.clients[c.Daemon].Read(c.Offset+chunkOff, int(length))
+		got, err := b.view.clients[c.Daemon].ReadCtx(ctx, c.Offset+chunkOff, int(length))
 		if err != nil {
 			return err
 		}

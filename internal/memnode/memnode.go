@@ -6,6 +6,15 @@
 //
 // Pages are materialized on first write, so a node can model tens of
 // gigabytes of capacity while tests touch only megabytes.
+//
+// The data path is lock-free: pages live in a two-level structure of
+// atomically published chunks (one chunk covers 2MiB of address space),
+// materialized with compare-and-swap, and statistics are per-page atomics.
+// Many goroutines — one per accessing server, as in the paper's §4
+// workloads — can therefore drive one node concurrently without
+// serializing on a node-wide mutex. Concurrent writes to the same byte
+// range are the application's data race, exactly as on real shared
+// memory; the node itself stays structurally consistent.
 package memnode
 
 import (
@@ -13,11 +22,19 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the translation and tracking granularity, 4KiB as in the
 // host page tables the paper's runtime would manage.
 const PageSize = 4096
+
+// chunkPages is the number of pages per atomically published chunk; one
+// chunk spans 2MiB, matching the pool's slice granularity.
+const chunkPages = 512
+
+// chunkBytes is the address span of one chunk.
+const chunkBytes = int64(chunkPages) * PageSize
 
 // ErrOutOfRange reports an access beyond the node's capacity.
 var ErrOutOfRange = errors.New("memnode: access out of range")
@@ -39,16 +56,47 @@ type PageStats struct {
 	Accessed bool
 }
 
-// Node is one server's DRAM. It is safe for concurrent use.
+// pageStats is the internal atomic mirror of PageStats.
+type pageStats struct {
+	localReads  atomic.Uint64
+	remoteReads atomic.Uint64
+	writes      atomic.Uint64
+	heat        atomic.Uint64
+	accessed    atomic.Bool
+}
+
+func (st *pageStats) snapshot(page int64) PageStats {
+	return PageStats{
+		Page:        page,
+		LocalReads:  st.localReads.Load(),
+		RemoteReads: st.remoteReads.Load(),
+		Writes:      st.writes.Load(),
+		Heat:        st.heat.Load(),
+		Accessed:    st.accessed.Load(),
+	}
+}
+
+// chunk holds the pages and statistics for one 2MiB span. Page slots are
+// published with atomic pointers so readers never take a lock; a nil page
+// reads as zeros.
+type chunk struct {
+	pages [chunkPages]atomic.Pointer[[PageSize]byte]
+	stats [chunkPages]atomic.Pointer[pageStats]
+}
+
+// Node is one server's DRAM. It is safe for concurrent use, and the
+// read/write/record path is lock-free.
 type Node struct {
 	name     string
 	capacity int64
 
-	mu     sync.RWMutex
-	shared int64 // bytes [0, shared) are the shared region
-	inUse  int64 // shared bytes currently allocated (maintained by the allocator)
-	pages  map[int64][]byte
-	stats  map[int64]*PageStats
+	// chunks is sized at construction (capacity/chunkBytes slots); each
+	// slot is materialized on first touch.
+	chunks []atomic.Pointer[chunk]
+
+	mu     sync.Mutex   // guards the region boundary bookkeeping below
+	shared atomic.Int64 // bytes [0, shared) are the shared region
+	inUse  int64        // shared bytes currently allocated (maintained by the allocator)
 }
 
 // New returns a node with the given capacity and initial shared-region
@@ -60,13 +108,13 @@ func New(name string, capacity, sharedBytes int64) (*Node, error) {
 	if sharedBytes < 0 || sharedBytes > capacity {
 		return nil, fmt.Errorf("memnode: shared %d outside [0,%d]", sharedBytes, capacity)
 	}
-	return &Node{
+	n := &Node{
 		name:     name,
 		capacity: capacity,
-		shared:   sharedBytes,
-		pages:    make(map[int64][]byte),
-		stats:    make(map[int64]*PageStats),
-	}, nil
+		chunks:   make([]atomic.Pointer[chunk], (capacity+chunkBytes-1)/chunkBytes),
+	}
+	n.shared.Store(sharedBytes)
+	return n, nil
 }
 
 // Name returns the node's name.
@@ -76,19 +124,15 @@ func (n *Node) Name() string { return n.name }
 func (n *Node) Capacity() int64 { return n.capacity }
 
 // SharedBytes reports the current shared-region size.
-func (n *Node) SharedBytes() int64 {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.shared
-}
+func (n *Node) SharedBytes() int64 { return n.shared.Load() }
 
 // PrivateBytes reports capacity outside the shared region.
 func (n *Node) PrivateBytes() int64 { return n.capacity - n.SharedBytes() }
 
 // InUse reports shared bytes currently allocated.
 func (n *Node) InUse() int64 {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	return n.inUse
 }
 
@@ -101,8 +145,8 @@ func (n *Node) Reserve(alloc int64) error {
 	if next < 0 {
 		return fmt.Errorf("memnode: release below zero (%d)", next)
 	}
-	if next > n.shared {
-		return fmt.Errorf("memnode: reserve %d exceeds shared region %d (in use %d)", alloc, n.shared, n.inUse)
+	if next > n.shared.Load() {
+		return fmt.Errorf("memnode: reserve %d exceeds shared region %d (in use %d)", alloc, n.shared.Load(), n.inUse)
 	}
 	n.inUse = next
 	return nil
@@ -119,7 +163,7 @@ func (n *Node) Resize(sharedBytes int64) error {
 	if sharedBytes < n.inUse {
 		return fmt.Errorf("%w: want %d, in use %d", ErrShrinkBelowUse, sharedBytes, n.inUse)
 	}
-	n.shared = sharedBytes
+	n.shared.Store(sharedBytes)
 	return nil
 }
 
@@ -130,54 +174,79 @@ func (n *Node) checkRange(off int64, length int) error {
 	return nil
 }
 
+// loadChunk returns the chunk covering page, or nil if untouched.
+func (n *Node) loadChunk(page int64) *chunk {
+	return n.chunks[page/chunkPages].Load()
+}
+
+// ensureChunk returns the chunk covering page, materializing it if needed.
+func (n *Node) ensureChunk(page int64) *chunk {
+	slot := &n.chunks[page/chunkPages]
+	if c := slot.Load(); c != nil {
+		return c
+	}
+	fresh := &chunk{}
+	if slot.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return slot.Load()
+}
+
 // ReadAt copies len(p) bytes at offset off into p. Unmaterialized pages
-// read as zeros.
+// read as zeros. The read is lock-free.
 func (n *Node) ReadAt(p []byte, off int64) error {
 	if err := n.checkRange(off, len(p)); err != nil {
 		return err
 	}
-	n.mu.RLock()
-	defer n.mu.RUnlock()
 	for done := 0; done < len(p); {
 		page := (off + int64(done)) / PageSize
 		po := int((off + int64(done)) % PageSize)
-		chunk := PageSize - po
-		if rem := len(p) - done; rem < chunk {
-			chunk = rem
+		span := PageSize - po
+		if rem := len(p) - done; rem < span {
+			span = rem
 		}
-		if data := n.pages[page]; data != nil {
-			copy(p[done:done+chunk], data[po:po+chunk])
+		var data *[PageSize]byte
+		if c := n.loadChunk(page); c != nil {
+			data = c.pages[page%chunkPages].Load()
+		}
+		if data != nil {
+			copy(p[done:done+span], data[po:po+span])
 		} else {
-			for i := done; i < done+chunk; i++ {
-				p[i] = 0
-			}
+			clear(p[done : done+span])
 		}
-		done += chunk
+		done += span
 	}
 	return nil
 }
 
-// WriteAt copies p into the node at offset off, materializing pages.
+// WriteAt copies p into the node at offset off, materializing pages with
+// compare-and-swap. Structural publication is lock-free; concurrent
+// writes to overlapping bytes are an application-level race, as on real
+// memory.
 func (n *Node) WriteAt(p []byte, off int64) error {
 	if err := n.checkRange(off, len(p)); err != nil {
 		return err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	for done := 0; done < len(p); {
 		page := (off + int64(done)) / PageSize
 		po := int((off + int64(done)) % PageSize)
-		chunk := PageSize - po
-		if rem := len(p) - done; rem < chunk {
-			chunk = rem
+		span := PageSize - po
+		if rem := len(p) - done; rem < span {
+			span = rem
 		}
-		data := n.pages[page]
+		c := n.ensureChunk(page)
+		slot := &c.pages[page%chunkPages]
+		data := slot.Load()
 		if data == nil {
-			data = make([]byte, PageSize)
-			n.pages[page] = data
+			fresh := new([PageSize]byte)
+			if slot.CompareAndSwap(nil, fresh) {
+				data = fresh
+			} else {
+				data = slot.Load()
+			}
 		}
-		copy(data[po:po+chunk], p[done:done+chunk])
-		done += chunk
+		copy(data[po:po+span], p[done:done+span])
+		done += span
 	}
 	return nil
 }
@@ -185,10 +254,10 @@ func (n *Node) WriteAt(p []byte, off int64) error {
 // DropPage discards a page's contents and statistics (used after
 // migration moves it away).
 func (n *Node) DropPage(page int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.pages, page)
-	delete(n.stats, page)
+	if c := n.loadChunk(page); c != nil {
+		c.pages[page%chunkPages].Store(nil)
+		c.stats[page%chunkPages].Store(nil)
+	}
 }
 
 // DropRange discards the contents and statistics of every page fully
@@ -200,67 +269,97 @@ func (n *Node) DropRange(off, length int64) {
 	}
 	first := (off + PageSize - 1) / PageSize
 	last := (off + length) / PageSize // exclusive
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	for p := first; p < last; p++ {
-		delete(n.pages, p)
-		delete(n.stats, p)
+		n.DropPage(p)
 	}
 }
 
 // MaterializedPages reports how many pages hold data.
 func (n *Node) MaterializedPages() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return len(n.pages)
+	count := 0
+	for ci := range n.chunks {
+		c := n.chunks[ci].Load()
+		if c == nil {
+			continue
+		}
+		for pi := range c.pages {
+			if c.pages[pi].Load() != nil {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// ensureStats returns the stats record for page, materializing it if
+// needed.
+func (n *Node) ensureStats(page int64) *pageStats {
+	c := n.ensureChunk(page)
+	slot := &c.stats[page%chunkPages]
+	if st := slot.Load(); st != nil {
+		return st
+	}
+	fresh := &pageStats{}
+	if slot.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return slot.Load()
 }
 
 // RecordAccess updates statistics for the page containing off. remote
-// marks the access as issued by another server; write marks stores.
+// marks the access as issued by another server; write marks stores. The
+// update is lock-free.
 func (n *Node) RecordAccess(off int64, remote, write bool) {
-	page := off / PageSize
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	st := n.stats[page]
-	if st == nil {
-		st = &PageStats{Page: page}
-		n.stats[page] = st
-	}
-	st.Accessed = true
+	st := n.ensureStats(off / PageSize)
+	st.accessed.Store(true)
 	switch {
 	case write:
-		st.Writes++
-		st.Heat++
+		st.writes.Add(1)
+		st.heat.Add(1)
 	case remote:
-		st.RemoteReads++
+		st.remoteReads.Add(1)
 		// Remote reads are what locality balancing can win back; weight
 		// them higher so hot remote pages surface first.
-		st.Heat += 4
+		st.heat.Add(4)
 	default:
-		st.LocalReads++
-		st.Heat++
+		st.localReads.Add(1)
+		st.heat.Add(1)
 	}
 }
 
 // Stats returns a copy of the statistics for the page containing off.
 func (n *Node) Stats(off int64) PageStats {
 	page := off / PageSize
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	if st := n.stats[page]; st != nil {
-		return *st
+	if c := n.loadChunk(page); c != nil {
+		if st := c.stats[page%chunkPages].Load(); st != nil {
+			return st.snapshot(page)
+		}
 	}
 	return PageStats{Page: page}
 }
 
+// eachStats visits every materialized stats record.
+func (n *Node) eachStats(visit func(page int64, st *pageStats)) {
+	for ci := range n.chunks {
+		c := n.chunks[ci].Load()
+		if c == nil {
+			continue
+		}
+		base := int64(ci) * chunkPages
+		for pi := range c.stats {
+			if st := c.stats[pi].Load(); st != nil {
+				visit(base+int64(pi), st)
+			}
+		}
+	}
+}
+
 // HottestPages returns up to k pages by descending heat.
 func (n *Node) HottestPages(k int) []PageStats {
-	n.mu.RLock()
-	all := make([]PageStats, 0, len(n.stats))
-	for _, st := range n.stats {
-		all = append(all, *st)
-	}
-	n.mu.RUnlock()
+	var all []PageStats
+	n.eachStats(func(page int64, st *pageStats) {
+		all = append(all, st.snapshot(page))
+	})
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Heat != all[j].Heat {
 			return all[i].Heat > all[j].Heat
@@ -273,26 +372,23 @@ func (n *Node) HottestPages(k int) []PageStats {
 	return all
 }
 
-// Decay halves every page's heat, aging out stale hotness.
+// Decay halves every page's heat, aging out stale hotness. Increments
+// racing the halving may be absorbed or survive; heat is a heuristic and
+// either outcome is acceptable.
 func (n *Node) Decay() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, st := range n.stats {
-		st.Heat /= 2
-	}
+	n.eachStats(func(_ int64, st *pageStats) {
+		st.heat.Store(st.heat.Load() / 2)
+	})
 }
 
 // ClearAccessBits clears the NUMA-style access bits and reports how many
 // pages had been touched since the last clear.
 func (n *Node) ClearAccessBits() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	touched := 0
-	for _, st := range n.stats {
-		if st.Accessed {
+	n.eachStats(func(_ int64, st *pageStats) {
+		if st.accessed.Swap(false) {
 			touched++
-			st.Accessed = false
 		}
-	}
+	})
 	return touched
 }

@@ -9,6 +9,7 @@ package pagetable
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageShift is the page granularity (4KiB).
@@ -139,19 +140,28 @@ func (t *Table) Lookup(vpage uint64) (pframe int64, ok bool, walkLevels int) {
 	return n.leaves[i], true, walkLevels
 }
 
-// TLB is a set-associative translation cache with FIFO replacement within
-// each set. It is safe for concurrent use.
-type TLB struct {
+// tlbSet is one set of a set-associative TLB with its own lock, so
+// translations touching different sets never contend — the TLB sits on
+// the per-access translation path and a single cache-wide mutex would
+// serialize every accessor.
+type tlbSet struct {
 	mu     sync.Mutex
-	sets   int
-	ways   int
-	tags   [][]uint64
-	vals   [][]int64
-	valid  [][]bool
-	cursor []int
+	tags   []uint64
+	vals   []int64
+	valid  []bool
+	cursor int
+}
 
-	hits   uint64
-	misses uint64
+// TLB is a set-associative translation cache with FIFO replacement within
+// each set. It is safe for concurrent use; locking is per set and the
+// hit/miss counters are atomic.
+type TLB struct {
+	sets int
+	ways int
+	set_ []tlbSet
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewTLB returns a TLB with the given geometry. sets must be a power of
@@ -163,83 +173,80 @@ func NewTLB(sets, ways int) (*TLB, error) {
 	if ways <= 0 {
 		return nil, fmt.Errorf("pagetable: ways %d must be positive", ways)
 	}
-	t := &TLB{sets: sets, ways: ways}
-	t.tags = make([][]uint64, sets)
-	t.vals = make([][]int64, sets)
-	t.valid = make([][]bool, sets)
-	t.cursor = make([]int, sets)
-	for i := 0; i < sets; i++ {
-		t.tags[i] = make([]uint64, ways)
-		t.vals[i] = make([]int64, ways)
-		t.valid[i] = make([]bool, ways)
+	t := &TLB{sets: sets, ways: ways, set_: make([]tlbSet, sets)}
+	for i := range t.set_ {
+		t.set_[i].tags = make([]uint64, ways)
+		t.set_[i].vals = make([]int64, ways)
+		t.set_[i].valid = make([]bool, ways)
 	}
 	return t, nil
 }
 
-func (t *TLB) set(vpage uint64) int { return int(vpage) & (t.sets - 1) }
+func (t *TLB) set(vpage uint64) *tlbSet { return &t.set_[int(vpage)&(t.sets-1)] }
 
 // Lookup checks the TLB for vpage.
 func (t *TLB) Lookup(vpage uint64) (int64, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	s := t.set(vpage)
+	s.mu.Lock()
 	for w := 0; w < t.ways; w++ {
-		if t.valid[s][w] && t.tags[s][w] == vpage {
-			t.hits++
-			return t.vals[s][w], true
+		if s.valid[w] && s.tags[w] == vpage {
+			v := s.vals[w]
+			s.mu.Unlock()
+			t.hits.Add(1)
+			return v, true
 		}
 	}
-	t.misses++
+	s.mu.Unlock()
+	t.misses.Add(1)
 	return 0, false
 }
 
 // Insert caches a translation, evicting FIFO within the set.
 func (t *TLB) Insert(vpage uint64, pframe int64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	s := t.set(vpage)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for w := 0; w < t.ways; w++ {
-		if t.valid[s][w] && t.tags[s][w] == vpage {
-			t.vals[s][w] = pframe
+		if s.valid[w] && s.tags[w] == vpage {
+			s.vals[w] = pframe
 			return
 		}
 	}
-	w := t.cursor[s]
-	t.cursor[s] = (w + 1) % t.ways
-	t.tags[s][w] = vpage
-	t.vals[s][w] = pframe
-	t.valid[s][w] = true
+	w := s.cursor
+	s.cursor = (w + 1) % t.ways
+	s.tags[w] = vpage
+	s.vals[w] = pframe
+	s.valid[w] = true
 }
 
 // InvalidatePage drops any cached translation for vpage (a TLB shootdown
 // after unmap or migration).
 func (t *TLB) InvalidatePage(vpage uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	s := t.set(vpage)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for w := 0; w < t.ways; w++ {
-		if t.valid[s][w] && t.tags[s][w] == vpage {
-			t.valid[s][w] = false
+		if s.valid[w] && s.tags[w] == vpage {
+			s.valid[w] = false
 		}
 	}
 }
 
 // Flush empties the TLB.
 func (t *TLB) Flush() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for s := range t.valid {
-		for w := range t.valid[s] {
-			t.valid[s][w] = false
+	for i := range t.set_ {
+		s := &t.set_[i]
+		s.mu.Lock()
+		for w := range s.valid {
+			s.valid[w] = false
 		}
+		s.mu.Unlock()
 	}
 }
 
 // Stats reports hit and miss counts since creation.
 func (t *TLB) Stats() (hits, misses uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.hits, t.misses
+	return t.hits.Load(), t.misses.Load()
 }
 
 // MMU couples a TLB with a page table, the structure a server's runtime
@@ -247,9 +254,8 @@ func (t *TLB) Stats() (hits, misses uint64) {
 type MMU struct {
 	Table *Table
 	TLB   *TLB
-	// Walks counts page-table walks (TLB misses that hit the table).
-	Walks uint64
-	mu    sync.Mutex
+	// walks counts page-table walks (TLB misses that hit the table).
+	walks atomic.Uint64
 }
 
 // NewMMU returns an MMU with the standard geometry: 64-set, 4-way TLB.
@@ -272,9 +278,10 @@ func (m *MMU) Translate(vaddr uint64) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("pagetable: page fault at %#x", vaddr)
 	}
-	m.mu.Lock()
-	m.Walks++
-	m.mu.Unlock()
+	m.walks.Add(1)
 	m.TLB.Insert(vpage, p)
 	return p + int64(vaddr&(PageSize-1)), nil
 }
+
+// Walks reports page-table walks (TLB misses that hit the table).
+func (m *MMU) Walks() uint64 { return m.walks.Load() }

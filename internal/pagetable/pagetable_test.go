@@ -220,15 +220,15 @@ func TestMMUTranslate(t *testing.T) {
 	if p != 7*PageSize+123 {
 		t.Fatalf("translate = %d", p)
 	}
-	if m.Walks != 1 {
-		t.Fatalf("walks = %d, want 1", m.Walks)
+	if m.Walks() != 1 {
+		t.Fatalf("walks = %d, want 1", m.Walks())
 	}
 	// Second translation hits the TLB: no extra walk.
 	if _, err := m.Translate(addr + 1); err != nil {
 		t.Fatal(err)
 	}
-	if m.Walks != 1 {
-		t.Fatalf("walks after TLB hit = %d, want 1", m.Walks)
+	if m.Walks() != 1 {
+		t.Fatalf("walks after TLB hit = %d, want 1", m.Walks())
 	}
 }
 

@@ -12,6 +12,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -292,6 +293,19 @@ func (e *RemoteError) Error() string {
 
 // Call sends a request and blocks for its response.
 func (c *Client) Call(method byte, payload []byte) ([]byte, error) {
+	return c.CallCtx(nil, method, payload)
+}
+
+// CallCtx is Call with cancellation: when ctx ends before the response
+// arrives, the call returns an error wrapping ctx.Err(), the pending
+// entry is dropped, and the response — if it ever arrives — is
+// discarded by the read loop as stale. A nil context never cancels.
+func (c *Client) CallCtx(ctx context.Context, method byte, payload []byte) ([]byte, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("rpc: call cancelled: %w", err)
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -317,8 +331,19 @@ func (c *Client) Call(method byte, payload []byte) ([]byte, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	res := <-pc.ch
-	return res.payload, res.err
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case res := <-pc.ch:
+		return res.payload, res.err
+	case <-done:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: call cancelled: %w", ctx.Err())
+	}
 }
 
 // Close tears down the connection; pending calls fail.

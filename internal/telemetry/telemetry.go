@@ -133,72 +133,61 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // Registry is a named collection of metrics for inspection and dumping.
+// Lookups of existing metrics are lock-free, so a registry can sit on a
+// runtime hot path; callers with a fixed metric set should still resolve
+// the pointer once and reuse it.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters sync.Map // string → *Counter
+	gauges   sync.Map // string → *Gauge
+	hists    sync.Map // string → *Histogram
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-	}
-}
+func NewRegistry() *Registry { return &Registry{} }
 
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[name]
-	if c == nil {
-		c = &Counter{}
-		r.counters[name] = c
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*Counter)
 	}
-	return c
+	c, _ := r.counters.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
 }
 
 // Gauge returns (creating if needed) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g := r.gauges[name]
-	if g == nil {
-		g = &Gauge{}
-		r.gauges[name] = g
+	if g, ok := r.gauges.Load(name); ok {
+		return g.(*Gauge)
 	}
-	return g
+	g, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return g.(*Gauge)
 }
 
 // Histogram returns (creating if needed) the named histogram.
 func (r *Registry) Histogram(name string) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[name]
-	if h == nil {
-		h = &Histogram{}
-		r.hists[name] = h
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram)
 	}
-	return h
+	h, _ := r.hists.LoadOrStore(name, &Histogram{})
+	return h.(*Histogram)
 }
 
 // Snapshot renders all metrics as sorted "name value" lines.
 func (r *Registry) Snapshot() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var lines []string
-	for n, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("counter %s %d", n, c.Value()))
-	}
-	for n, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("gauge %s %d", n, g.Value()))
-	}
-	for n, h := range r.hists {
-		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%.1f p99=%.0f", n, h.Count(), h.Mean(), h.Quantile(0.99)))
-	}
+	r.counters.Range(func(n, c any) bool {
+		lines = append(lines, fmt.Sprintf("counter %s %d", n, c.(*Counter).Value()))
+		return true
+	})
+	r.gauges.Range(func(n, g any) bool {
+		lines = append(lines, fmt.Sprintf("gauge %s %d", n, g.(*Gauge).Value()))
+		return true
+	})
+	r.hists.Range(func(n, h any) bool {
+		hh := h.(*Histogram)
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%.1f p99=%.0f", n, hh.Count(), hh.Mean(), hh.Quantile(0.99)))
+		return true
+	})
 	sort.Strings(lines)
 	return lines
 }

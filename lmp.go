@@ -24,11 +24,39 @@
 //			{Name: "a", Capacity: 1 << 30, SharedBytes: 1 << 30},
 //			{Name: "b", Capacity: 1 << 30, SharedBytes: 1 << 30},
 //		},
-//		Placement: lmp.LocalityAware,
-//	})
+//	}, lmp.WithPlacement(lmp.LocalityAware))
 //	buf, err := pool.Alloc(64<<20, 0)          // place 64MiB near server 0
 //	err = pool.Write(0, buf.Addr(), data)      // local write
 //	err = pool.Read(1, buf.Addr(), out)        // remote read from server 1
+//
+// # API v1
+//
+// The stable v1 surface is this package's exported identifiers:
+//
+//   - Construction: New with a Config plus functional options
+//     (WithPlacement, WithProtection, WithMigrationPolicy,
+//     WithCoherentRegion). Filling Config fields directly still works;
+//     options run last and win.
+//   - Access: Pool.Read / Pool.Write; Pool.ReadCtx / Pool.WriteCtx with
+//     cancellation; vectored Pool.ReadV / Pool.WriteV (plus ...VCtx)
+//     over []Vec, which lock all touched slices at once — in a
+//     canonical order, so concurrent vectored operations never
+//     deadlock — and coalesce physically contiguous runs per server.
+//   - Buffers: Buffer.ReadAt / Buffer.WriteAt, and the standard-library
+//     adapters Buffer.ReaderAt / Buffer.WriterAt (io.ReaderAt /
+//     io.WriterAt) for composing pool memory with io.SectionReader,
+//     io.Copy, and friends.
+//   - Errors: failures classify with errors.Is against the sentinels in
+//     errors.go — ErrServerDead, ErrReleased, ErrOutOfMemory,
+//     ErrUnmapped — and context cancellation surfaces as an error
+//     wrapping ctx.Err().
+//
+// Reaching into internal/... packages (the pre-v1 "direct struct" path)
+// is unsupported and now impossible for new code: everything needed is
+// re-exported here, and the internal layout is free to change between
+// releases. The simulation/model surface (PhysicalPool, Deployment,
+// VectorSum*) regenerates the paper's figures and is stable but not part
+// of the data-path contract.
 package lmp
 
 import (
@@ -62,6 +90,9 @@ type (
 	ServerID = addr.ServerID
 	// Logical is an address in the pool's global address space.
 	Logical = addr.Logical
+	// Vec is one element of a vectored access (ReadV/WriteV): a logical
+	// address and the bytes to transfer there.
+	Vec = core.Vec
 	// RunnerConfig configures the pool's background tasks.
 	RunnerConfig = core.RunnerConfig
 	// Runner owns a pool's background goroutines.
@@ -90,8 +121,16 @@ const (
 // SliceSize is the pool's allocation/migration granularity (2MiB).
 const SliceSize = core.SliceSize
 
-// New builds a logical pool from the configuration.
-func New(cfg Config) (*Pool, error) { return core.New(cfg) }
+// New builds a logical pool from the configuration, then applies the
+// options (see Option). It fails if the configuration names no servers,
+// a server's shared region exceeds its capacity, or a policy fails
+// validation.
+func New(cfg Config, opts ...Option) (*Pool, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.New(cfg)
+}
 
 // NewPhysical builds a physical-pool baseline.
 func NewPhysical(cfg PhysicalConfig) (*PhysicalPool, error) { return core.NewPhysical(cfg) }

@@ -1,0 +1,45 @@
+package lmp
+
+import (
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/migrate"
+)
+
+// Option adjusts a pool configuration in New. Options run after the
+// Config literal is read, so they win over (and can be mixed with) field
+// assignments; the zero Config plus options is the idiomatic v1 way to
+// build a pool:
+//
+//	pool, err := lmp.New(lmp.Config{Servers: servers},
+//		lmp.WithPlacement(lmp.LocalityAware),
+//		lmp.WithProtection(lmp.ProtectionPolicy{Scheme: lmp.ProtectReplica, Copies: 2}),
+//	)
+type Option func(*Config)
+
+// WithPlacement selects the allocation placement policy (FirstFit,
+// RoundRobin, LocalityAware, or Striped).
+func WithPlacement(p alloc.Policy) Option {
+	return func(c *Config) { c.Placement = p }
+}
+
+// WithProtection sets the default protection policy applied by Alloc.
+// AllocProtected still overrides it per buffer.
+func WithProtection(pol failure.Policy) Option {
+	return func(c *Config) { c.Protection = pol }
+}
+
+// WithMigrationPolicy tunes the locality balancer (migration threshold,
+// hysteresis, per-round move budget).
+func WithMigrationPolicy(m migrate.Policy) Option {
+	return func(c *Config) { c.Migration = m }
+}
+
+// WithCoherentRegion sizes the coherent region and its directory
+// granularity. Zero granularity keeps the default (64 bytes).
+func WithCoherentRegion(bytes, granularity int64) Option {
+	return func(c *Config) {
+		c.CoherentBytes = bytes
+		c.CoherenceGranularity = granularity
+	}
+}
