@@ -1,0 +1,189 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver surface, built on the standard
+// library only (go/ast, go/types). The repo's custom analyzers (lockorder,
+// simtime, ctxflow, sentinelerr, atomichygiene) are written against this
+// API and run by the cmd/lmplint multichecker; internal/analysis/loader
+// loads and type-checks packages for the driver, and
+// internal/analysis/analysistest runs analyzers over `// want`-annotated
+// fixture packages.
+//
+// The shapes mirror x/tools on purpose: if the tree ever vendors
+// golang.org/x/tools, the analyzers port by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:ignore <name> <reason>" suppression directives.
+	Name string
+	// Doc is the one-paragraph description shown by `lmplint -list`.
+	Doc string
+	// Run applies the analyzer to one package and reports findings
+	// through pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Filename returns the name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// Unit is one loaded, type-checked package ready to be analyzed: the
+// common currency between the loader, the driver, and analysistest.
+type Unit struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	suppress map[string][]string // "file:line" → analyzer names ignored there
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run applies a to the unit and returns its diagnostics, sorted by
+// position, with suppressed findings removed. A "//lint:ignore
+// <name>[,<name>] <reason>" comment suppresses the named analyzers on
+// its own line and on the line directly below it; the reason is
+// mandatory or the directive is inert.
+func (u *Unit) Run(a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Types,
+		TypesInfo: u.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, u.PkgPath, err)
+	}
+	if u.suppress == nil {
+		u.suppress = suppressions(u.Fset, u.Files)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := u.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		ignored := false
+		for _, name := range u.suppress[key] {
+			if name == a.Name {
+				ignored = true
+				break
+			}
+		}
+		if !ignored {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// suppressions indexes every lint:ignore directive by the file:line
+// pairs it covers.
+func suppressions(fset *token.FileSet, files []*ast.File) map[string][]string {
+	out := make(map[string][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore ") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore "))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // a reason is mandatory; bare directives are inert
+				}
+				names := strings.Split(fields[0], ",")
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					out[key] = append(out[key], names...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PkgFuncCall resolves call's callee as a selector onto an imported
+// package: it reports (funcName, true) when the callee is pkgPath.f for
+// one of names (any function of the package when names is empty),
+// following import aliases through the type information.
+func PkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	if len(names) == 0 {
+		return sel.Sel.Name, true
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// IsErrorType reports whether t (or *t) implements the error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}

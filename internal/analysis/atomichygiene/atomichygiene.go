@@ -1,0 +1,103 @@
+// Package atomichygiene defines an analyzer catching the data-race class
+// the pool's lock-free structures are most exposed to: a struct field
+// updated through sync/atomic in one place and read or written with a
+// plain load/store in another. The atomic slice table, dead flags, and
+// per-page statistics all rely on every access of such a field being
+// atomic; one plain access is a silent race the race detector only finds
+// if a test happens to hit the interleaving.
+package atomichygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+)
+
+// Analyzer is the atomichygiene analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomichygiene",
+	Doc: "flag struct fields accessed both through sync/atomic functions and through " +
+		"plain loads/stores in the same package; migrate the field to a typed " +
+		"atomic (atomic.Uint64 etc.) or make every access atomic",
+	Run: run,
+}
+
+// atomicFuncs are the sync/atomic functions whose first argument is the
+// address of the word they operate on.
+var atomicFuncs = []string{
+	"AddInt32", "AddInt64", "AddUint32", "AddUint64", "AddUintptr",
+	"LoadInt32", "LoadInt64", "LoadUint32", "LoadUint64", "LoadUintptr", "LoadPointer",
+	"StoreInt32", "StoreInt64", "StoreUint32", "StoreUint64", "StoreUintptr", "StorePointer",
+	"SwapInt32", "SwapInt64", "SwapUint32", "SwapUint64", "SwapUintptr", "SwapPointer",
+	"CompareAndSwapInt32", "CompareAndSwapInt64", "CompareAndSwapUint32",
+	"CompareAndSwapUint64", "CompareAndSwapUintptr", "CompareAndSwapPointer",
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: fields whose address feeds a sync/atomic call, and the
+	// selector nodes that are part of those calls.
+	atomicAt := make(map[*types.Var]token.Pos)
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := analysis.PkgFuncCall(info, call, "sync/atomic", atomicFuncs...); !ok || len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if field := fieldOf(info, sel); field != nil {
+				if _, seen := atomicAt[field]; !seen {
+					atomicAt[field] = sel.Pos()
+				}
+				inAtomicCall[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access of those fields is a mixed access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			field := fieldOf(info, sel)
+			if field == nil {
+				return true
+			}
+			if at, ok := atomicAt[field]; ok {
+				pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic (e.g. %s) but plainly here; mixed atomic/plain access is a data race",
+					field.Name(), pass.Fset.Position(at))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}

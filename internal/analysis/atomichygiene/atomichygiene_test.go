@@ -1,0 +1,12 @@
+package atomichygiene_test
+
+import (
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/analysis/analysistest"
+	"github.com/lmp-project/lmp/internal/analysis/atomichygiene"
+)
+
+func TestAtomicHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", atomichygiene.Analyzer, "atomichygiene")
+}

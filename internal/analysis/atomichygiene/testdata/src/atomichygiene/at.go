@@ -1,0 +1,32 @@
+// Package atomichygiene is a fixture: a field touched through
+// sync/atomic must never also be read or written plainly.
+package atomichygiene
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) readPlain() int64 {
+	return c.hits // want "field hits is accessed with sync/atomic"
+}
+
+func (c *counters) resetPlain() {
+	c.hits = 0 // want "field hits is accessed with sync/atomic"
+}
+
+// okAtomic is the compliant access: same field, atomic load.
+func (c *counters) okAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// cold is only ever accessed plainly, so it is never flagged.
+func (c *counters) coldBump() {
+	c.cold++
+}

@@ -1,0 +1,99 @@
+// Package ctxflow defines an analyzer guarding the context contract of
+// the v1 API: cancellation flows from the caller down to rpc.CallCtx,
+// so library code must neither mint its own root context (which silences
+// the caller's cancellation) nor accept a context it then ignores.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/context.TODO() in library code under internal/ " +
+		"(cancellation must come from the caller; pass a nil context for the " +
+		"never-cancels case) and exported *Ctx functions that never use their " +
+		"context parameter",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	library := strings.HasPrefix(pass.Pkg.Path(), "internal/") ||
+		strings.Contains(pass.Pkg.Path(), "/internal/")
+	for _, f := range pass.Files {
+		testFile := strings.HasSuffix(pass.Filename(f.Pos()), "_test.go")
+		if library && !testFile {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := analysis.PkgFuncCall(pass.TypesInfo, call, "context", "Background", "TODO"); ok {
+					pass.Reportf(call.Pos(), "context.%s() creates a root context in library code; accept a context from the caller (nil means never-cancels)", name)
+				}
+				return true
+			})
+		}
+		if testFile {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCtxThreading(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkCtxThreading flags an exported *Ctx function whose context
+// parameter is never read in its body: the Ctx suffix promises
+// cancellation, so a dropped context is a silent contract break.
+func checkCtxThreading(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || !strings.HasSuffix(fn.Name.Name, "Ctx") {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContext(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "%s discards its context parameter; thread ctx down to the blocking call (e.g. CallCtx)", fn.Name.Name)
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+					return false
+				}
+				return !used
+			})
+			if !used {
+				pass.Reportf(name.Pos(), "%s takes a context but never uses it; thread %s down to the blocking call (e.g. CallCtx)", fn.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/analysis/analysistest"
+	"github.com/lmp-project/lmp/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "internal/ctxflow", "clientapp")
+}

@@ -1,0 +1,14 @@
+// Package clientapp sits outside internal/: minting a root context is
+// the application's prerogative, so nothing here is flagged.
+package clientapp
+
+import "context"
+
+// Run is the compliant near-miss: same context.Background call that the
+// library fixture flags.
+func Run() error {
+	ctx := context.Background()
+	return work(ctx)
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

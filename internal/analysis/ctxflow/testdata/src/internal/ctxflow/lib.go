@@ -1,0 +1,43 @@
+// Package ctxflow is a fixture for the context contract: library code
+// under internal/ must not mint root contexts, and an exported *Ctx
+// function must actually use the context it takes.
+package ctxflow
+
+import "context"
+
+func root() context.Context {
+	return context.Background() // want "creates a root context in library code"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "creates a root context in library code"
+}
+
+// ReadCtx promises cancellation in its name but never reads ctx.
+func ReadCtx(ctx context.Context, n int) error { // want "takes a context but never uses it"
+	_ = n
+	return nil
+}
+
+// DoCtx discards its context outright.
+func DoCtx(_ context.Context) error { // want "discards its context parameter"
+	return nil
+}
+
+// GoodCtx threads the context down to the blocking call: compliant.
+func GoodCtx(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// Flush has no Ctx suffix, so the threading contract does not apply:
+// the near-miss an ignored context is allowed to be.
+func Flush(ctx context.Context) error {
+	return nil
+}
+
+func helper(ctx context.Context) error {
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+// Package loader loads and type-checks the module's packages for the
+// lmplint driver using only the standard library and the go command: a
+// single `go list -export -deps -test -json` invocation supplies both the
+// source file lists of the target packages and compiled export data for
+// every dependency (stdlib included), so no external module — in
+// particular no golang.org/x/tools — is needed. Target packages are
+// parsed and type-checked from source (regular plus in-package test
+// files; external _test packages form their own unit), which gives
+// analyzers full syntax trees with type information.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the packages matched by patterns
+// (in dir), returning one analysis.Unit per package. In-package test
+// files are merged into their package's unit; external test packages
+// (package foo_test) become separate units named "<path>_test".
+//
+// Every import — module-internal ones included — resolves through
+// compiled export data, with a fresh importer per unit, so each unit
+// sees a single consistent identity for every package. An external test
+// unit resolves imports through the test-variant exports ("p [q.test]"
+// entries), which is how it sees symbols declared in q's in-package
+// test files.
+func Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)                   // import path → export data file
+	variantExports := make(map[string]map[string]string) // base test pkg → (import path → export file)
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.ForTest != "" && p.Export != "" {
+			// "p [q.test]": p compiled against q's in-package test files.
+			base, _, _ := strings.Cut(p.ImportPath, " ")
+			m := variantExports[p.ForTest]
+			if m == nil {
+				m = make(map[string]string)
+				variantExports[p.ForTest] = m
+			}
+			m[base] = p.Export
+		}
+		synthetic := p.ForTest != "" || strings.Contains(p.ImportPath, " ") || strings.HasSuffix(p.ImportPath, ".test")
+		if synthetic {
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Module != nil {
+			if len(p.CgoFiles) > 0 {
+				return nil, fmt.Errorf("loader: %s: cgo packages are not supported", p.ImportPath)
+			}
+			cp := p
+			targets = append(targets, &cp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var units []*analysis.Unit
+	check := func(pkgPath, dir string, names []string, variantOf string) error {
+		files, err := parseFiles(fset, dir, names)
+		if err != nil {
+			return err
+		}
+		lookup := func(path string) (io.ReadCloser, error) {
+			if variantOf != "" {
+				if f, ok := variantExports[variantOf][path]; ok {
+					return os.Open(f)
+				}
+			}
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("loader: no export data for %q", path)
+			}
+			return os.Open(f)
+		}
+		unit, err := typeCheck(fset, pkgPath, files, importer.ForCompiler(fset, "gc", lookup))
+		if err != nil {
+			return err
+		}
+		units = append(units, unit)
+		return nil
+	}
+	for _, p := range targets {
+		names := append(append([]string{}, p.GoFiles...), p.TestGoFiles...)
+		if len(names) > 0 {
+			if err := check(p.ImportPath, p.Dir, names, ""); err != nil {
+				return nil, err
+			}
+		}
+		if len(p.XTestGoFiles) > 0 {
+			if err := check(p.ImportPath+"_test", p.Dir, p.XTestGoFiles, p.ImportPath); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return units, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func typeCheck(fset *token.FileSet, pkgPath string, files []*ast.File, imp types.Importer) (*analysis.Unit, error) {
+	var terrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if len(terrs) < 10 {
+				terrs = append(terrs, err.Error())
+			}
+		},
+	}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s:\n  %s", pkgPath, strings.Join(terrs, "\n  "))
+	}
+	return &analysis.Unit{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

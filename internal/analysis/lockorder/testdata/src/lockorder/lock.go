@@ -1,0 +1,124 @@
+// Package lockorder is a fixture for the stripe-lock discipline: single
+// acquisitions release through a defer, loop acquisitions either pair
+// lock/unlock per iteration or sort first and release in one deferred
+// function, and the structural mutex is never taken under a stripe lock.
+package lockorder
+
+import (
+	"sort"
+	"sync"
+)
+
+type stripe struct {
+	sync.RWMutex
+	pad [40]byte
+}
+
+type pool struct {
+	mu      sync.Mutex
+	stripes []stripe
+}
+
+func work() {}
+
+// goodSingle is the data-path shape: one stripe, one deferred unlock.
+func goodSingle(p *pool) {
+	st := &p.stripes[0]
+	st.Lock()
+	defer st.Unlock()
+	work()
+}
+
+func goodSingleRead(p *pool) {
+	st := &p.stripes[0]
+	st.RLock()
+	defer st.RUnlock()
+	work()
+}
+
+func badNoDefer(p *pool) {
+	st := &p.stripes[0]
+	st.Lock() // want "without a deferred unlock"
+	work()
+}
+
+func badInline(p *pool) {
+	st := &p.stripes[0]
+	st.Lock()
+	work()
+	st.Unlock() // want "released inline"
+}
+
+// goodPerIteration pairs lock and unlock inside one iteration, so at
+// most one stripe is ever held: the structural-path shape.
+func goodPerIteration(p *pool) {
+	for i := range p.stripes {
+		p.stripes[i].Lock()
+		work()
+		p.stripes[i].Unlock()
+	}
+}
+
+// goodVectored is the vectored-I/O shape: sorted ascending acquisition,
+// one deferred release for all stripes.
+func goodVectored(p *pool, idxs []int) {
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		p.stripes[i].Lock()
+	}
+	defer func() {
+		for j := len(idxs) - 1; j >= 0; j-- {
+			p.stripes[idxs[j]].Unlock()
+		}
+	}()
+	work()
+}
+
+func badVectoredNoSort(p *pool, idxs []int) {
+	for _, i := range idxs {
+		p.stripes[i].Lock() // want "without first sorting"
+	}
+	defer func() {
+		for j := range idxs {
+			p.stripes[idxs[j]].Unlock()
+		}
+	}()
+	work()
+}
+
+func badVectoredNoDefer(p *pool, idxs []int) {
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		p.stripes[i].Lock() // want "released through a single deferred unlock"
+	}
+	work()
+}
+
+func badStructuralAfterStripe(p *pool) {
+	st := &p.stripes[0]
+	st.Lock()
+	defer st.Unlock()
+	p.mu.Lock() // want "canonical order is structural"
+	defer p.mu.Unlock()
+	work()
+}
+
+// goodStructuralFirst takes the locks in canonical order.
+func goodStructuralFirst(p *pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := &p.stripes[0]
+	st.Lock()
+	defer st.Unlock()
+	work()
+}
+
+// reg is not a stripe type, so the discipline does not apply: the
+// compliant near-miss for an inline unlock.
+type reg struct{ sync.Mutex }
+
+func okNotStripe(r *reg) {
+	r.Lock()
+	work()
+	r.Unlock()
+}

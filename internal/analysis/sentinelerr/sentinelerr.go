@@ -1,0 +1,130 @@
+// Package sentinelerr defines an analyzer enforcing the v1 error
+// contract: sentinel errors (ErrServerDead, ErrReleased, ErrOutOfMemory,
+// ErrUnmapped, and every other package-level Err* value) are wrapped as
+// they cross layers, so identity comparison with == or matching on the
+// rendered message silently stops working the moment anyone adds a wrap.
+// errors.Is / errors.As are the only future-proof classifications.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+)
+
+// Analyzer is the sentinelerr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc: "flag == / != / switch-case comparisons against package-level Err* sentinels " +
+		"(use errors.Is) and string matching on err.Error() text (use errors.Is or " +
+		"errors.As); comparing err.Error() to \"\" stays allowed",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if name, ok := sentinelName(info, n.X); ok {
+					pass.Reportf(n.Pos(), "comparing against sentinel %s with %s breaks once the error is wrapped; use errors.Is(err, %s)", name, n.Op, name)
+					return true
+				}
+				if name, ok := sentinelName(info, n.Y); ok {
+					pass.Reportf(n.Pos(), "comparing against sentinel %s with %s breaks once the error is wrapped; use errors.Is(err, %s)", name, n.Op, name)
+					return true
+				}
+				if isErrorMessageCall(info, n.X) && !isEmptyString(n.Y) ||
+					isErrorMessageCall(info, n.Y) && !isEmptyString(n.X) {
+					pass.Reportf(n.Pos(), "comparing err.Error() text is brittle under wrapping; classify with errors.Is or errors.As")
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if name, ok := sentinelName(info, v); ok {
+							pass.Reportf(v.Pos(), "switch case compares sentinel %s by identity; use errors.Is(err, %s)", name, name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if _, ok := analysis.PkgFuncCall(info, n, "strings",
+					"Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index"); !ok {
+					return true
+				}
+				for _, arg := range n.Args {
+					if isErrorMessageCall(info, arg) {
+						pass.Reportf(n.Pos(), "matching err.Error() text is brittle under wrapping; classify with errors.Is or errors.As")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName reports whether e resolves to a package-level error
+// variable named Err*, returning the name as written.
+func sentinelName(info *types.Info, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		// Only pkg.ErrX selectors: a field access x.Err is not a sentinel.
+		if pkgID, ok := e.X.(*ast.Ident); !ok {
+			return "", false
+		} else if _, ok := info.Uses[pkgID].(*types.PkgName); !ok {
+			return "", false
+		}
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	if obj.Parent() != obj.Pkg().Scope() { // package-level only
+		return "", false
+	}
+	if !strings.HasPrefix(obj.Name(), "Err") || !analysis.IsErrorType(obj.Type()) {
+		return "", false
+	}
+	return types.ExprString(e), true
+}
+
+// isErrorMessageCall reports whether e is a call of the Error() method
+// on an error value.
+func isErrorMessageCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return analysis.IsErrorType(info.TypeOf(sel.X))
+}
+
+func isEmptyString(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING && (lit.Value == `""` || lit.Value == "``")
+}

@@ -1,0 +1,56 @@
+// Package sentinelerr is a fixture for the error contract: sentinels
+// classify through errors.Is / errors.As, never identity comparison or
+// message text.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrGone and ErrBusy are package-level sentinels.
+var (
+	ErrGone = errors.New("gone")
+	ErrBusy = errors.New("busy")
+)
+
+func wrap() error { return fmt.Errorf("op: %w", ErrGone) }
+
+func badEq(err error) bool {
+	return err == ErrGone // want "comparing against sentinel ErrGone with =="
+}
+
+func badNeq(err error) bool {
+	return ErrBusy != err // want "comparing against sentinel ErrBusy with !="
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrGone: // want "switch case compares sentinel ErrGone by identity"
+		return "gone"
+	}
+	return ""
+}
+
+func badText(err error) bool {
+	return strings.Contains(err.Error(), "gone") // want "matching err.Error\\(\\) text is brittle"
+}
+
+func badTextEq(err error) bool {
+	return err.Error() == "gone" // want "comparing err.Error\\(\\) text is brittle"
+}
+
+// The compliant near-misses: errors.Is, nil checks, and the empty-string
+// sanity check stay allowed.
+func okIs(err error) bool    { return errors.Is(err, ErrGone) }
+func okNil(err error) bool   { return err == nil }
+func okEmpty(err error) bool { return err.Error() == "" }
+
+// okWaived shows a justified suppression: the directive names the
+// analyzer and carries a reason, so the finding on the next line is
+// dropped (analysistest would fail on an unexpected diagnostic here).
+func okWaived(err error) bool {
+	//lint:ignore sentinelerr fixture exercises identity on purpose
+	return err == ErrGone
+}

@@ -1,0 +1,20 @@
+// Package sim is a fixture whose import path is gated: every wall-clock
+// read below must be flagged, while pure time data (time.Duration) stays
+// allowed.
+package sim
+
+import "time"
+
+// Engine is a stand-in for the deterministic clock.
+type Engine struct{ now int64 }
+
+// Step advances simulated time; time.Duration is data, not a clock read.
+func (e *Engine) Step(d time.Duration) { e.now += int64(d) }
+
+func bad(e *Engine) {
+	_ = time.Now() // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	<-time.After(time.Millisecond) // want "time.After reads the wall clock"
+	t := time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+	t.Stop()
+}

@@ -1,0 +1,9 @@
+package notsim
+
+import "time"
+
+// dessim*.go files are gated by name wherever they live: replay code
+// must stay deterministic even inside a wall-clock package.
+func replayNow() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,8 @@
+// Package notsim is outside the gated paths: wall-clock time is fine in
+// ordinary runtime code.
+package notsim
+
+import "time"
+
+// Wall is the compliant near-miss: same call, ungated package.
+func Wall() int64 { return time.Now().UnixNano() }

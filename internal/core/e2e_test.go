@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"math"
 	"testing"
 
@@ -141,7 +142,7 @@ func TestBufferIOBounds(t *testing.T) {
 	if err := b.Release(); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.ReadAt(0, make([]byte, 1), 0); err != ErrReleased {
+	if err := b.ReadAt(0, make([]byte, 1), 0); !errors.Is(err, ErrReleased) {
 		t.Fatalf("read of released buffer: %v", err)
 	}
 }

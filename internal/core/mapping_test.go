@@ -2,7 +2,7 @@ package core
 
 import (
 	"bytes"
-	"strings"
+	"errors"
 	"testing"
 
 	"github.com/lmp-project/lmp/internal/alloc"
@@ -81,7 +81,7 @@ func TestAddressSpaceSegfault(t *testing.T) {
 		t.Fatal(err)
 	}
 	err = as.Read(0xdead0000, make([]byte, 4))
-	if err == nil || !strings.Contains(err.Error(), "segmentation fault") {
+	if !errors.Is(err, pagetable.ErrPageFault) {
 		t.Fatalf("unmapped VA read: %v", err)
 	}
 }

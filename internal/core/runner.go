@@ -22,6 +22,11 @@ type RunnerConfig struct {
 	Loads func() (loads []sizing.ServerLoad, requiredPool int64)
 	// OnError observes background-task errors (optional).
 	OnError func(error)
+	// OnRound, if set, runs on the task's goroutine after every completed
+	// round of either kind, after the round's effects and error report are
+	// visible. It lets tests wait on round completion deterministically
+	// instead of polling the wall clock.
+	OnRound func()
 }
 
 // Runner owns the background goroutines of a pool.
@@ -65,6 +70,9 @@ func (p *Pool) StartBackground(cfg RunnerConfig) (*Runner, error) {
 					r.mu.Lock()
 					r.balances++
 					r.mu.Unlock()
+					if cfg.OnRound != nil {
+						cfg.OnRound()
+					}
 				}
 			}
 		}()
@@ -86,6 +94,9 @@ func (p *Pool) StartBackground(cfg RunnerConfig) (*Runner, error) {
 					r.mu.Lock()
 					r.sizings++
 					r.mu.Unlock()
+					if cfg.OnRound != nil {
+						cfg.OnRound()
+					}
 				}
 			}
 		}()

@@ -35,20 +35,33 @@ func TestBackgroundBalancerMigratesHotData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := p.StartBackground(RunnerConfig{BalanceEvery: 2 * time.Millisecond})
+	rounds := make(chan struct{}, 64)
+	r, err := p.StartBackground(RunnerConfig{
+		BalanceEvery: time.Millisecond,
+		OnRound: func() {
+			select {
+			case rounds <- struct{}{}:
+			default:
+			}
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer r.Stop()
 
+	// Drive reads from server 2, then wait for each balance round to
+	// complete (signalled on the channel — no wall-clock polling) and
+	// check whether the slice has moved. The round bound replaces a
+	// deadline: well under 100 rounds suffice in practice.
 	buf := make([]byte, 64)
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	for round := 0; round < 5000; round++ {
 		for i := 0; i < 20; i++ {
 			if err := p.Read(2, b.Addr(), buf); err != nil {
 				t.Fatal(err)
 			}
 		}
+		<-rounds
 		owner, err := p.OwnerOf(b.Addr())
 		if err != nil {
 			t.Fatal(err)
@@ -60,7 +73,6 @@ func TestBackgroundBalancerMigratesHotData(t *testing.T) {
 			}
 			return
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("background balancer never migrated the hot slice")
 }
@@ -76,17 +88,28 @@ func TestBackgroundSizerApplies(t *testing.T) {
 		ls[0].SharedWeight = 1
 		return ls, 0
 	}
-	r, err := p.StartBackground(RunnerConfig{SizeEvery: 2 * time.Millisecond, Loads: loads})
+	rounds := make(chan struct{}, 64)
+	r, err := p.StartBackground(RunnerConfig{
+		SizeEvery: time.Millisecond,
+		Loads:     loads,
+		OnRound: func() {
+			select {
+			case rounds <- struct{}{}:
+			default:
+			}
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer r.Stop()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
+	// The first completed round should already apply the target split;
+	// allow a few in case an early tick raced the start.
+	for round := 0; round < 100; round++ {
+		<-rounds
 		if p.SharedBytes(1) == 0 && p.SharedBytes(0) == 4*SliceSize {
 			return
 		}
-		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("sizer never applied: shared = %d/%d", p.SharedBytes(0), p.SharedBytes(1))
 }
@@ -104,6 +127,7 @@ func TestRunnerStopIdempotent(t *testing.T) {
 func TestRunnerErrorCallback(t *testing.T) {
 	p := testPool(t, alloc.LocalityAware)
 	errs := make(chan error, 16)
+	rounds := make(chan struct{}, 16)
 	r, err := p.StartBackground(RunnerConfig{
 		SizeEvery: time.Millisecond,
 		// Infeasible requirement triggers errors every round.
@@ -120,14 +144,23 @@ func TestRunnerErrorCallback(t *testing.T) {
 			default:
 			}
 		},
+		OnRound: func() {
+			select {
+			case rounds <- struct{}{}:
+			default:
+			}
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer r.Stop()
+	// OnError runs before OnRound on the same goroutine, so once a round
+	// has completed its error must already be queued.
+	<-rounds
 	select {
 	case <-errs:
-	case <-time.After(5 * time.Second):
-		t.Fatal("no error reported")
+	default:
+		t.Fatal("round completed without reporting an error")
 	}
 }

@@ -3,9 +3,12 @@ package daemon
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+
+	"github.com/lmp-project/lmp/internal/rpc"
 )
 
 func startDaemon(t *testing.T, name string, capacity, shared int64) (*Server, *Client) {
@@ -67,7 +70,11 @@ func TestAllocReadWriteOverTCP(t *testing.T) {
 
 func TestAccessOutsideSharedRejected(t *testing.T) {
 	_, c := startDaemon(t, "srv0", 1<<20, 1<<16)
-	if _, err := c.Read(1<<16, 64); err == nil || !strings.Contains(err.Error(), "outside shared region") {
+	// The bounds check fires server-side, so the client sees it as a
+	// typed *rpc.RemoteError carrying the handler's message.
+	_, err := c.Read(1<<16, 64)
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Message, "outside shared region") {
 		t.Fatalf("out-of-region read: %v", err)
 	}
 	if err := c.Write(-1, []byte("x")); err == nil {

@@ -7,10 +7,16 @@
 package pagetable
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrPageFault is returned (wrapped, with the faulting address) by
+// MMU.Translate when a virtual address has no mapping. Classify with
+// errors.Is.
+var ErrPageFault = errors.New("pagetable: page fault")
 
 // PageShift is the page granularity (4KiB).
 const PageShift = 12
@@ -276,7 +282,7 @@ func (m *MMU) Translate(vaddr uint64) (int64, error) {
 	}
 	p, ok, _ := m.Table.Lookup(vpage)
 	if !ok {
-		return 0, fmt.Errorf("pagetable: page fault at %#x", vaddr)
+		return 0, fmt.Errorf("%w at %#x", ErrPageFault, vaddr)
 	}
 	m.walks.Add(1)
 	m.TLB.Insert(vpage, p)
