@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke vet lint govulncheck examples
+# Chaos sweep width (seeds) and per-target fuzz budget for fuzz-smoke.
+CHAOS_SEEDS ?= 50
+FUZZTIME ?= 30s
+
+.PHONY: all build test race bench bench-smoke vet lint govulncheck examples chaos fuzz-smoke
 
 all: build test
 
@@ -26,9 +30,29 @@ lint:
 
 # The concurrency gate: the static invariants plus the full suite
 # (including the reader/writer/migration stress test) under the race
-# detector.
+# detector, then a widened chaos sweep.
 race: lint
 	$(GO) test -race ./...
+	$(MAKE) chaos
+
+# Seeded chaos/property sweep over the pool: every seed runs the random
+# Map/Write/Read/Release/crash interleaving twice and must produce an
+# identical trace and zero divergence from the sequential model. Replay a
+# failure with CHAOS_SEED=<n> (the failure report prints the command).
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run 'TestChaos' ./internal/core/
+
+# Short fuzz pass over every native fuzz target (GF(256) algebra, RS
+# round-trip/reconstruction, RPC wire codec). The seed corpora already run
+# as plain tests; this budgets $(FUZZTIME) of mutation per target. Go
+# allows one -fuzz target per invocation, hence the loops.
+fuzz-smoke:
+	@for t in FuzzGF256Arithmetic FuzzGF256MulSlice FuzzRSRoundTrip FuzzRSTooManyErasures; do \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/failure/ || exit 1; \
+	done
+	@for t in FuzzFrameRoundTrip FuzzReadFrame FuzzErrorPayload FuzzReadFrameTruncation; do \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/rpc/ || exit 1; \
+	done
 
 # Known-vulnerability scan. Soft-fails: the tool is not baked into every
 # dev image, and an advisory in a dependency should not mask test

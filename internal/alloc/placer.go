@@ -74,6 +74,17 @@ type Placer struct {
 	// could hold them whole. The LMP runtime sets it to the slice size so
 	// chunks can be freed and migrated independently.
 	MaxChunk int64
+
+	// Exclude, when set, vetoes placement on a server (the LMP runtime
+	// points it at the crash detector so new allocations never land on
+	// dead servers). It must be safe to call concurrently and cheap: it
+	// runs under the placer lock on every placement.
+	Exclude func(addr.ServerID) bool
+}
+
+// usable reports whether region r may receive new placements.
+func (p *Placer) usable(r *Region) bool {
+	return p.Exclude == nil || !p.Exclude(r.Server)
 }
 
 // NewPlacer returns a placer over the given regions. stripeBytes sets the
@@ -183,20 +194,22 @@ func (p *Placer) regionOf(s addr.ServerID) *Region {
 func (p *Placer) orderedFrom(start int) []*Region {
 	out := make([]*Region, 0, len(p.regions))
 	for i := 0; i < len(p.regions); i++ {
-		out = append(out, p.regions[(start+i)%len(p.regions)])
+		if r := p.regions[(start+i)%len(p.regions)]; p.usable(r) {
+			out = append(out, r)
+		}
 	}
 	return out
 }
 
 func (p *Placer) localityOrder(prefer addr.ServerID) []*Region {
 	out := make([]*Region, 0, len(p.regions))
-	if r := p.regionOf(prefer); r != nil {
+	if r := p.regionOf(prefer); r != nil && p.usable(r) {
 		out = append(out, r)
 	}
 	// Remaining regions by descending free space.
 	rest := make([]*Region, 0, len(p.regions))
 	for _, r := range p.regions {
-		if r.Server != prefer {
+		if r.Server != prefer && p.usable(r) {
 			rest = append(rest, r)
 		}
 	}
@@ -260,6 +273,13 @@ func (p *Placer) placeStriped(n int64) ([]Chunk, error) {
 		sz := p.stripe
 		if remaining < sz {
 			sz = remaining
+		}
+		if !p.usable(r) {
+			failures++
+			if failures >= len(p.regions) {
+				return chunks, fmt.Errorf("%w: %d bytes short placing %d", ErrNoSpace, remaining, n)
+			}
+			continue
 		}
 		off, err := r.Mem.Alloc(sz)
 		if err != nil {

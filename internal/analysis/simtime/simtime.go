@@ -19,6 +19,7 @@ var GatedPackages = []string{
 	"internal/sim",
 	"internal/memsim",
 	"internal/fabric",
+	"internal/chaos",
 }
 
 // GatedFilePrefix gates individual files by basename prefix in any
@@ -52,8 +53,9 @@ var bannedNames = func() []string {
 var Analyzer = &analysis.Analyzer{
 	Name: "simtime",
 	Doc: "forbid wall-clock time (time.Now, time.Sleep, timers) in the deterministic " +
-		"simulation packages (internal/sim, internal/memsim, internal/fabric) and in " +
-		"dessim*.go files; all timing there must flow through the sim clock",
+		"simulation packages (internal/sim, internal/memsim, internal/fabric, " +
+		"internal/chaos) and in dessim*.go files; all timing there must flow through " +
+		"the sim clock",
 	Run: run,
 }
 

@@ -1,0 +1,59 @@
+package chaos
+
+import "fmt"
+
+// Shrink minimizes a failing input using delta debugging (ddmin): given n
+// operations (identified by index 0..n-1) and a predicate that replays a
+// subset and reports whether it still fails, it returns a smaller (often
+// 1-minimal) index subset that preserves the failure. The predicate must
+// be deterministic — harnesses guarantee that by replaying the same seed
+// through the sim clock. Returns nil if the full sequence does not fail.
+func Shrink(n int, fails func(keep []int) bool) []int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	if !fails(cur) {
+		return nil
+	}
+	gran := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + gran - 1) / gran
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			// Try the complement: drop cur[start:end].
+			cand := make([]int, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) > 0 && fails(cand) {
+				cur = cand
+				if gran > 2 {
+					gran--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if gran >= len(cur) {
+				break
+			}
+			gran *= 2
+			if gran > len(cur) {
+				gran = len(cur)
+			}
+		}
+	}
+	return cur
+}
+
+// ReplayCommand renders the command line that replays one failing seed,
+// printed alongside failure reports so a bug is one paste away from
+// reproduction.
+func ReplayCommand(seed int64, testPattern, pkg string) string {
+	return fmt.Sprintf("CHAOS_SEED=%d go test -run '%s' %s", seed, testPattern, pkg)
+}

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/lmp-project/lmp/internal/rpc"
+	"github.com/lmp-project/lmp/internal/sim"
+)
+
+// Link interposes the injector on one server's RPC transport. It
+// satisfies rpc.Caller, so it stacks under an rpc.Retrier: the retrier
+// heals the transient faults this layer injects, and the harness asserts
+// how many it healed.
+type Link struct {
+	in     *Injector
+	server int
+	next   rpc.Caller
+}
+
+// WrapTransport wraps the transport to server with per-call fault
+// injection.
+func (in *Injector) WrapTransport(server int, next rpc.Caller) *Link {
+	return &Link{in: in, server: server, next: next}
+}
+
+// Call is CallCtx without cancellation.
+func (l *Link) Call(method byte, payload []byte) ([]byte, error) {
+	return l.CallCtx(nil, method, payload)
+}
+
+// CallCtx applies the injector's verdict for this call, then forwards to
+// the wrapped transport. Crashed targets fail with rpc.ErrServerDead;
+// drops and timeouts fail with rpc.ErrTransient; duplication forwards the
+// call twice (at-least-once delivery, discarding the second result).
+func (l *Link) CallCtx(ctx context.Context, method byte, payload []byte) ([]byte, error) {
+	in := l.in
+	in.mu.Lock()
+	if in.crashed[l.server] {
+		in.record(FaultDead, l.server, fmt.Sprintf("method=%d", method))
+		in.mu.Unlock()
+		return nil, fmt.Errorf("chaos: server %d is crashed: %w", l.server, rpc.ErrServerDead)
+	}
+	verdict := l.roll(method)
+	in.mu.Unlock()
+
+	switch verdict.kind {
+	case FaultDrop:
+		in.drops.Inc()
+		return nil, fmt.Errorf("chaos: dropped method %d to server %d: %w", method, l.server, rpc.ErrTransient)
+	case FaultTimeout:
+		in.drops.Inc()
+		return nil, fmt.Errorf("chaos: method %d to server %d timed out after %v: %w",
+			method, l.server, verdict.delay, rpc.ErrTransient)
+	case FaultDelay:
+		in.delays.Inc()
+	case FaultDup:
+		in.dups.Inc()
+		resp, err := l.next.CallCtx(ctx, method, payload)
+		if err != nil {
+			return resp, err
+		}
+		// Duplicate delivery: the call reaches the server a second time.
+		_, _ = l.next.CallCtx(ctx, method, payload)
+		return resp, nil
+	}
+	return l.next.CallCtx(ctx, method, payload)
+}
+
+type verdict struct {
+	kind  FaultKind
+	delay sim.Duration
+}
+
+// roll draws this call's fate. Caller holds in.mu; draws happen in a
+// fixed order (drop, delay, dup) so one seed replays one fault sequence.
+func (l *Link) roll(method byte) verdict {
+	in := l.in
+	tag := fmt.Sprintf("method=%d", method)
+	if in.cfg.PDrop > 0 && in.rng.Float64() < in.cfg.PDrop {
+		in.record(FaultDrop, l.server, tag)
+		return verdict{kind: FaultDrop}
+	}
+	if in.cfg.PDelay > 0 && in.rng.Float64() < in.cfg.PDelay && in.cfg.MaxDelay > 0 {
+		d := sim.Duration(1 + in.rng.Int63n(int64(in.cfg.MaxDelay)))
+		if f := in.slow[l.server]; f > 1 {
+			d = sim.Duration(float64(d) * f)
+		}
+		if in.cfg.CallTimeout > 0 && d > in.cfg.CallTimeout {
+			in.record(FaultTimeout, l.server, fmt.Sprintf("%s delay=%v", tag, d))
+			return verdict{kind: FaultTimeout, delay: d}
+		}
+		in.record(FaultDelay, l.server, fmt.Sprintf("%s delay=%v", tag, d))
+		return verdict{kind: FaultDelay, delay: d}
+	}
+	if in.cfg.PDup > 0 && in.rng.Float64() < in.cfg.PDup {
+		in.record(FaultDup, l.server, tag)
+		return verdict{kind: FaultDup}
+	}
+	return verdict{}
+}

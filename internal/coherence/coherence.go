@@ -57,6 +57,7 @@ type Stats struct {
 	Writebacks      uint64 // dirty data forced back on downgrades
 	BackInvalidates uint64 // filter-capacity evictions (inclusive filter)
 	Hits            uint64 // access already permitted, no traffic
+	LostDirty       uint64 // modified copies lost to node crashes (DropNode)
 }
 
 type block struct {
@@ -243,6 +244,37 @@ func (d *Directory) AcquireWrite(node NodeID, addrByte int64) ([]NodeID, error) 
 	b.owner = node
 	b.holders = map[NodeID]struct{}{node: {}}
 	return killed, nil
+}
+
+// DropNode removes every copy node holds — a crash-stop failure. Unlike
+// Evict, a dropped Modified owner performs no writeback: the dirty data
+// died with the server. The count of such lost dirty blocks is returned;
+// the caller decides whether a protected backing store masks them. The
+// directory itself stays consistent: no block retains the dead node as a
+// holder or owner.
+func (d *Directory) DropNode(node NodeID) (lostDirty int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for idx, b := range d.blocks {
+		if _, ok := b.holders[node]; !ok {
+			continue
+		}
+		delete(b.holders, node)
+		if b.state == Modified && b.owner == node {
+			// In Modified the owner is the sole holder, so the block
+			// empties and is untracked below.
+			lostDirty++
+			b.state = Invalid
+		}
+		if len(b.holders) == 0 {
+			delete(d.blocks, idx)
+		}
+	}
+	d.stats.LostDirty += uint64(lostDirty)
+	if d.Registry != nil && lostDirty > 0 {
+		d.Registry.Counter("coherence.lost_dirty").Add(uint64(lostDirty))
+	}
+	return lostDirty
 }
 
 // Evict removes node's copy of the block containing addr (a cache

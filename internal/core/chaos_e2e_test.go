@@ -1,0 +1,481 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/chaos"
+	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/sim"
+)
+
+// The chaos end-to-end harness drives random Map/Read/Write/Release and
+// crash interleavings against a sequential in-memory model of the pool,
+// on the sim clock, and asserts byte-level equivalence plus the pool's
+// structural invariants after every fault. Every run is a pure function
+// of its seed: the harness runs each seed twice and requires identical
+// operation logs and fault traces. Replay one seed with
+//
+//	CHAOS_SEED=<n> go test -run TestChaosPoolPropertySweep ./internal/core/
+//
+// and widen the sweep with CHAOS_SEEDS=<count> (make chaos runs 50).
+
+const (
+	chaosServers   = 8
+	chaosSlicesPer = 24
+	chaosOps       = 140
+	chaosMinLive   = 5 // EC K=2 M=1 wants 3 distinct servers; keep margin
+	chaosMaxBufs   = 6
+	opSpacing      = 50 * sim.Microsecond
+	repairDelay    = 130 * sim.Microsecond // spans ~2 ops: a lazy-recovery window
+)
+
+// opKind enumerates the generator's operation alphabet.
+type opKind int
+
+const (
+	opAlloc opKind = iota
+	opWrite
+	opRead
+	opRelease
+	opCrash
+	opDegrade
+)
+
+// opDesc is one pre-generated operation: the kind plus raw random
+// parameters, fixed per (seed, index) so ddmin subsets replay each kept
+// op with identical parameters.
+type opDesc struct {
+	kind opKind
+	a, b uint64
+}
+
+func genOps(seed int64) []opDesc {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]opDesc, chaosOps)
+	for i := range ops {
+		roll := rng.Intn(100)
+		var k opKind
+		switch {
+		case roll < 15:
+			k = opAlloc
+		case roll < 50:
+			k = opWrite
+		case roll < 80:
+			k = opRead
+		case roll < 90:
+			k = opRelease
+		case roll < 96:
+			k = opCrash
+		default:
+			k = opDegrade
+		}
+		ops[i] = opDesc{kind: k, a: rng.Uint64(), b: rng.Uint64()}
+	}
+	return ops
+}
+
+// chaosBuf pairs a pool buffer with its sequential shadow model.
+type chaosBuf struct {
+	buf   *Buffer
+	model []byte
+}
+
+type chaosResult struct {
+	log        string // operation log: one line per op, sim-time stamped
+	trace      string // injector fault trace
+	divergence []string
+	recoveries uint64
+	crashes    int
+	repaired   int
+}
+
+// chaosRun replays the seed's op sequence, keeping only ops whose index
+// is in keep (nil keeps all). corruptAt, when >= 0, silently corrupts the
+// model after that op — the harness's self-test that divergence detection
+// and shrinking actually fire.
+func chaosRun(t *testing.T, seed int64, keep []int, corruptAt int) chaosResult {
+	t.Helper()
+	kept := func(i int) bool {
+		if keep == nil {
+			return true
+		}
+		for _, k := range keep {
+			if k == i {
+				return true
+			}
+		}
+		return false
+	}
+
+	cfg := Config{Placement: alloc.Striped}
+	for i := 0; i < chaosServers; i++ {
+		cfg.Servers = append(cfg.Servers, ServerConfig{
+			Name:        "srv",
+			Capacity:    chaosSlicesPer * SliceSize,
+			SharedBytes: chaosSlicesPer * SliceSize,
+		})
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	in := chaos.New(eng, chaos.Config{Seed: seed, Metrics: p.Metrics()})
+	in.OnCrash = func(s int) { _ = p.Crash(addr.ServerID(s)) }
+
+	res := chaosResult{}
+	var sb strings.Builder
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(&sb, "%v "+format+"\n", append([]any{eng.Now()}, args...)...)
+	}
+	diverge := func(format string, args ...any) {
+		res.divergence = append(res.divergence, fmt.Sprintf(format, args...))
+	}
+
+	var bufs []*chaosBuf
+	live := chaosServers
+	pendingRepair := false
+	allocSeq := 0
+
+	liveServer := func(pick uint64) addr.ServerID {
+		var liveIDs []addr.ServerID
+		for s := 0; s < chaosServers; s++ {
+			if !p.Dead(addr.ServerID(s)) {
+				liveIDs = append(liveIDs, addr.ServerID(s))
+			}
+		}
+		return liveIDs[pick%uint64(len(liveIDs))]
+	}
+
+	checkInv := func(when string) {
+		if err := p.CheckInvariants(); err != nil {
+			diverge("invariants %s: %v", when, err)
+		}
+	}
+
+	ops := genOps(seed)
+	for i := range ops {
+		if !kept(i) {
+			continue
+		}
+		op := ops[i]
+		idx := i
+		eng.At(sim.Time(sim.Duration(i+1)*opSpacing), func() {
+			switch op.kind {
+			case opAlloc:
+				if len(bufs) >= chaosMaxBufs {
+					logf("op=%d alloc skipped (cap)", idx)
+					return
+				}
+				size := int64(1+op.a%3)*SliceSize - int64(op.b%1000)
+				prot := failure.Policy{Scheme: failure.ErasureCode, K: 2, M: 1}
+				if op.a%2 == 0 {
+					prot = failure.Policy{Scheme: failure.Replicate, Copies: 2}
+				}
+				b, err := p.AllocProtected(size, liveServer(op.b), prot)
+				if err != nil {
+					if errors.Is(err, alloc.ErrNoSpace) {
+						logf("op=%d alloc full", idx)
+						return
+					}
+					diverge("op %d: alloc: %v", idx, err)
+					return
+				}
+				allocSeq++
+				bufs = append(bufs, &chaosBuf{buf: b, model: make([]byte, size)})
+				logf("op=%d alloc #%d size=%d prot=%v", idx, allocSeq, size, prot.Scheme)
+			case opWrite:
+				if len(bufs) == 0 {
+					return
+				}
+				cb := bufs[op.a%uint64(len(bufs))]
+				off := int64(op.b % uint64(len(cb.model)))
+				n := int(op.a%5000) + 1
+				if off+int64(n) > int64(len(cb.model)) {
+					n = int(int64(len(cb.model)) - off)
+				}
+				data := make([]byte, n)
+				for j := range data {
+					data[j] = byte(uint64(j) + op.a + op.b)
+				}
+				if err := cb.buf.WriteAt(liveServer(op.a), data, off); err != nil {
+					diverge("op %d: write off=%d len=%d: %v", idx, off, n, err)
+					return
+				}
+				copy(cb.model[off:], data)
+				logf("op=%d write off=%d len=%d", idx, off, n)
+			case opRead:
+				if len(bufs) == 0 {
+					return
+				}
+				cb := bufs[op.a%uint64(len(bufs))]
+				off := int64(op.b % uint64(len(cb.model)))
+				n := int(op.b%5000) + 1
+				if off+int64(n) > int64(len(cb.model)) {
+					n = int(int64(len(cb.model)) - off)
+				}
+				got := make([]byte, n)
+				if err := cb.buf.ReadAt(liveServer(op.b), got, off); err != nil {
+					diverge("op %d: read off=%d len=%d: %v", idx, off, n, err)
+					return
+				}
+				if !bytes.Equal(got, cb.model[off:off+int64(n)]) {
+					diverge("op %d: read off=%d len=%d diverges from model", idx, off, n)
+				}
+				logf("op=%d read off=%d len=%d", idx, off, n)
+			case opRelease:
+				if len(bufs) == 0 {
+					return
+				}
+				j := op.a % uint64(len(bufs))
+				cb := bufs[j]
+				if err := cb.buf.Release(); err != nil {
+					diverge("op %d: release: %v", idx, err)
+					return
+				}
+				// The freed range must fault, wrapping ErrReleased.
+				probe := make([]byte, 1)
+				if err := p.Read(0, cb.buf.Addr(), probe); !errors.Is(err, ErrReleased) {
+					diverge("op %d: read after release = %v, want ErrReleased", idx, err)
+				}
+				bufs = append(bufs[:j], bufs[j+1:]...)
+				logf("op=%d release", idx)
+			case opCrash:
+				if pendingRepair || live <= chaosMinLive {
+					logf("op=%d crash skipped", idx)
+					return
+				}
+				victim := liveServer(op.a)
+				live--
+				pendingRepair = true
+				in.CrashAt(eng.Now(), int(victim))
+				res.crashes++
+				logf("op=%d crash srv=%d", idx, victim)
+				eng.At(eng.Now().Add(repairDelay), func() {
+					rec, err := p.RepairServer(victim)
+					pendingRepair = false
+					if err != nil {
+						diverge("repair srv=%d: %v", victim, err)
+					}
+					res.repaired += rec
+					logf("repair srv=%d slices=%d", victim, rec)
+					checkInv("after repair")
+				})
+			case opDegrade:
+				srv := liveServer(op.a)
+				factor := float64(2 + op.b%3)
+				in.DegradeLinkAt(eng.Now(), int(srv), factor)
+				logf("op=%d degrade srv=%d x%g", idx, srv, factor)
+			}
+			if corruptAt == idx && len(bufs) > 0 && len(bufs[0].model) > 0 {
+				bufs[0].model[0] ^= 0xFF
+			}
+		})
+	}
+	eng.Run()
+
+	// Final oracle: every surviving buffer reads back byte-identical, and
+	// the pool's cross-layer bookkeeping holds.
+	for bi, cb := range bufs {
+		got := make([]byte, len(cb.model))
+		if err := cb.buf.ReadAt(liveServer(uint64(bi)), got, 0); err != nil {
+			diverge("final read buf %d: %v", bi, err)
+			continue
+		}
+		if !bytes.Equal(got, cb.model) {
+			diverge("final read buf %d diverges from model", bi)
+		}
+	}
+	checkInv("at end")
+
+	res.log = sb.String()
+	res.trace = in.TraceString()
+	res.recoveries = p.Metrics().Counter("pool.recoveries").Value()
+	return res
+}
+
+// chaosSeeds resolves the seed set: CHAOS_SEED pins one seed, CHAOS_SEEDS
+// widens the sweep, default is a fast 8-seed smoke.
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", v, err)
+		}
+		return []int64{n}
+	}
+	count := 8
+	if v := os.Getenv("CHAOS_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("CHAOS_SEEDS=%q: %v", v, err)
+		}
+		count = n
+	}
+	seeds := make([]int64, count)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+// reportChaosFailure shrinks the failing seed's op sequence to a minimal
+// still-failing subset and prints it with a one-paste replay command.
+func reportChaosFailure(t *testing.T, seed int64, res chaosResult) {
+	t.Helper()
+	minimal := chaos.Shrink(chaosOps, func(keep []int) bool {
+		return len(chaosRun(t, seed, keep, -1).divergence) > 0
+	})
+	t.Errorf("seed %d: %d divergence(s):\n  %s\nminimal failing ops: %v\nreplay: %s",
+		seed, len(res.divergence), strings.Join(res.divergence, "\n  "), minimal,
+		chaos.ReplayCommand(seed, t.Name(), "./internal/core/"))
+}
+
+// TestChaosPoolPropertySweep is the paper's failure-masking claim as a
+// property test: under random crash/degrade interleavings every read
+// returns the bytes the sequential model predicts, and every seed
+// replays to an identical log and fault trace.
+func TestChaosPoolPropertySweep(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			first := chaosRun(t, seed, nil, -1)
+			if len(first.divergence) > 0 {
+				reportChaosFailure(t, seed, first)
+				return
+			}
+			second := chaosRun(t, seed, nil, -1)
+			if first.log != second.log {
+				t.Errorf("seed %d: op logs differ between runs:\n--- run 1\n%s--- run 2\n%s",
+					seed, first.log, second.log)
+			}
+			if first.trace != second.trace {
+				t.Errorf("seed %d: fault traces differ between runs:\n--- run 1\n%s--- run 2\n%s",
+					seed, first.trace, second.trace)
+			}
+		})
+	}
+}
+
+// TestChaosDivergenceDetectionAndShrink corrupts the model on purpose and
+// expects the harness to notice, shrink, and keep the corrupting op in
+// the minimal subset — guarding against a vacuously green oracle.
+func TestChaosDivergenceDetectionAndShrink(t *testing.T) {
+	const seed, corrupt = 3, 60
+	res := chaosRun(t, seed, nil, corrupt)
+	if len(res.divergence) == 0 {
+		t.Fatal("corrupted model produced no divergence")
+	}
+	minimal := chaos.Shrink(chaosOps, func(keep []int) bool {
+		return len(chaosRun(t, seed, keep, corrupt).divergence) > 0
+	})
+	if len(minimal) == 0 || len(minimal) >= chaosOps {
+		t.Fatalf("shrink did not reduce: %d ops", len(minimal))
+	}
+	found := false
+	for _, i := range minimal {
+		if i == corrupt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("minimal subset %v lost the corrupting op %d", minimal, corrupt)
+	}
+}
+
+// TestChaosCrashDuringWriteRecovers is the acceptance scenario: a crash
+// lands between writes to an erasure-coded buffer, later accesses hit the
+// dead owner and recover through RS reconstruction, and the readback
+// diverges nowhere.
+func TestChaosCrashDuringWriteRecovers(t *testing.T) {
+	cfg := Config{Placement: alloc.Striped}
+	for i := 0; i < 5; i++ {
+		cfg.Servers = append(cfg.Servers, ServerConfig{
+			Name: "srv", Capacity: 16 * SliceSize, SharedBytes: 16 * SliceSize,
+		})
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	in := chaos.New(eng, chaos.Config{Seed: 99, Metrics: p.Metrics()})
+	in.OnCrash = func(s int) { _ = p.Crash(addr.ServerID(s)) }
+
+	b, err := p.AllocProtected(2*SliceSize, 0, failure.Policy{Scheme: failure.ErasureCode, K: 2, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make([]byte, 2*SliceSize)
+	write := func(off int64, fill byte, n int) func() {
+		return func() {
+			data := bytes.Repeat([]byte{fill}, n)
+			if err := b.WriteAt(1, data, off); err != nil {
+				t.Errorf("write at %v: %v", eng.Now(), err)
+				return
+			}
+			copy(model[off:], data)
+		}
+	}
+	owner, err := p.OwnerOf(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.At(10, write(100, 0xA1, 4000))
+	eng.At(20, write(SliceSize-50, 0xB2, 300)) // spans both slices
+	in.CrashAt(30, int(owner))                 // crash mid-sequence
+	eng.At(40, write(200, 0xC3, 1000))         // write to the dead owner's slice
+	eng.At(50, func() {
+		if _, err := p.RepairServer(owner); err != nil {
+			t.Errorf("repair: %v", err)
+		}
+	})
+	eng.At(60, write(300, 0xD4, 100))
+	eng.Run()
+
+	got := make([]byte, len(model))
+	if err := b.ReadAt(1, got, 0); err != nil {
+		t.Fatalf("readback: %v", err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("crash-during-write sequence diverged from model")
+	}
+	if p.Metrics().Counter("pool.recoveries").Value() == 0 {
+		t.Fatal("no RS reconstruction happened (crash did not land on the hot path)")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if newOwner, _ := p.OwnerOf(b.Addr()); newOwner == owner {
+		t.Fatal("slice still owned by crashed server")
+	}
+}
+
+// TestChaosRegressionSeed pins the seed that exercised the
+// protection-re-home gap (parity and replica blocks hosted on a crashed
+// server were left stale before RepairServer learned to rebuild them).
+// The seed is checked in as a named case so the exact interleaving stays
+// in the suite.
+func TestChaosRegressionSeed(t *testing.T) {
+	const badSeed = 424242
+	res := chaosRun(t, badSeed, nil, -1)
+	if len(res.divergence) > 0 {
+		reportChaosFailure(t, badSeed, res)
+	}
+	if res.crashes == 0 {
+		t.Fatal("regression seed no longer crashes any server; pick a new seed")
+	}
+	if res.repaired == 0 && res.recoveries == 0 {
+		t.Fatal("regression seed no longer exercises recovery; pick a new seed")
+	}
+}

@@ -254,6 +254,9 @@ func New(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	placer.MaxChunk = SliceSize
+	// New placements must never land on a crashed server: repair re-homes
+	// data through the same placer while the server is still marked dead.
+	placer.Exclude = p.isDead
 	p.placer = placer
 	locals := make(map[addr.ServerID]addr.LocalMap, len(p.locals))
 	for i, lm := range p.locals {

@@ -356,8 +356,11 @@ func (p *Pool) reconstructECLocked(b *Buffer, idx uint64, out []byte) error {
 }
 
 // RepairServer proactively rebuilds every slice owned by the crashed
-// server s, reporting how many were recovered and returning the first
-// unrecoverable error (if any) after attempting all slices.
+// server s, then re-homes the protection state (replica chunks, parity
+// blocks) the dead server hosted for other buffers, restoring the full
+// tolerated-failure count. It reports how many slices were recovered and
+// returns the first unrecoverable error (if any) after attempting all
+// slices and protection blocks.
 func (p *Pool) RepairServer(s addr.ServerID) (recovered int, firstErr error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -378,5 +381,162 @@ func (p *Pool) RepairServer(s addr.ServerID) (recovered int, firstErr error) {
 		}
 		recovered++
 	}
+	// Primaries first, protection second: parity rebuild reads the data
+	// shards, so every data slice must already live on a live server.
+	moved, protErr := p.repairProtectionLocked(s)
+	if protErr != nil && firstErr == nil {
+		firstErr = protErr
+	}
+	p.metrics.Counter("pool.repair.protection_blocks").Add(uint64(moved))
 	return recovered, firstErr
+}
+
+// repairProtectionLocked re-homes protection state hosted on the dead
+// server s: replica chunks are re-copied from a surviving copy and
+// parity blocks are recomputed from their stripe's data shards onto live
+// servers. Without this pass a buffer silently runs with degraded
+// tolerance after a crash even when every primary slice survived.
+// Caller holds p.mu.
+func (p *Pool) repairProtectionLocked(s addr.ServerID) (moved int, firstErr error) {
+	record := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, b := range p.buffers {
+		for c := range b.copies {
+			for i := range b.copies[c] {
+				if b.copies[c][i].Server != s {
+					continue
+				}
+				if err := p.rehomeReplicaLocked(b, c, uint64(i)); err != nil {
+					record(err)
+					continue
+				}
+				moved++
+			}
+		}
+		if b.ec == nil {
+			continue
+		}
+		for si := range b.ec.stripes {
+			for m := range b.ec.stripes[si].parity {
+				if b.ec.stripes[si].parity[m].server != s {
+					continue
+				}
+				if err := p.rebuildParityLocked(b, si, m); err != nil {
+					record(err)
+					continue
+				}
+				moved++
+			}
+		}
+	}
+	return moved, firstErr
+}
+
+// rehomeReplicaLocked rebuilds replica copy c of buffer slice idx (whose
+// holder crashed) on a live server. Caller holds p.mu.
+func (p *Pool) rehomeReplicaLocked(b *Buffer, c int, idx uint64) error {
+	sl := b.firstSlice() + idx
+	avoid := p.protectionServersLocked(b, idx)
+	if primary := p.lookupSlice(sl); primary != nil {
+		avoid[primary.server] = true
+	}
+	srv, off, err := p.allocAvoiding(avoid)
+	if err != nil {
+		return err
+	}
+	data := make([]byte, SliceSize)
+	// The stripe lock orders the copy against in-flight writers, which
+	// update the primary and its replicas together under the same lock.
+	st := p.stripeFor(sl)
+	st.Lock()
+	defer st.Unlock()
+	src := p.lookupSlice(sl)
+	if src != nil && !p.isDead(src.server) {
+		if err := p.nodes[src.server].ReadAt(data, src.offset); err != nil {
+			p.freeBackingLocked(srv, off)
+			return err
+		}
+	} else {
+		// Primary is gone too: source from any surviving sibling copy.
+		found := false
+		for c2, cp := range b.copies {
+			if c2 == c || p.isDead(cp[idx].Server) {
+				continue
+			}
+			if err := p.nodes[cp[idx].Server].ReadAt(data, cp[idx].Offset); err != nil {
+				p.freeBackingLocked(srv, off)
+				return err
+			}
+			found = true
+			break
+		}
+		if !found {
+			p.freeBackingLocked(srv, off)
+			return &failure.MemoryException{Addr: addr.SliceBase(sl), Server: b.copies[c][idx].Server}
+		}
+	}
+	if err := p.nodes[srv].WriteAt(data, off); err != nil {
+		p.freeBackingLocked(srv, off)
+		return err
+	}
+	b.copies[c][idx] = alloc.Chunk{Server: srv, Offset: off, Size: SliceSize}
+	return nil
+}
+
+// rebuildParityLocked recomputes parity row m of EC stripe si (whose
+// block's holder crashed) onto a live server, from the stripe's data
+// shards. Caller holds p.mu.
+func (p *Pool) rebuildParityLocked(b *Buffer, si, m int) error {
+	st := &b.ec.stripes[si]
+	first := b.firstSlice()
+	k := b.prot.K
+	avoid := make(map[addr.ServerID]bool)
+	for j := 0; j < k; j++ {
+		slIdx := st.firstIdx + uint64(j)
+		if slIdx >= b.sliceCount() {
+			continue
+		}
+		if back := p.lookupSlice(first + slIdx); back != nil {
+			avoid[back.server] = true
+		}
+	}
+	for _, pb := range st.parity {
+		avoid[pb.server] = true
+	}
+	srv, off, err := p.allocAvoiding(avoid)
+	if err != nil {
+		return err
+	}
+	// ec.mu freezes the stripe: EC data writes mutate shard bytes and
+	// parity together under it, so the shards read here are a consistent
+	// snapshot and the swapped-in block is immediately delta-consistent.
+	b.ec.mu.Lock()
+	defer b.ec.mu.Unlock()
+	row := make([]byte, SliceSize)
+	for j := 0; j < k; j++ {
+		slIdx := st.firstIdx + uint64(j)
+		if slIdx >= b.sliceCount() {
+			continue // virtual zero shard contributes nothing
+		}
+		back := p.lookupSlice(first + slIdx)
+		if back == nil || p.isDead(back.server) {
+			p.freeBackingLocked(srv, off)
+			return fmt.Errorf("%w: parity rebuild needs data slice %d", ErrServerDead, slIdx)
+		}
+		shard := make([]byte, SliceSize)
+		if err := p.nodes[back.server].ReadAt(shard, back.offset); err != nil {
+			p.freeBackingLocked(srv, off)
+			return err
+		}
+		failure.AddScaled(row, shard, b.ec.rs.Coefficient(m, j))
+	}
+	if err := p.nodes[srv].WriteAt(row, off); err != nil {
+		p.freeBackingLocked(srv, off)
+		return err
+	}
+	st.parity[m] = parityBlock{server: srv, offset: off}
+	return nil
 }

@@ -227,12 +227,14 @@ func (s *Server) handleResize(p []byte) ([]byte, error) {
 	return nil, s.node.Resize(limit)
 }
 
-// Client is a typed client for one daemon.
+// Client is a typed client for one daemon. It speaks through an
+// rpc.Caller, so transports compose: a fault injector or a retrier can be
+// stacked between the typed layer and the TCP connection.
 type Client struct {
-	c *rpc.Client
+	c rpc.Caller
 }
 
-// Dial connects to a daemon.
+// Dial connects to a daemon over TCP.
 func Dial(addr string) (*Client, error) {
 	c, err := rpc.Dial(addr)
 	if err != nil {
@@ -241,8 +243,18 @@ func Dial(addr string) (*Client, error) {
 	return &Client{c: c}, nil
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.c.Close() }
+// WrapCaller builds a client over an arbitrary transport — typically a
+// Dial'd connection wrapped in chaos injection and/or an rpc.Retrier.
+func WrapCaller(t rpc.Caller) *Client { return &Client{c: t} }
+
+// Close tears down the underlying connection when the transport owns one
+// (wrapped transports that are not closers are left to their owner).
+func (c *Client) Close() error {
+	if closer, ok := c.c.(interface{ Close() error }); ok {
+		return closer.Close()
+	}
+	return nil
+}
 
 // Info fetches the daemon's region description.
 func (c *Client) Info() (Info, error) {

@@ -1,0 +1,119 @@
+package daemon
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/lmp-project/lmp/internal/chaos"
+	"github.com/lmp-project/lmp/internal/rpc"
+	"github.com/lmp-project/lmp/internal/sim"
+)
+
+// TestDaemonSurvivesInjectedTransportFaults runs the full live stack —
+// typed client → retrier → chaos link → multiplexed TCP client → lmpd —
+// with seeded drop injection, and requires every operation to succeed
+// through retries with no data corruption.
+func TestDaemonSurvivesInjectedTransportFaults(t *testing.T) {
+	s, err := NewServer("chaotic", 1<<22, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	raw, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+
+	eng := sim.NewEngine()
+	in := chaos.New(eng, chaos.Config{Seed: 21, PDrop: 0.25})
+	r := &rpc.Retrier{
+		T:      in.WrapTransport(0, raw),
+		Policy: rpc.RetryPolicy{MaxAttempts: 12, BaseBackoff: time.Microsecond, MaxBackoff: 8 * time.Microsecond},
+	}
+	c := WrapCaller(r)
+
+	off, err := c.Alloc(4096)
+	if err != nil {
+		t.Fatalf("alloc through chaos: %v", err)
+	}
+	want := make([]byte, 4096)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	for round := 0; round < 30; round++ {
+		if err := c.Write(off, want); err != nil {
+			t.Fatalf("round %d write: %v", round, err)
+		}
+		got, err := c.Read(off, len(want))
+		if err != nil {
+			t.Fatalf("round %d read: %v", round, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("round %d: data corrupted through chaos transport", round)
+		}
+	}
+	if r.Healed() == 0 {
+		t.Fatal("chaos layer injected no drops (inert test)")
+	}
+	drops := 0
+	for _, ev := range in.Trace() {
+		if ev.Kind == chaos.FaultDrop {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("trace recorded no drops despite healed retries")
+	}
+}
+
+// TestDaemonCrashStopFailsFast checks the dead-server path end to end: a
+// chaos crash makes every call fail with rpc.ErrServerDead without
+// touching the network, the retrier refuses to retry it, and a restore
+// brings the connection back.
+func TestDaemonCrashStopFailsFast(t *testing.T) {
+	s, err := NewServer("doomed", 1<<22, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	raw, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+
+	eng := sim.NewEngine()
+	in := chaos.New(eng, chaos.Config{Seed: 5})
+	r := &rpc.Retrier{T: in.WrapTransport(0, raw), Policy: rpc.DefaultRetryPolicy()}
+	c := WrapCaller(r)
+
+	if _, err := c.Info(); err != nil {
+		t.Fatalf("healthy info: %v", err)
+	}
+	in.CrashAt(10, 0)
+	eng.RunUntil(10)
+	_, err = c.Info()
+	if !errors.Is(err, rpc.ErrServerDead) {
+		t.Fatalf("call to crashed daemon: %v", err)
+	}
+	if r.Retries() != 0 {
+		t.Fatalf("retrier retried a dead server %d times", r.Retries())
+	}
+	in.RestoreAt(20, 0)
+	eng.RunUntil(20)
+	if _, err := c.Info(); err != nil {
+		t.Fatalf("info after restore: %v", err)
+	}
+}

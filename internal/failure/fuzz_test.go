@@ -1,0 +1,137 @@
+package failure
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGF256Arithmetic checks the field laws the Reed–Solomon code rests
+// on: mul/div round-trip, commutativity, distributivity over XOR (the
+// field's addition), and inverse correctness.
+func FuzzGF256Arithmetic(f *testing.F) {
+	f.Add(byte(1), byte(1), byte(1))
+	f.Add(byte(0), byte(255), byte(2))
+	f.Add(byte(0x53), byte(0xCA), byte(7))
+	f.Fuzz(func(t *testing.T, a, b, c byte) {
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("mul not commutative: %d*%d", a, b)
+		}
+		if got := gfMul(gfMul(a, b), c); got != gfMul(a, gfMul(b, c)) {
+			t.Fatalf("mul not associative: (%d*%d)*%d", a, b, c)
+		}
+		if got := gfMul(a, b^c); got != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("mul not distributive over xor: %d*(%d^%d)", a, b, c)
+		}
+		if b != 0 {
+			if got := gfMul(gfDiv(a, b), b); got != a {
+				t.Fatalf("div round-trip: (%d/%d)*%d = %d", a, b, b, got)
+			}
+			if got := gfMul(b, gfInv(b)); got != 1 {
+				t.Fatalf("inv: %d * inv(%d) = %d", b, b, got)
+			}
+		}
+		if gfMul(a, 1) != a || gfMul(a, 0) != 0 {
+			t.Fatalf("identity/zero law broken for %d", a)
+		}
+	})
+}
+
+// FuzzGF256MulSlice checks the vectorized multiply-accumulate against the
+// scalar reference.
+func FuzzGF256MulSlice(f *testing.F) {
+	f.Add(byte(3), []byte("hello world"), []byte("accumulator"))
+	f.Add(byte(0), []byte{1, 2, 3}, []byte{4, 5, 6})
+	f.Fuzz(func(t *testing.T, c byte, src, dst []byte) {
+		if len(src) > len(dst) {
+			src = src[:len(dst)]
+		}
+		want := make([]byte, len(dst))
+		copy(want, dst)
+		for i, s := range src {
+			want[i] ^= gfMul(c, s)
+		}
+		got := make([]byte, len(dst))
+		copy(got, dst)
+		gfMulSlice(c, src, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("gfMulSlice(%d) diverges from scalar reference", c)
+		}
+	})
+}
+
+// FuzzRSRoundTrip is the paper's §5 property end to end: encode a buffer
+// into K data + M parity shards, erase up to M shards, and reconstruct
+// the original bytes exactly.
+func FuzzRSRoundTrip(f *testing.F) {
+	f.Add(3, 2, []byte("the quick brown fox jumps over the lazy dog"), uint16(0b01001))
+	f.Add(2, 1, []byte{0xFF, 0x00, 0xAB}, uint16(0b001))
+	f.Add(4, 2, bytes.Repeat([]byte{7}, 64), uint16(0b110000))
+	f.Fuzz(func(t *testing.T, k, m int, data []byte, eraseMask uint16) {
+		if k <= 0 || m < 0 || k > 12 || m > 6 || len(data) == 0 || len(data) > 1<<12 {
+			return
+		}
+		rs, err := NewRS(k, m)
+		if err != nil {
+			t.Fatalf("NewRS(%d,%d): %v", k, m, err)
+		}
+		shards, _, err := SplitInto(data, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parity, err := rs.Encode(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([][]byte, 0, k+m)
+		all = append(all, shards...)
+		all = append(all, parity...)
+
+		// Erase at most M shards, chosen by the fuzzed mask.
+		erased := 0
+		for i := 0; i < k+m && erased < m; i++ {
+			if eraseMask&(1<<i) != 0 {
+				all[i] = nil
+				erased++
+			}
+		}
+		out, err := rs.Reconstruct(all)
+		if err != nil {
+			t.Fatalf("reconstruct with %d/%d erasures: %v", erased, m, err)
+		}
+		if got := Join(out, len(data)); !bytes.Equal(got, data) {
+			t.Fatalf("k=%d m=%d erased=%d: reconstructed bytes diverge", k, m, erased)
+		}
+	})
+}
+
+// FuzzRSTooManyErasures checks the failure side of the contract: erasing
+// more than M shards must yield ErrTooFewShards, never silent corruption.
+func FuzzRSTooManyErasures(f *testing.F) {
+	f.Add(3, 1, []byte("some data"))
+	f.Fuzz(func(t *testing.T, k, m int, data []byte) {
+		if k <= 1 || m < 0 || k > 8 || m > 4 || len(data) == 0 || len(data) > 1024 {
+			return
+		}
+		rs, err := NewRS(k, m)
+		if err != nil {
+			return
+		}
+		shards, _, err := SplitInto(data, k)
+		if err != nil {
+			return
+		}
+		parity, err := rs.Encode(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([][]byte, 0, k+m)
+		all = append(all, shards...)
+		all = append(all, parity...)
+		for i := 0; i <= m && i < len(all); i++ {
+			all[i] = nil // m+1 erasures: one beyond tolerance
+		}
+		if _, err := rs.Reconstruct(all); err == nil {
+			t.Fatalf("k=%d m=%d: %d erasures reconstructed successfully", k, m, m+1)
+		}
+	})
+}

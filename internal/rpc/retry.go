@@ -1,0 +1,185 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors of the transport layer. They survive the wire: a server
+// handler that returns an error wrapping one of these produces a client
+// error for which errors.Is reports the same sentinel (the error frame
+// carries a one-byte code, see encodeErrorPayload).
+var (
+	// ErrServerDead reports a call to a peer that is crash-stopped: the
+	// local failure detector marked it dead (Client.MarkDead), or the
+	// remote side classified the target server as dead. Dead is terminal —
+	// retrying cannot help; callers should trigger recovery instead.
+	ErrServerDead = errors.New("rpc: server dead")
+	// ErrTransient reports a retryable transport fault: a dropped or
+	// timed-out call whose effect is unknown. Bounded retry (Retrier)
+	// heals these without surfacing them to callers.
+	ErrTransient = errors.New("rpc: transient transport fault")
+)
+
+// Transport is the minimal call surface: one blocking request/response
+// exchange. *Client implements it, as do fault-injecting and retrying
+// wrappers, so the layers compose.
+type Transport interface {
+	Call(method byte, payload []byte) ([]byte, error)
+}
+
+// Caller is Transport plus cancellation. *Client and *Retrier implement
+// it; the daemon client accepts any Caller so chaos layers can interpose.
+type Caller interface {
+	Transport
+	CallCtx(ctx context.Context, method byte, payload []byte) ([]byte, error)
+}
+
+// RetryPolicy bounds how a Retrier heals transient faults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Values below 1 behave as 1.
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; each further retry
+	// doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultRetryPolicy is tuned for LAN-scale fabrics: four attempts with
+// 1ms..8ms exponential backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond}
+}
+
+// backoff returns the wait before retry number retry (1-based).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
+}
+
+// Retrier wraps a Caller with bounded retry/backoff. Only errors wrapping
+// ErrTransient are retried: ErrServerDead is terminal by contract, and
+// other errors (remote handler failures, protocol errors) are assumed
+// deterministic. Retrier is safe for concurrent use.
+type Retrier struct {
+	T      Caller
+	Policy RetryPolicy
+	// Sleep waits between attempts; nil means time.Sleep. Deterministic
+	// tests and simulations inject their own (or a no-op).
+	Sleep func(time.Duration)
+	// OnRetry, if set, observes every retry decision.
+	OnRetry func(attempt int, method byte, err error)
+
+	retries atomic.Uint64
+	healed  atomic.Uint64
+}
+
+// Retries reports how many retry attempts were issued.
+func (r *Retrier) Retries() uint64 { return r.retries.Load() }
+
+// Healed reports how many calls succeeded only after at least one retry —
+// the faults that never surfaced to callers.
+func (r *Retrier) Healed() uint64 { return r.healed.Load() }
+
+// Call is Transport.Call with retry.
+func (r *Retrier) Call(method byte, payload []byte) ([]byte, error) {
+	return r.CallCtx(nil, method, payload)
+}
+
+// CallCtx is Caller.CallCtx with retry. Cancellation is honoured between
+// attempts as well as within them.
+func (r *Retrier) CallCtx(ctx context.Context, method byte, payload []byte) ([]byte, error) {
+	max := r.Policy.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		var resp []byte
+		resp, err = r.T.CallCtx(ctx, method, payload)
+		if err == nil {
+			if attempt > 1 {
+				r.healed.Add(1)
+			}
+			return resp, nil
+		}
+		if !errors.Is(err, ErrTransient) || attempt >= max {
+			break
+		}
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
+		r.retries.Add(1)
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, method, err)
+		}
+		if d := r.Policy.backoff(attempt); d > 0 {
+			if r.Sleep != nil {
+				r.Sleep(d)
+			} else {
+				time.Sleep(d)
+			}
+		}
+	}
+	return nil, fmt.Errorf("rpc: call not healed after retries: %w", err)
+}
+
+// Error-frame payload codes. The first byte of a kindError payload names
+// the sentinel the error wraps, so errors.Is classification survives the
+// wire; the rest is the message.
+const (
+	errCodeGeneric byte = iota
+	errCodeServerDead
+	errCodeTransient
+)
+
+// encodeErrorPayload renders a handler error for the wire.
+func encodeErrorPayload(err error) []byte {
+	code := errCodeGeneric
+	switch {
+	case errors.Is(err, ErrServerDead):
+		code = errCodeServerDead
+	case errors.Is(err, ErrTransient):
+		code = errCodeTransient
+	}
+	msg := err.Error()
+	out := make([]byte, 1+len(msg))
+	out[0] = code
+	copy(out[1:], msg)
+	return out
+}
+
+// decodeRemoteError rebuilds a client-side error from an error frame.
+// Payloads from pre-code peers (or empty ones) decode as generic errors
+// with the whole payload as the message.
+func decodeRemoteError(method byte, payload []byte) *RemoteError {
+	if len(payload) == 0 {
+		return &RemoteError{Method: method}
+	}
+	code, msg := payload[0], string(payload[1:])
+	re := &RemoteError{Method: method, Message: msg}
+	switch code {
+	case errCodeServerDead:
+		re.sentinel = ErrServerDead
+	case errCodeTransient:
+		re.sentinel = ErrTransient
+	case errCodeGeneric:
+	default:
+		// Unknown code: keep every byte so nothing is silently lost.
+		re.Message = string(payload)
+	}
+	return re
+}

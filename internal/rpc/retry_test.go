@@ -1,0 +1,274 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSentinelContract locks the error classification clients rely on:
+// handler errors wrapping a transport sentinel must reach the caller
+// errors.Is-compatible, never as a raw string, and a locally dead-marked
+// peer must fail fast with ErrServerDead.
+func TestSentinelContract(t *testing.T) {
+	const (
+		methDead      = 10
+		methTransient = 11
+		methPlain     = 12
+	)
+	s := NewServer()
+	s.Handle(methDead, func(p []byte) ([]byte, error) {
+		return nil, fmt.Errorf("server 3 owns slice 7: %w", ErrServerDead)
+	})
+	s.Handle(methTransient, func(p []byte) ([]byte, error) {
+		return nil, fmt.Errorf("link glitch: %w", ErrTransient)
+	})
+	s.Handle(methPlain, func(p []byte) ([]byte, error) {
+		return nil, errors.New("plain failure")
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	cases := []struct {
+		name          string
+		call          func(c *Client) error
+		wantDead      bool
+		wantTransient bool
+		wantRemote    bool
+		wantMsg       string
+	}{
+		{
+			name:       "handler wraps ErrServerDead",
+			call:       func(c *Client) error { _, err := c.Call(methDead, nil); return err },
+			wantDead:   true,
+			wantRemote: true,
+			wantMsg:    "server 3 owns slice 7",
+		},
+		{
+			name:          "handler wraps ErrTransient",
+			call:          func(c *Client) error { _, err := c.Call(methTransient, nil); return err },
+			wantTransient: true,
+			wantRemote:    true,
+			wantMsg:       "link glitch",
+		},
+		{
+			name:       "plain handler error stays generic",
+			call:       func(c *Client) error { _, err := c.Call(methPlain, nil); return err },
+			wantRemote: true,
+			wantMsg:    "plain failure",
+		},
+		{
+			name: "locally marked dead fails fast",
+			call: func(c *Client) error {
+				c.MarkDead()
+				_, err := c.Call(methPlain, nil)
+				return err
+			},
+			wantDead: true,
+		},
+		{
+			name: "unmark dead restores service",
+			call: func(c *Client) error {
+				c.MarkDead()
+				c.UnmarkDead()
+				_, err := c.Call(methPlain, nil)
+				return err
+			},
+			wantRemote: true,
+			wantMsg:    "plain failure",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			err = tc.call(c)
+			if err == nil {
+				t.Fatal("call unexpectedly succeeded")
+			}
+			if got := errors.Is(err, ErrServerDead); got != tc.wantDead {
+				t.Errorf("errors.Is(err, ErrServerDead) = %v, want %v (err: %v)", got, tc.wantDead, err)
+			}
+			if got := errors.Is(err, ErrTransient); got != tc.wantTransient {
+				t.Errorf("errors.Is(err, ErrTransient) = %v, want %v (err: %v)", got, tc.wantTransient, err)
+			}
+			var re *RemoteError
+			if got := errors.As(err, &re); got != tc.wantRemote {
+				t.Errorf("errors.As(err, *RemoteError) = %v, want %v (err: %v)", got, tc.wantRemote, err)
+			}
+			//lint:ignore sentinelerr the contract under test includes the handler message surviving the wire
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q lost the handler message %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestMarkDeadFailsInflightCalls(t *testing.T) {
+	s := NewServer()
+	block := make(chan struct{})
+	s.Handle(1, func(p []byte) ([]byte, error) {
+		<-block
+		return p, nil
+	})
+	defer close(block)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(1, []byte("x"))
+		done <- err
+	}()
+	// Wait until the call is pending, then declare the peer dead.
+	for {
+		c.mu.Lock()
+		n := len(c.pending)
+		c.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.MarkDead()
+	if err := <-done; !errors.Is(err, ErrServerDead) {
+		t.Fatalf("in-flight call after MarkDead: %v", err)
+	}
+}
+
+// flakyCaller fails the first n calls with wrapped ErrTransient.
+type flakyCaller struct {
+	failures int
+	calls    int
+	deadErr  error
+}
+
+func (f *flakyCaller) Call(method byte, payload []byte) ([]byte, error) {
+	return f.CallCtx(nil, method, payload)
+}
+
+func (f *flakyCaller) CallCtx(_ context.Context, method byte, payload []byte) ([]byte, error) {
+	f.calls++
+	if f.deadErr != nil {
+		return nil, f.deadErr
+	}
+	if f.calls <= f.failures {
+		return nil, fmt.Errorf("drop %d: %w", f.calls, ErrTransient)
+	}
+	return payload, nil
+}
+
+func TestRetrierHealsTransientFaults(t *testing.T) {
+	f := &flakyCaller{failures: 2}
+	var slept []time.Duration
+	r := &Retrier{
+		T:      f,
+		Policy: RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond},
+		Sleep:  func(d time.Duration) { slept = append(slept, d) },
+	}
+	resp, err := r.Call(7, []byte("ok"))
+	if err != nil {
+		t.Fatalf("retrier did not heal: %v", err)
+	}
+	if string(resp) != "ok" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if f.calls != 3 {
+		t.Fatalf("calls = %d, want 3", f.calls)
+	}
+	if r.Retries() != 2 || r.Healed() != 1 {
+		t.Fatalf("retries=%d healed=%d, want 2/1", r.Retries(), r.Healed())
+	}
+	// Exponential backoff: 1ms then 2ms.
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("backoffs = %v", slept)
+	}
+}
+
+func TestRetrierBoundedAndSurfacesTransient(t *testing.T) {
+	f := &flakyCaller{failures: 100}
+	r := &Retrier{T: f, Policy: RetryPolicy{MaxAttempts: 3}, Sleep: func(time.Duration) {}}
+	_, err := r.Call(1, nil)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("exhausted retrier error: %v", err)
+	}
+	if f.calls != 3 {
+		t.Fatalf("calls = %d, want exactly MaxAttempts", f.calls)
+	}
+}
+
+func TestRetrierNeverRetriesDead(t *testing.T) {
+	f := &flakyCaller{deadErr: fmt.Errorf("gone: %w", ErrServerDead)}
+	r := &Retrier{T: f, Policy: DefaultRetryPolicy(), Sleep: func(time.Duration) {}}
+	_, err := r.Call(1, nil)
+	if !errors.Is(err, ErrServerDead) {
+		t.Fatalf("error: %v", err)
+	}
+	if f.calls != 1 {
+		t.Fatalf("calls = %d; dead peers must not be retried", f.calls)
+	}
+}
+
+func TestRetrierHonoursCancelledContext(t *testing.T) {
+	f := &flakyCaller{failures: 100}
+	r := &Retrier{T: f, Policy: RetryPolicy{MaxAttempts: 10}, Sleep: func(time.Duration) {}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.CallCtx(ctx, 1, nil)
+	if err == nil {
+		t.Fatal("cancelled retrier call succeeded")
+	}
+	if f.calls != 1 {
+		t.Fatalf("calls = %d; a cancelled context must stop the retry loop", f.calls)
+	}
+}
+
+func TestBackoffCaps(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestErrorPayloadRoundTrip(t *testing.T) {
+	cases := []error{
+		errors.New("plain"),
+		fmt.Errorf("x: %w", ErrServerDead),
+		fmt.Errorf("y: %w", ErrTransient),
+	}
+	for _, in := range cases {
+		re := decodeRemoteError(4, encodeErrorPayload(in))
+		//lint:ignore sentinelerr encode/decode must preserve the exact message text
+		if re.Message != in.Error() {
+			t.Errorf("message %q -> %q", in.Error(), re.Message)
+		}
+		if errors.Is(in, ErrServerDead) != errors.Is(re, ErrServerDead) {
+			t.Errorf("dead classification lost for %v", in)
+		}
+		if errors.Is(in, ErrTransient) != errors.Is(re, ErrTransient) {
+			t.Errorf("transient classification lost for %v", in)
+		}
+	}
+	if re := decodeRemoteError(9, nil); re.Message != "" || re.Method != 9 {
+		t.Errorf("empty payload decoded to %+v", re)
+	}
+}

@@ -8,7 +8,12 @@
 // Wire format (big endian):
 //
 //	frame  = kind(1) method(1) id(8) len(4) payload(len)
-//	kind   = 1 request | 2 response | 3 error (payload is the message)
+//	kind   = 1 request | 2 response | 3 error
+//	error payload = code(1) message(len-1)
+//
+// The error code byte names the sentinel the handler error wrapped
+// (ErrServerDead, ErrTransient), so errors.Is classification survives the
+// wire instead of degrading to a raw string.
 package rpc
 
 import (
@@ -176,10 +181,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			var resp []byte
 			if handler == nil {
 				kind = kindError
-				resp = []byte(fmt.Sprintf("rpc: no handler for method %d", h.method))
+				resp = encodeErrorPayload(fmt.Errorf("rpc: no handler for method %d", h.method))
 			} else if out, err := handler(payload); err != nil {
 				kind = kindError
-				resp = []byte(err.Error())
+				resp = encodeErrorPayload(err)
 			} else {
 				kind = kindResponse
 				resp = out
@@ -232,6 +237,7 @@ type Client struct {
 	pending map[uint64]*pendingCall
 	nextID  uint64
 	closed  bool
+	dead    bool
 	readErr error
 }
 
@@ -264,7 +270,7 @@ func (c *Client) readLoop() {
 		case kindResponse:
 			pc.ch <- callResult{payload: payload}
 		case kindError:
-			pc.ch <- callResult{err: &RemoteError{Method: h.method, Message: string(payload)}}
+			pc.ch <- callResult{err: decodeRemoteError(h.method, payload)}
 		default:
 			pc.ch <- callResult{err: fmt.Errorf("rpc: bad frame kind %d", h.kind)}
 		}
@@ -281,15 +287,23 @@ func (c *Client) failAll(err error) {
 	}
 }
 
-// RemoteError is an error returned by a server handler.
+// RemoteError is an error returned by a server handler. When the handler
+// error wrapped a transport sentinel (ErrServerDead, ErrTransient), the
+// sentinel is preserved across the wire and exposed through Unwrap, so
+// errors.Is works end to end.
 type RemoteError struct {
 	Method  byte
 	Message string
+
+	sentinel error
 }
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: method %d: %s", e.Method, e.Message)
 }
+
+// Unwrap exposes the sentinel the remote error was classified as, if any.
+func (e *RemoteError) Unwrap() error { return e.sentinel }
 
 // Call sends a request and blocks for its response.
 func (c *Client) Call(method byte, payload []byte) ([]byte, error) {
@@ -310,6 +324,10 @@ func (c *Client) CallCtx(ctx context.Context, method byte, payload []byte) ([]by
 	if c.closed {
 		c.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if c.dead {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("rpc: peer marked dead: %w", ErrServerDead)
 	}
 	if c.readErr != nil {
 		err := c.readErr
@@ -344,6 +362,35 @@ func (c *Client) CallCtx(ctx context.Context, method byte, payload []byte) ([]by
 		c.mu.Unlock()
 		return nil, fmt.Errorf("rpc: call cancelled: %w", ctx.Err())
 	}
+}
+
+// MarkDead records a failure-detector verdict: the peer is crash-stopped.
+// Every subsequent call fails fast with an error wrapping ErrServerDead
+// without touching the network; in-flight calls fail the same way. The
+// connection itself stays open (a misdetected peer can be UnmarkDead'd).
+func (c *Client) MarkDead() {
+	c.mu.Lock()
+	c.dead = true
+	deadErr := fmt.Errorf("rpc: peer marked dead: %w", ErrServerDead)
+	for id, pc := range c.pending {
+		pc.ch <- callResult{err: deadErr}
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// UnmarkDead clears a MarkDead verdict.
+func (c *Client) UnmarkDead() {
+	c.mu.Lock()
+	c.dead = false
+	c.mu.Unlock()
+}
+
+// Dead reports whether the peer is currently marked dead.
+func (c *Client) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
 }
 
 // Close tears down the connection; pending calls fail.

@@ -40,9 +40,11 @@ func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
 func (t Time) String() string { return fmt.Sprintf("%.9fs", float64(t)/1e9) }
 
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	done      bool
 }
 
 type eventHeap []*event
@@ -106,17 +108,53 @@ func (e *Engine) After(d Duration, fn func()) {
 	e.At(e.now.Add(d), fn)
 }
 
-// Step executes the next pending event, advancing the clock to its
-// timestamp. It reports whether an event was executed.
-func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+// Scheduled is a handle to a pending event created by Schedule. Its zero
+// value is not useful.
+type Scheduled struct {
+	ev *event
+}
+
+// Cancel prevents the event from running. It reports whether the event
+// was still pending (false if it already ran or was already cancelled).
+// Cancelling is O(1): the event stays in the queue and is discarded when
+// popped.
+func (s *Scheduled) Cancel() bool {
+	if s == nil || s.ev == nil || s.ev.cancelled || s.ev.done {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(*event)
-	e.now = ev.at
-	e.stepped++
-	ev.fn()
+	s.ev.cancelled = true
 	return true
+}
+
+// Schedule is At returning a handle that can cancel the event before it
+// fires — the shape fault injectors need for windowed faults (a restore
+// event is cancelled when the server crashes mid-window).
+func (e *Engine) Schedule(t Time, fn func()) *Scheduled {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.pq, ev)
+	return &Scheduled{ev: ev}
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed. Cancelled events
+// are discarded without running, counting as steps, or moving the clock.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.stepped++
+		ev.done = true
+		ev.fn()
+		return true
+	}
+	return false
 }
 
 // Run executes events until none remain.
@@ -129,6 +167,10 @@ func (e *Engine) Run() {
 // to exactly t. Events scheduled after t remain pending.
 func (e *Engine) RunUntil(t Time) {
 	for len(e.pq) > 0 && e.pq[0].at <= t {
+		if e.pq[0].cancelled {
+			heap.Pop(&e.pq)
+			continue
+		}
 		e.Step()
 	}
 	if t > e.now {

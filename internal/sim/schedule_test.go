@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+func TestScheduleCancelPreventsRun(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	h := e.Schedule(10, func() { ran = true })
+	if !h.Cancel() {
+		t.Fatal("first Cancel reported not pending")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel reported pending")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Processed() != 0 {
+		t.Fatalf("Processed() = %d after only a cancelled event", e.Processed())
+	}
+}
+
+func TestScheduleCancelDoesNotMoveClock(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(50, func() {})
+	e.At(100, func() {})
+	h.Cancel()
+	if !e.Step() {
+		t.Fatal("live event not executed")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100 (cancelled event must not advance the clock)", e.Now())
+	}
+}
+
+func TestScheduleCancelAfterRunIsFalse(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(5, func() {})
+	e.Run()
+	if h.Cancel() {
+		t.Fatal("Cancel after execution reported pending")
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	h := e.Schedule(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.At(40, func() { order = append(order, 3) })
+	h.Cancel()
+	// The cancelled head at t=10 must be discarded without letting the
+	// t=40 event leak into the window.
+	e.RunUntil(30)
+	if len(order) != 1 || order[0] != 2 {
+		t.Fatalf("order = %v, want [2]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+	e.Run()
+	if len(order) != 2 || order[1] != 3 {
+		t.Fatalf("order = %v, want [2 3]", order)
+	}
+}
+
+func TestScheduleInterleavesWithAt(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 1) })
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.At(10, func() { order = append(order, 3) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3] (FIFO at equal times across At/Schedule)", order)
+	}
+}

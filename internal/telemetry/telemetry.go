@@ -107,6 +107,38 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// HistogramSnapshot is a consistent point-in-time view of a histogram —
+// every field taken under one lock, unlike separate Count/Mean/Max calls
+// which can interleave with concurrent Observes. Chaos failure reports
+// embed snapshots so a replayed seed renders identical statistics.
+type HistogramSnapshot struct {
+	Count    uint64
+	Sum      float64
+	Min, Max float64
+	Buckets  [64]uint64
+}
+
+// Mean reports the snapshot's sample mean, or 0 with no samples.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot captures the histogram's state atomically.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Buckets: h.buckets,
+	}
+}
+
 // Quantile estimates the q-th quantile (q in [0,1]) from the buckets,
 // returning the upper bound of the bucket containing it.
 func (h *Histogram) Quantile(q float64) float64 {

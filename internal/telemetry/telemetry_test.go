@@ -164,3 +164,32 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 		t.Fatalf("histogram count = %d", r.Histogram("h").Count())
 	}
 }
+
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 4, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Mean() != h.Mean() {
+		t.Fatalf("snapshot mean %v, live mean %v", s.Mean(), h.Mean())
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+	// The snapshot is a copy: later observations must not leak into it.
+	h.Observe(7)
+	if s.Count != 4 {
+		t.Fatal("snapshot mutated by a later Observe")
+	}
+	if (HistogramSnapshot{}).Mean() != 0 {
+		t.Fatal("empty snapshot mean not 0")
+	}
+}
