@@ -8,7 +8,7 @@ GO ?= go
 CHAOS_SEEDS ?= 50
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke vet lint govulncheck examples chaos fuzz-smoke
+.PHONY: all build test race bench bench-smoke bench-compare vet lint govulncheck examples chaos fuzz-smoke
 
 all: build test
 
@@ -30,7 +30,10 @@ lint:
 
 # The concurrency gate: the static invariants plus the full suite
 # (including the reader/writer/migration stress test) under the race
-# detector, then a widened chaos sweep.
+# detector, then a widened chaos sweep (which includes the cache-
+# coherence property test, so the page cache and write combiner run
+# under -race on every gate). Perf is gated separately: run
+# `make bench-compare` alongside this before merging hot-path changes.
 race: lint
 	$(GO) test -race ./...
 	$(MAKE) chaos
@@ -72,6 +75,18 @@ bench:
 # benchmark-grade runtimes.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkPoolParallelReadWrite' -benchtime=100x .
+
+# Hot-path regression gate: re-run the Zipf workload against the newest
+# checked-in BENCH_*.json baseline. Soft-fails (like govulncheck): shared
+# CI machines jitter well past the 10% tolerance, so a regression warns
+# without masking test results — run it on quiet hardware before
+# believing a number. Regenerate the baseline with
+# `go run ./cmd/lmpbench -json BENCH_<n>.json` after intentional changes.
+bench-compare:
+	@base=$$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1); \
+	if [ -z "$$base" ]; then echo "bench-compare: no BENCH_*.json baseline checked in"; exit 1; fi; \
+	echo "comparing against $$base"; \
+	$(GO) run ./cmd/lmpbench -compare "$$base" || echo "bench-compare: regression above (non-blocking)"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -7,6 +7,11 @@
 //
 //	lmpbench -experiment all
 //	lmpbench -experiment fig4 -reps 10
+//
+// The -json and -compare flags run the hot-path Zipf workload instead of
+// the paper experiments: -json writes a machine-readable baseline
+// (BENCH_<n>.json), -compare re-runs against one and fails on a >10%
+// ns/op regression (see zipfbench.go and `make bench-compare`).
 package main
 
 import (
@@ -28,10 +33,23 @@ var (
 		"experiment to run: table1, table2, fig2, fig3, fig4, fig5, latency, nearmem, all")
 	reps  = flag.Int("reps", 10, "vector-sum repetitions")
 	cores = flag.Int("sweep-cores", 14, "max cores for the table2 load sweep")
+
+	jsonOut = flag.String("json", "",
+		"write the Zipf hot-path benchmark results to this file (e.g. BENCH_4.json) and exit")
+	compareTo = flag.String("compare", "",
+		"re-run the Zipf hot-path benchmark and fail on >10% ns/op regression against this baseline file")
 )
 
 func main() {
 	flag.Parse()
+	if *jsonOut != "" {
+		writeBenchJSON(*jsonOut)
+		return
+	}
+	if *compareTo != "" {
+		compareBenchJSON(*compareTo)
+		return
+	}
 	run := map[string]func(){
 		"table1":    table1,
 		"table2":    table2,

@@ -1,0 +1,259 @@
+// The -json / -compare modes: a machine-readable perf trajectory for the
+// hot path. `lmpbench -json BENCH_4.json` runs the Zipf-skewed
+// read-mostly workload (the same shape as BenchmarkPoolZipfReadMostly)
+// with the page cache off and on and writes one record per variant;
+// `lmpbench -compare BENCH_4.json` re-runs the workload against a
+// checked-in baseline and exits nonzero when ns/op regresses by more
+// than compareTolerance. The records carry the workload parameters so a
+// baseline is only compared against its own configuration.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	lmp "github.com/lmp-project/lmp"
+)
+
+// zipfConfig pins the workload shape inside the JSON record, so a
+// baseline from a different workload is rejected instead of silently
+// compared.
+type zipfConfig struct {
+	Hosts        int     `json:"hosts"`
+	Workers      int     `json:"workers"`
+	SharedSlices int     `json:"shared_slices"`
+	ZipfS        float64 `json:"zipf_s"`
+	WriteEvery   int     `json:"write_every"`
+	AccessBytes  int     `json:"access_bytes"`
+}
+
+var defaultZipfConfig = zipfConfig{
+	Hosts:        8,
+	Workers:      8,
+	SharedSlices: 16,
+	ZipfS:        1.4,
+	WriteEvery:   100,
+	AccessBytes:  64,
+}
+
+// benchRecord is one benchmark variant's measured numbers.
+type benchRecord struct {
+	Name        string     `json:"name"`
+	NsPerOp     float64    `json:"ns_per_op"`
+	BytesPerOp  int64      `json:"bytes_per_op"`
+	AllocsPerOp int64      `json:"allocs_per_op"`
+	HitRate     float64    `json:"hit_rate"`
+	Config      zipfConfig `json:"config"`
+}
+
+type benchFile struct {
+	Schema     int           `json:"schema"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// compareTolerance is the soft regression budget: ns/op may drift this
+// fraction above the baseline before -compare fails.
+const compareTolerance = 0.10
+
+// initBenchtime widens testing.Benchmark's default 1s measurement window:
+// the cached variant needs long runs for the one-time page fills to
+// amortize, or short-run warm-up noise masks the steady-state hit cost.
+func initBenchtime() {
+	testing.Init()
+	if err := flag.Set("test.benchtime", "5s"); err != nil {
+		fmt.Fprintf(os.Stderr, "lmpbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runZipfVariant(cached bool) benchRecord {
+	cfg := defaultZipfConfig
+	name := "PoolZipfReadMostly/uncached"
+	if cached {
+		name = "PoolZipfReadMostly/cached"
+	}
+	var hitRate float64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		hitRate = zipfWorkload(b, cfg, cached)
+	})
+	if res.N == 0 {
+		fmt.Fprintln(os.Stderr, "lmpbench: benchmark produced no iterations")
+		os.Exit(1)
+	}
+	return benchRecord{
+		Name:        name,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		HitRate:     hitRate,
+		Config:      cfg,
+	}
+}
+
+// zipfWorkload is the borrower/lender locality story in miniature, the
+// same shape as the repo's BenchmarkPoolZipfReadMostly: hosts lend most
+// of their DRAM, a compute server shares nothing and reads a striped
+// shared buffer with Zipf-skewed page popularity, plus a small stream of
+// private remote writes. Returns the cache hit rate (zero uncached).
+func zipfWorkload(b *testing.B, cfg zipfConfig, cached bool) float64 {
+	pcfg := lmp.Config{Placement: lmp.Striped}
+	for s := 0; s < cfg.Hosts; s++ {
+		pcfg.Servers = append(pcfg.Servers, lmp.ServerConfig{
+			Name:     fmt.Sprintf("host%d", s),
+			Capacity: 40 * lmp.SliceSize, SharedBytes: 32 * lmp.SliceSize,
+		})
+	}
+	compute := lmp.ServerID(cfg.Hosts)
+	pcfg.Servers = append(pcfg.Servers, lmp.ServerConfig{
+		Name: "compute", Capacity: 64 * lmp.SliceSize,
+	})
+	var opts []lmp.Option
+	if cached {
+		opts = append(opts, lmp.WithLocalCache(lmp.CacheConfig{}))
+	}
+	pool, err := lmp.New(pcfg, opts...)
+	if err != nil {
+		panic(err)
+	}
+	shared, err := pool.Alloc(int64(cfg.SharedSlices)*lmp.SliceSize, 0)
+	if err != nil {
+		panic(err)
+	}
+	seed := make([]byte, 4096)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	for off := int64(0); off < shared.Size(); off += int64(len(seed)) {
+		if err := pool.Write(0, shared.Addr()+lmp.Logical(off), seed); err != nil {
+			panic(err)
+		}
+	}
+	own := make([]*lmp.Buffer, cfg.Workers)
+	for w := range own {
+		if own[w], err = pool.Alloc(lmp.SliceSize, compute); err != nil {
+			panic(err)
+		}
+	}
+
+	const pageSize = 4096
+	pages := shared.Size() / pageSize
+	perm := rand.New(rand.NewSource(1)).Perm(int(pages))
+	abytes := int64(cfg.AccessBytes)
+	sequences := make([][]lmp.Logical, cfg.Workers)
+	for w := range sequences {
+		r := rand.New(rand.NewSource(int64(w) + 42))
+		z := rand.NewZipf(r, cfg.ZipfS, 1, uint64(pages-1))
+		seq := make([]lmp.Logical, 1<<12)
+		for i := range seq {
+			pageOff := int64(perm[z.Uint64()]) * pageSize
+			inPage := (int64(i) * abytes) & (pageSize - abytes)
+			seq[i] = shared.Addr() + lmp.Logical(pageOff+inPage)
+		}
+		sequences[w] = seq
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		n := b.N / cfg.Workers
+		if w == 0 {
+			n += b.N % cfg.Workers
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rbuf := make([]byte, cfg.AccessBytes)
+			wbuf := make([]byte, cfg.AccessBytes)
+			seq := sequences[w]
+			writeSpan := int64(lmp.SliceSize) - abytes
+			for i := 0; i < n; i++ {
+				if i%cfg.WriteEvery == cfg.WriteEvery-1 {
+					woff := (int64(i) * abytes) % writeSpan
+					if err := pool.Write(compute, own[w].Addr()+lmp.Logical(woff), wbuf); err != nil {
+						panic(err)
+					}
+					continue
+				}
+				if err := pool.Read(compute, seq[i&(len(seq)-1)], rbuf); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	st := pool.CacheStats()
+	if total := st.Hits + st.Misses; total > 0 {
+		return float64(st.Hits) / float64(total)
+	}
+	return 0
+}
+
+// writeBenchJSON runs both variants and writes the baseline file.
+func writeBenchJSON(path string) {
+	initBenchtime()
+	out := benchFile{Schema: 1}
+	for _, cached := range []bool{false, true} {
+		rec := runZipfVariant(cached)
+		fmt.Printf("%-32s %10.2f ns/op %6d B/op %4d allocs/op hitrate=%.4f\n",
+			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, rec.HitRate)
+		out.Benchmarks = append(out.Benchmarks, rec)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmpbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "lmpbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// compareBenchJSON re-runs the workload and fails (exit 1) when any
+// variant's ns/op regresses more than compareTolerance over the
+// baseline. Improvements are reported, never fatal.
+func compareBenchJSON(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lmpbench: %v\n", err)
+		os.Exit(1)
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "lmpbench: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	initBenchtime()
+	failed := false
+	for _, b := range base.Benchmarks {
+		if b.Config != defaultZipfConfig {
+			fmt.Fprintf(os.Stderr, "lmpbench: %s: baseline %q was recorded with a different workload config; regenerate with -json\n",
+				path, b.Name)
+			os.Exit(1)
+		}
+		cur := runZipfVariant(strings.HasSuffix(b.Name, "/cached"))
+		delta := (cur.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		if delta > compareTolerance {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-32s baseline %10.2f ns/op  now %10.2f ns/op  %+6.1f%%  %s\n",
+			b.Name, b.NsPerOp, cur.NsPerOp, delta*100, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "lmpbench: ns/op regressed more than %.0f%% against %s\n",
+			compareTolerance*100, path)
+		os.Exit(1)
+	}
+}

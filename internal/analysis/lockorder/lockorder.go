@@ -14,6 +14,15 @@
 // the check follows the type wherever it is used. The rules are
 // intentionally syntactic (per function, no interprocedural flow); a
 // justified exception carries a //lint:ignore lockorder directive.
+//
+// The analyzer additionally tracks cache shard locks — named struct
+// types whose name contains "shard" embedding a sync mutex — and
+// enforces the PR-4 flush protocol: a shard lock is never held across a
+// call into an rpc package (import path "rpc" or ending in "/rpc"). The
+// wire can block indefinitely and its completion path can re-enter the
+// cache, so flush paths snapshot under the shard lock and call after
+// release. Shard locks are exempt from the stripe rules (the cache hit
+// path releases inline by design).
 package lockorder
 
 import (
@@ -30,8 +39,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: "enforce the stripe-lock discipline: single acquisitions release through a " +
 		"deferred unlock, loop acquisitions either pair lock/unlock per iteration or " +
-		"sort indices ascending first and release via one deferred function, and the " +
-		"structural mutex is never taken while a stripe lock is held",
+		"sort indices ascending first and release via one deferred function, the " +
+		"structural mutex is never taken while a stripe lock is held, and a cache " +
+		"shard lock is never held across a call into an rpc package",
 	Run: run,
 }
 
@@ -48,9 +58,11 @@ type lockOp struct {
 
 // funcLocks is everything the per-function rules need.
 type funcLocks struct {
-	ops   []lockOp
-	mus   []lockOp    // structural-mutex (.mu.Lock) acquisitions
-	sorts []token.Pos // sort.Slice / slices.Sort calls
+	ops    []lockOp
+	shards []lockOp    // cache-shard lock ops (type name contains "shard")
+	mus    []lockOp    // structural-mutex (.mu.Lock) acquisitions
+	sorts  []token.Pos // sort.Slice / slices.Sort calls
+	rpcs   []token.Pos // calls into an rpc package
 }
 
 func run(pass *analysis.Pass) error {
@@ -131,6 +143,10 @@ func classify(pass *analysis.Pass, call *ast.CallExpr, fl *funcLocks, forBody *a
 		return
 	}
 	collect(pass, sel.X, fl, forBody, inDefer)
+	if isRPCCall(pass.TypesInfo, sel) {
+		fl.rpcs = append(fl.rpcs, call.Pos())
+		return
+	}
 	method := sel.Sel.Name
 	if method != "Lock" && method != "RLock" && method != "Unlock" && method != "RUnlock" {
 		return
@@ -139,15 +155,20 @@ func classify(pass *analysis.Pass, call *ast.CallExpr, fl *funcLocks, forBody *a
 	if t == nil {
 		return
 	}
+	op := lockOp{
+		pos:     call.Pos(),
+		recv:    types.ExprString(sel.X),
+		acquire: method == "Lock" || method == "RLock",
+		write:   method == "Lock" || method == "Unlock",
+		forBody: forBody,
+		inDefer: inDefer,
+	}
 	if isStripeType(t) {
-		fl.ops = append(fl.ops, lockOp{
-			pos:     call.Pos(),
-			recv:    types.ExprString(sel.X),
-			acquire: method == "Lock" || method == "RLock",
-			write:   method == "Lock" || method == "Unlock",
-			forBody: forBody,
-			inDefer: inDefer,
-		})
+		fl.ops = append(fl.ops, op)
+		return
+	}
+	if isShardType(t) {
+		fl.shards = append(fl.shards, op)
 		return
 	}
 	if method == "Lock" && finalField(sel.X) == "mu" && isSyncMutex(t) {
@@ -249,6 +270,30 @@ func report(pass *analysis.Pass, fl *funcLocks) {
 			}
 		}
 	}
+	// A cache shard lock is never held across a call into an rpc package:
+	// the wire can block indefinitely and its completion path can re-enter
+	// the cache, so flush paths snapshot under the lock and call after
+	// release.
+	reported := make(map[token.Pos]bool)
+	for _, a := range fl.shards {
+		if !a.acquire || a.inDefer {
+			continue
+		}
+		// The held region runs from the acquire to the first matching
+		// inline release, or to the function's end for deferred releases.
+		end := token.Pos(-1)
+		for _, r := range fl.shards {
+			if !r.acquire && !r.inDefer && r.recv == a.recv && r.pos > a.pos && (end < 0 || r.pos < end) {
+				end = r.pos
+			}
+		}
+		for _, c := range fl.rpcs {
+			if c > a.pos && (end < 0 || c < end) && !reported[c] {
+				reported[c] = true
+				pass.Reportf(c, "cache shard lock held across a call into package rpc; copy under the lock and call after release")
+			}
+		}
+	}
 }
 
 func unlockName(write bool) string {
@@ -260,7 +305,14 @@ func unlockName(write bool) string {
 
 // isStripeType reports whether t (or *t) is a named struct type whose
 // name contains "stripe" and which embeds sync.Mutex or sync.RWMutex.
-func isStripeType(t types.Type) bool {
+func isStripeType(t types.Type) bool { return embedsMutexNamed(t, "stripe") }
+
+// isShardType reports whether t (or *t) is a named struct type whose
+// name contains "shard" and which embeds sync.Mutex or sync.RWMutex —
+// the cache-shard lock shape.
+func isShardType(t types.Type) bool { return embedsMutexNamed(t, "shard") }
+
+func embedsMutexNamed(t types.Type, substr string) bool {
 	if t == nil {
 		return false
 	}
@@ -268,7 +320,7 @@ func isStripeType(t types.Type) bool {
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	if !ok || !strings.Contains(strings.ToLower(named.Obj().Name()), "stripe") {
+	if !ok || !strings.Contains(strings.ToLower(named.Obj().Name()), substr) {
 		return false
 	}
 	st, ok := named.Underlying().(*types.Struct)
@@ -282,6 +334,17 @@ func isStripeType(t types.Type) bool {
 		}
 	}
 	return false
+}
+
+// isRPCCall reports whether the selector call resolves to a function or
+// method of an rpc package (import path "rpc" or ending in "/rpc").
+func isRPCCall(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "rpc" || strings.HasSuffix(path, "/rpc")
 }
 
 // isSyncMutex reports whether t (or *t) is sync.Mutex or sync.RWMutex.

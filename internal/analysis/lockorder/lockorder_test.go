@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockOrder(t *testing.T) {
-	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockorder")
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockorder", "rpc", "cachelock")
 }

@@ -1,0 +1,73 @@
+// Package cachelock is a fixture for the shard-lock/RPC discipline: a
+// cache shard lock (named struct whose name contains "shard", embedding a
+// sync mutex) must never be held across a call into the rpc package. The
+// wire can block indefinitely and its completion path can re-enter the
+// cache, so flush paths snapshot under the lock and call after release.
+// Shard locks are exempt from the stripe rules: the hit path releases
+// inline by design.
+package cachelock
+
+import (
+	"rpc"
+	"sync"
+)
+
+type cacheShard struct {
+	sync.Mutex
+	pages map[uint64][]byte
+}
+
+type cache struct {
+	shards []cacheShard
+	client *rpc.Client
+}
+
+// goodSnapshotThenCall is the flush-path shape: copy the pending bytes
+// under the shard lock, release, then go to the wire.
+func goodSnapshotThenCall(c *cache) ([]byte, error) {
+	sh := &c.shards[0]
+	sh.Lock()
+	data := append([]byte(nil), sh.pages[0]...)
+	sh.Unlock()
+	return c.client.Call(1, data)
+}
+
+// goodInlineHitPath shows the shard exemption from the stripe rules: an
+// inline unlock with no RPC in the held region is fine.
+func goodInlineHitPath(c *cache) []byte {
+	sh := &c.shards[0]
+	sh.Lock()
+	data := sh.pages[0]
+	sh.Unlock()
+	return data
+}
+
+func badCallUnderDeferredLock(c *cache) ([]byte, error) {
+	sh := &c.shards[0]
+	sh.Lock()
+	defer sh.Unlock()
+	return c.client.Call(1, sh.pages[0]) // want "shard lock held across a call into package rpc"
+}
+
+func badDialUnderLock(c *cache) error {
+	sh := &c.shards[0]
+	sh.Lock()
+	_, err := rpc.Dial("srv") // want "shard lock held across a call into package rpc"
+	sh.Unlock()
+	return err
+}
+
+// goodCallAfterHeldRegion calls the wire only after the inline release
+// ends the held region, even though another shard is locked later.
+func goodCallAfterHeldRegion(c *cache) ([]byte, error) {
+	sh := &c.shards[0]
+	sh.Lock()
+	data := append([]byte(nil), sh.pages[0]...)
+	sh.Unlock()
+	out, err := c.client.Call(1, data)
+	other := &c.shards[1]
+	other.Lock()
+	other.pages[1] = out
+	other.Unlock()
+	return out, err
+}

@@ -1,0 +1,16 @@
+// Package rpc is a fixture stand-in for the real transport: the
+// lockorder analyzer matches callees by package path ("rpc" or a "/rpc"
+// suffix), so this minimal client is enough to exercise the
+// shard-across-RPC rule.
+package rpc
+
+// Client is a fake multiplexed RPC client.
+type Client struct{}
+
+// Call sends a request and blocks for its response.
+func (c *Client) Call(method byte, payload []byte) ([]byte, error) {
+	return nil, nil
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) { return &Client{}, nil }

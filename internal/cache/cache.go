@@ -1,0 +1,644 @@
+// Package cache implements the node-local hot-page cache and the
+// write-combining buffer behind the pool's WithLocalCache option (the
+// paper's §5 "locality balancing" challenge: a logical pool only wins if
+// hot data is served from local DRAM and the fabric is reserved for cold
+// traffic).
+//
+// The cache is a sharded, CLOCK-Pro-flavoured page cache: each shard owns
+// a clock ring of resident pages split into hot and cold populations plus
+// a bounded ghost list of recently evicted page numbers. A cold page
+// re-referenced while resident — or re-admitted while still on the ghost
+// list — is promoted to hot; hot pages get a second chance (demotion to
+// cold) before eviction. This approximates CLOCK-Pro's reuse-distance test
+// without its full three-hand machinery, which is enough to keep a
+// Zipf-skewed hot set resident under scan pressure.
+//
+// Locking: one mutex per shard, embedded in cacheShard so lmplint's
+// lockorder analyzer recognises the type (name contains "shard") and can
+// enforce that a shard lock is never held across an RPC call. The cache
+// never calls out of the package while holding a shard lock — in
+// particular it never calls the coherence directory, whose callbacks call
+// back into the cache (a directory call under a shard lock would deadlock
+// with OnBackInvalidate). Consequently the directory over-approximates
+// holders: a capacity eviction here is invisible to the directory and the
+// eventual invalidation of the evicted page is a no-op.
+//
+// Coherence is the caller's job: the pool registers every fill with the
+// coherence directory and invalidates cached copies on remote writes, so
+// entries here are always clean — Invalidate and InvalidateAll discard
+// bytes, never write back.
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+// DefaultPageSize is the cache page size when Config.PageSize is zero. It
+// matches the memory node's page granularity.
+const DefaultPageSize = 4096
+
+// DefaultShards is the shard count when Config.Shards is zero.
+const DefaultShards = 16
+
+// Config sizes a node-local cache.
+type Config struct {
+	// CapacityBytes bounds resident page bytes (rounded down to whole
+	// pages per shard). Zero means no cache.
+	CapacityBytes int64
+	// PageSize is the cache page size in bytes; a power of two.
+	PageSize int64
+	// Shards is the number of independently locked shards; rounded down
+	// to a power of two and capped so every shard holds at least one page.
+	Shards int
+}
+
+// Stats is a point-in-time view of a cache's traffic counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Inserts       uint64
+	Evictions     uint64
+	Invalidations uint64
+	HotPromotions uint64
+	GhostReadmits uint64
+	Pages         int // resident pages
+}
+
+// HitRate reports hits/(hits+misses), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one resident page. hits counts lookups since the last
+// DrainHits so the pool can feed cache locality into the migration
+// matrix without touching the backing node's contended heat counters.
+type entry struct {
+	page uint64
+	data []byte
+	hits uint32
+	ref  bool
+	hot  bool
+	// chance marks a freshly demoted page: it survives one more clock
+	// pass unreferenced before eviction, so a hot page is not evictable
+	// the instant it demotes (CLOCK-Pro's cold test period).
+	chance bool
+	live   bool
+}
+
+// cacheShard is one lock's worth of the cache. The embedded Mutex is the
+// shard lock lmplint's lockorder analyzer tracks; the padding keeps
+// neighbouring shard locks off the same cache line.
+//
+// The resident-page index is an open-addressed table (slots) rather than
+// a Go map: the hit path does exactly one multiplicative hash and, at
+// ≤50% live load, almost always one probe, which is roughly half the
+// cost of a map access and is the single hottest operation in a
+// cache-enabled pool. Deletion uses a tombstone sentinel; the table is
+// rebuilt in place when tombstones accumulate past a quarter of the
+// slots.
+type cacheShard struct {
+	sync.Mutex
+	_ [48]byte
+
+	slots []*entry // open-addressed index over resident pages
+	live  int      // live entries in slots
+	tomb  int      // tombstones in slots
+	ring  []*entry // clock ring over resident slots, grows to cap
+	hand  int
+	free  []*entry // invalidated slots awaiting reuse
+	cap   int      // max resident pages
+	hot   int      // resident hot pages
+	hotCap int
+	ghost  map[uint64]struct{}
+	ghostQ []uint64 // FIFO of ghost page numbers, oldest first
+}
+
+// tombstone marks a deleted slot that probes must walk through.
+var tombstone = new(entry)
+
+// pageHash spreads page numbers over the table (Fibonacci hashing); the
+// low bits already picked the shard, so sequential pages within a shard
+// differ only above the shard mask.
+func pageHash(page uint64) uint64 { return page * 0x9e3779b97f4a7c15 }
+
+// lookupLocked finds the live entry for page, or nil.
+func (sh *cacheShard) lookupLocked(page uint64) *entry {
+	n := uint64(len(sh.slots))
+	if n == 0 {
+		return nil
+	}
+	for i := pageHash(page) & (n - 1); ; i = (i + 1) & (n - 1) {
+		e := sh.slots[i]
+		if e == nil {
+			return nil
+		}
+		if e != tombstone && e.page == page {
+			return e
+		}
+	}
+}
+
+// insertLocked adds an entry for a page not currently in the table.
+func (sh *cacheShard) insertLocked(e *entry) {
+	if sh.tomb > len(sh.slots)/4 {
+		sh.rebuildLocked()
+	}
+	n := uint64(len(sh.slots))
+	for i := pageHash(e.page) & (n - 1); ; i = (i + 1) & (n - 1) {
+		s := sh.slots[i]
+		if s == nil || s == tombstone {
+			if s == tombstone {
+				sh.tomb--
+			}
+			sh.slots[i] = e
+			sh.live++
+			return
+		}
+	}
+}
+
+// deleteLocked tombstones the slot holding page, if any.
+func (sh *cacheShard) deleteLocked(page uint64) {
+	n := uint64(len(sh.slots))
+	if n == 0 {
+		return
+	}
+	for i := pageHash(page) & (n - 1); ; i = (i + 1) & (n - 1) {
+		e := sh.slots[i]
+		if e == nil {
+			return
+		}
+		if e != tombstone && e.page == page {
+			sh.slots[i] = tombstone
+			sh.tomb++
+			sh.live--
+			return
+		}
+	}
+}
+
+// rebuildLocked rehashes the live entries, dropping tombstones.
+func (sh *cacheShard) rebuildLocked() {
+	old := sh.slots
+	sh.slots = make([]*entry, len(old))
+	sh.live, sh.tomb = 0, 0
+	for _, e := range old {
+		if e != nil && e != tombstone {
+			n := uint64(len(sh.slots))
+			for i := pageHash(e.page) & (n - 1); ; i = (i + 1) & (n - 1) {
+				if sh.slots[i] == nil {
+					sh.slots[i] = e
+					sh.live++
+					break
+				}
+			}
+		}
+	}
+}
+
+// Cache is a node-local page cache. Safe for concurrent use.
+type Cache struct {
+	pageSize int64
+	shift    uint
+	mask     uint64
+	shards   []cacheShard
+
+	// foldedHits accumulates per-entry hit counts as they are drained or
+	// retired; Stats adds the live entries' counts on top. Keeping the hit
+	// path free of a shared counter (the per-entry count is updated under
+	// the shard lock it already holds) is worth the walk at Stats time.
+	foldedHits atomic.Uint64
+
+	misses        *telemetry.StripedCounter
+	inserts       *telemetry.StripedCounter
+	evictions     *telemetry.StripedCounter
+	invalidations *telemetry.StripedCounter
+	promotions    *telemetry.StripedCounter
+	readmits      *telemetry.StripedCounter
+}
+
+// New builds a cache from cfg. A zero or too-small capacity yields a
+// cache that never admits pages but stays safe to call.
+func New(cfg Config) (*Cache, error) {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	if cfg.PageSize <= 0 || cfg.PageSize&(cfg.PageSize-1) != 0 {
+		return nil, fmt.Errorf("cache: page size %d must be a positive power of two", cfg.PageSize)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	totalPages := int(cfg.CapacityBytes / cfg.PageSize)
+	// Every shard must hold at least one page, and the shard count must
+	// be a power of two so page→shard is a mask.
+	shards := 1
+	for shards*2 <= cfg.Shards && shards*2 <= max(totalPages, 1) {
+		shards *= 2
+	}
+	perShard := totalPages / shards
+	c := &Cache{
+		pageSize:      cfg.PageSize,
+		mask:          uint64(shards - 1),
+		shards:        make([]cacheShard, shards),
+		misses:        telemetry.NewStripedCounter(shards),
+		inserts:       telemetry.NewStripedCounter(shards),
+		evictions:     telemetry.NewStripedCounter(shards),
+		invalidations: telemetry.NewStripedCounter(shards),
+		promotions:    telemetry.NewStripedCounter(shards),
+		readmits:      telemetry.NewStripedCounter(shards),
+	}
+	for ps := cfg.PageSize; ps > 1; ps >>= 1 {
+		c.shift++
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = perShard
+		sh.hotCap = perShard * 3 / 4
+		if sh.hotCap < 1 {
+			sh.hotCap = 1
+		}
+		if perShard > 0 {
+			// Table sized to keep live load at or below 50%.
+			slots := 1
+			for slots < 2*perShard {
+				slots *= 2
+			}
+			sh.slots = make([]*entry, slots)
+		}
+		sh.ghost = make(map[uint64]struct{}, perShard)
+	}
+	return c, nil
+}
+
+// PageSize reports the cache's page size.
+func (c *Cache) PageSize() int64 { return c.pageSize }
+
+func (c *Cache) shardFor(page uint64) (*cacheShard, int) {
+	i := int(page & c.mask)
+	return &c.shards[i], i
+}
+
+// ReadAt copies len(dst) bytes at byte offset off of the cached page into
+// dst. It reports whether the page was resident. A miss records no state
+// beyond the miss counter; fills are the caller's job (Put).
+func (c *Cache) ReadAt(page uint64, dst []byte, off int) bool {
+	sh, lane := c.shardFor(page)
+	sh.Lock()
+	e := sh.lookupLocked(page)
+	if e == nil {
+		sh.Unlock()
+		c.misses.Add(lane, 1)
+		return false
+	}
+	copy(dst, e.data[off:off+len(dst)])
+	e.ref = true
+	if e.hits != ^uint32(0) {
+		e.hits++
+	}
+	sh.Unlock()
+	return true
+}
+
+// WriteAt updates a resident page in place (coherent write-through by a
+// node that already owns the page) and reports whether the page was
+// resident. It never admits a page: admission policy lives in Put.
+func (c *Cache) WriteAt(page uint64, src []byte, off int) bool {
+	sh, _ := c.shardFor(page)
+	sh.Lock()
+	e := sh.lookupLocked(page)
+	if e == nil {
+		sh.Unlock()
+		return false
+	}
+	copy(e.data[off:], src)
+	e.ref = true
+	sh.Unlock()
+	return true
+}
+
+// Put admits a full page of clean bytes (len(data) must equal PageSize).
+// If the page is already resident its bytes are replaced. A page coming
+// back while still on the ghost list is admitted hot (CLOCK-Pro's
+// re-admission test: its reuse distance beat the cold population).
+func (c *Cache) Put(page uint64, data []byte) {
+	sh, lane := c.shardFor(page)
+	sh.Lock()
+	if e := sh.lookupLocked(page); e != nil {
+		copy(e.data, data)
+		e.ref = true
+		sh.Unlock()
+		return
+	}
+	e, evicted := sh.slotLocked(c, lane)
+	if e == nil {
+		sh.Unlock()
+		return // capacity zero
+	}
+	e.page = page
+	e.ref = false
+	e.chance = false
+	e.hits = 0
+	e.live = true
+	e.hot = false
+	if _, ok := sh.ghost[page]; ok {
+		delete(sh.ghost, page)
+		e.hot = true
+		sh.hot++
+		c.readmits.Add(lane, 1)
+		sh.demoteOverflowLocked()
+	}
+	if e.data == nil {
+		e.data = make([]byte, c.pageSize)
+	}
+	copy(e.data, data)
+	sh.insertLocked(e)
+	sh.Unlock()
+	c.inserts.Add(lane, 1)
+	if evicted {
+		c.evictions.Add(lane, 1)
+	}
+}
+
+// slotLocked returns a free slot, growing the ring up to capacity or
+// evicting via the clock. The second result reports whether a resident
+// page was evicted to make room.
+func (sh *cacheShard) slotLocked(c *Cache, lane int) (*entry, bool) {
+	if sh.cap == 0 {
+		return nil, false
+	}
+	if n := len(sh.free); n > 0 {
+		e := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return e, false
+	}
+	if len(sh.ring) < sh.cap {
+		e := &entry{}
+		sh.ring = append(sh.ring, e)
+		return e, false
+	}
+	return sh.evictLocked(c, lane), true
+}
+
+// evictLocked runs the clock until a cold, unreferenced page past its
+// test period surrenders its slot. Hot pages demote to cold (with one
+// chance pass) on their second sweep; cold pages referenced while
+// resident promote to hot (the resident reuse test). Terminates: each
+// sweep strictly consumes ref, hot, or chance state, so by the fourth
+// sweep an evictable page must exist.
+func (sh *cacheShard) evictLocked(c *Cache, lane int) *entry {
+	for i := 0; i < 4*len(sh.ring)+1; i++ {
+		e := sh.ring[sh.hand]
+		sh.hand = (sh.hand + 1) % len(sh.ring)
+		if !e.live {
+			continue // free-listed slot; skip, reuse happens via free
+		}
+		if e.hot {
+			if e.ref {
+				e.ref = false
+			} else {
+				e.hot = false
+				sh.hot--
+				e.chance = true
+			}
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			e.chance = false
+			if sh.hot < sh.hotCap {
+				e.hot = true
+				sh.hot++
+				c.promotions.Add(lane, 1)
+			}
+			continue
+		}
+		if e.chance {
+			e.chance = false
+			continue
+		}
+		sh.retireLocked(c, e)
+		return e
+	}
+	// Unreachable by the termination argument; fail safe by refusing.
+	return nil
+}
+
+// retireLocked removes a live entry from the lookup map and remembers it
+// on the ghost list. Undrained hit counts fold into the cache total so
+// Stats stays exact; the migration signal for them is lost, as any
+// eviction loses recency.
+func (sh *cacheShard) retireLocked(c *Cache, e *entry) {
+	sh.deleteLocked(e.page)
+	if e.hot {
+		e.hot = false
+		sh.hot--
+	}
+	if e.hits > 0 {
+		c.foldedHits.Add(uint64(e.hits))
+		e.hits = 0
+	}
+	sh.ghostAddLocked(e.page)
+	e.live = false
+}
+
+// ghostAddLocked records an evicted page number, bounded FIFO.
+func (sh *cacheShard) ghostAddLocked(page uint64) {
+	if sh.cap == 0 {
+		return
+	}
+	if _, ok := sh.ghost[page]; ok {
+		return
+	}
+	for len(sh.ghost) >= sh.cap && len(sh.ghostQ) > 0 {
+		old := sh.ghostQ[0]
+		sh.ghostQ = sh.ghostQ[1:]
+		delete(sh.ghost, old)
+	}
+	sh.ghost[page] = struct{}{}
+	sh.ghostQ = append(sh.ghostQ, page)
+}
+
+// demoteOverflowLocked demotes hot pages back to cold when ghost
+// re-admissions push the hot population over its cap. The first sweep may
+// only clear ref bits; the second then demotes, so two sweeps per excess
+// hot page bound the loop.
+func (sh *cacheShard) demoteOverflowLocked() {
+	for sh.hot > sh.hotCap {
+		for i := 0; i < 2*len(sh.ring) && sh.hot > sh.hotCap; i++ {
+			e := sh.ring[sh.hand]
+			sh.hand = (sh.hand + 1) % len(sh.ring)
+			if !e.live || !e.hot {
+				continue
+			}
+			if e.ref {
+				e.ref = false
+			} else {
+				e.hot = false
+				sh.hot--
+				e.chance = true
+			}
+		}
+	}
+}
+
+// Invalidate discards the cached copy of page, reporting whether one was
+// resident. The copy is clean by construction, so nothing is written back.
+func (c *Cache) Invalidate(page uint64) bool {
+	sh, lane := c.shardFor(page)
+	sh.Lock()
+	e := sh.lookupLocked(page)
+	if e == nil {
+		sh.Unlock()
+		return false
+	}
+	sh.deleteLocked(page)
+	if e.hot {
+		e.hot = false
+		sh.hot--
+	}
+	e.live = false
+	if e.hits > 0 {
+		c.foldedHits.Add(uint64(e.hits))
+		e.hits = 0
+	}
+	sh.free = append(sh.free, e)
+	sh.Unlock()
+	c.invalidations.Add(lane, 1)
+	return true
+}
+
+// InvalidateRange discards pages [first, first+count).
+func (c *Cache) InvalidateRange(first, count uint64) int {
+	n := 0
+	for p := first; p < first+count; p++ {
+		if c.Invalidate(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateAll discards every resident page (crash-stop purge: no
+// writeback, mirrors coherence.Directory.DropNode semantics).
+func (c *Cache) InvalidateAll() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.Lock()
+		n := sh.live
+		for _, e := range sh.ring {
+			if !e.live {
+				continue
+			}
+			if e.hot {
+				e.hot = false
+				sh.hot--
+			}
+			e.live = false
+			if e.hits > 0 {
+				c.foldedHits.Add(uint64(e.hits))
+				e.hits = 0
+			}
+			sh.free = append(sh.free, e)
+		}
+		clear(sh.slots)
+		sh.live, sh.tomb = 0, 0
+		// Forget eviction history too: after a crash the node's access
+		// recency is meaningless.
+		sh.ghost = make(map[uint64]struct{}, sh.cap)
+		sh.ghostQ = sh.ghostQ[:0]
+		sh.Unlock()
+		c.invalidations.Add(i, uint64(n))
+		total += n
+	}
+	return total
+}
+
+// DrainHits visits every resident page with a nonzero lookup count since
+// the last drain and resets the counts. The pool harvests these into the
+// migration access matrix so cache locality still drives promotion.
+// visit runs under the shard lock: it must be quick and must not call
+// back into the cache.
+func (c *Cache) DrainHits(visit func(page uint64, hits uint64)) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.Lock()
+		for _, e := range sh.ring {
+			if e.live && e.hits > 0 {
+				visit(e.page, uint64(e.hits))
+				c.foldedHits.Add(uint64(e.hits))
+				e.hits = 0
+			}
+		}
+		sh.Unlock()
+	}
+}
+
+// Each visits every resident page in shard-then-ring order. The data
+// slice is the live cache buffer: visit must not retain or mutate it and
+// must not call back into the cache (it runs under the shard lock).
+func (c *Cache) Each(visit func(page uint64, data []byte)) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.Lock()
+		for _, e := range sh.ring {
+			if e.live {
+				visit(e.page, e.data)
+			}
+		}
+		sh.Unlock()
+	}
+}
+
+// Len reports the number of resident pages.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.Lock()
+		n += sh.live
+		sh.Unlock()
+	}
+	return n
+}
+
+// Stats folds the traffic counters. Hits are the folded accumulator plus
+// the live entries' undrained counts, so the total is exact without the
+// hit path ever touching a shared counter.
+func (c *Cache) Stats() Stats {
+	hits := c.foldedHits.Load()
+	pages := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.Lock()
+		pages += sh.live
+		for _, e := range sh.ring {
+			if e.live {
+				hits += uint64(e.hits)
+			}
+		}
+		sh.Unlock()
+	}
+	return Stats{
+		Hits:          hits,
+		Misses:        c.misses.Value(),
+		Inserts:       c.inserts.Value(),
+		Evictions:     c.evictions.Value(),
+		Invalidations: c.invalidations.Value(),
+		HotPromotions: c.promotions.Value(),
+		GhostReadmits: c.readmits.Value(),
+		Pages:         pages,
+	}
+}

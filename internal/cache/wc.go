@@ -1,0 +1,335 @@
+// Write combining: small remote writes are buffered locally and flushed
+// as one vectored write through the pool's WriteV machinery, trading one
+// fabric round-trip per write for one per flush. Correctness rests on two
+// rules enforced here and in the pool:
+//
+//  1. Buffered bytes stay visible. A read overlays pending (and
+//     in-flight) writes on top of backing bytes (Overlay*), so a node
+//     never observes the pool "losing" a write it already accepted.
+//  2. Vecs stay disjoint. Add refuses a write that partially overlaps an
+//     existing buffered write (the caller flushes first and retries), so
+//     the flush's vectored write has no intra-batch ordering hazard. The
+//     one exception is a write fully contained in an earlier buffered
+//     write from the same node: that merges in place, which preserves
+//     order by construction and is the common rewrite-hot-key case.
+//
+// Flush is two-phase: BeginFlush moves pending entries to the flushing
+// list — still visible to Overlay — the caller applies them via WriteV
+// without holding the combiner lock, then EndFlush retires them. A write
+// is therefore always in exactly one of {pending, flushing, backing} and
+// readers compose all three.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pending is one buffered write.
+type Pending struct {
+	From int    // accessor node that issued the write
+	Addr uint64 // logical byte address
+	Data []byte // owned copy
+	seq  uint64 // global order for overlay composition
+}
+
+// WriteCombiner coalesces small writes. Safe for concurrent use; all
+// state is guarded by mu. It holds no locks while callers flush.
+type WriteCombiner struct {
+	pageSize int64
+	shift    uint
+	maxBytes int // pending-byte flush threshold
+	maxCount int // pending-entry flush threshold
+
+	// live counts pending plus flushing entries so the hot read path can
+	// skip the overlay (and mu) entirely while nothing is buffered — the
+	// overwhelmingly common case. Writers bump it under mu; readers that
+	// observe zero are ordered after the relevant Add by the stripe lock
+	// both sides hold for the range in question.
+	live atomic.Int64
+
+	mu       sync.Mutex
+	seq      uint64
+	pending  []*Pending
+	flushing []*Pending
+	pages    map[uint64][]*Pending // page → entries (pending+flushing) touching it
+	bytes    int                   // pending bytes
+	// arena backs Pending.Data copies in bump-allocated chunks, so the
+	// per-write cost is a copy rather than a heap allocation. A full chunk
+	// is simply replaced; retired entries release the old chunk to the GC.
+	arena []byte
+}
+
+// arenaChunk is the arena allocation granule.
+const arenaChunk = 64 << 10
+
+// arenaCopy copies data into arena-backed storage with a private cap, so
+// later bump allocations cannot alias it.
+func (w *WriteCombiner) arenaCopy(data []byte) []byte {
+	if len(data) > arenaChunk/4 {
+		return append([]byte(nil), data...) // large write: own allocation
+	}
+	if cap(w.arena)-len(w.arena) < len(data) {
+		w.arena = make([]byte, 0, arenaChunk)
+	}
+	off := len(w.arena)
+	w.arena = w.arena[: off+len(data) : cap(w.arena)]
+	buf := w.arena[off : off+len(data) : off+len(data)]
+	copy(buf, data)
+	return buf
+}
+
+// NewWriteCombiner returns a combiner for pages of pageSize bytes that
+// asks for a flush past maxBytes buffered bytes or maxCount buffered
+// writes (zero means a default).
+func NewWriteCombiner(pageSize int64, maxBytes, maxCount int) *WriteCombiner {
+	if maxBytes <= 0 {
+		maxBytes = 128 << 10
+	}
+	if maxCount <= 0 {
+		maxCount = 128
+	}
+	w := &WriteCombiner{
+		pageSize: pageSize,
+		maxBytes: maxBytes,
+		maxCount: maxCount,
+		pages:    make(map[uint64][]*Pending),
+	}
+	for ps := pageSize; ps > 1; ps >>= 1 {
+		w.shift++
+	}
+	return w
+}
+
+func overlaps(aLo, aHi, bLo, bHi uint64) bool { return aLo < bHi && bLo < aHi }
+
+// eachPage calls fn for every page index the byte range [a, a+n) touches.
+func (w *WriteCombiner) eachPage(a uint64, n int, fn func(page uint64) bool) {
+	if n <= 0 {
+		return
+	}
+	for p := a >> w.shift; p <= (a+uint64(n)-1)>>w.shift; p++ {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// Add buffers a write of data at logical address a on behalf of node
+// from. ok reports whether the write was absorbed; when false the caller
+// must flush and retry (the write partially overlaps a buffered one and
+// absorbing it would break vec disjointness). shouldFlush asks the
+// caller to flush soon — after releasing any locks ordered before wc.
+func (w *WriteCombiner) Add(from int, a uint64, data []byte) (ok, shouldFlush bool) {
+	if len(data) == 0 {
+		return true, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lo, hi := a, a+uint64(len(data))
+	// Scan entries indexed under each touched page for overlap.
+	var cover *Pending
+	conflict := false
+	w.eachPage(a, len(data), func(page uint64) bool {
+		for _, e := range w.pages[page] {
+			eLo, eHi := e.Addr, e.Addr+uint64(len(e.Data))
+			if !overlaps(lo, hi, eLo, eHi) {
+				continue
+			}
+			if e.From == from && eLo <= lo && hi <= eHi && !w.isFlushing(e) {
+				// Fully covered by our own earlier pending write: merge.
+				cover = e
+				continue
+			}
+			conflict = true
+			return false
+		}
+		return true
+	})
+	if conflict {
+		return false, true
+	}
+	if cover != nil {
+		copy(cover.Data[lo-cover.Addr:], data)
+		return true, w.bytes > w.maxBytes || len(w.pending) >= w.maxCount
+	}
+	e := &Pending{From: from, Addr: a, Data: w.arenaCopy(data), seq: w.seq}
+	w.seq++
+	w.pending = append(w.pending, e)
+	w.live.Add(1)
+	w.bytes += len(data)
+	w.eachPage(a, len(data), func(page uint64) bool {
+		w.pages[page] = append(w.pages[page], e)
+		return true
+	})
+	return true, w.bytes > w.maxBytes || len(w.pending) >= w.maxCount
+}
+
+// isFlushing reports whether e is on the flushing list. Called under mu;
+// the flushing list is small (one flush batch).
+func (w *WriteCombiner) isFlushing(e *Pending) bool {
+	for _, f := range w.flushing {
+		if f == e {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingInRange reports whether any buffered write (pending or
+// in-flight) intersects [a, a+n). Callers about to bypass the combiner
+// with a direct write use this to decide whether to flush first.
+func (w *WriteCombiner) PendingInRange(a uint64, n int) bool {
+	if n <= 0 || w.live.Load() == 0 {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	found := false
+	w.eachPage(a, n, func(page uint64) bool {
+		for _, e := range w.pages[page] {
+			if overlaps(a, a+uint64(n), e.Addr, e.Addr+uint64(len(e.Data))) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// OverlayRange composes every buffered write intersecting [a, a+len(buf))
+// onto buf (which holds backing bytes for that range), oldest first, so
+// buf ends up with the authoritative view: backing, then in-flight
+// flushes, then pending writes.
+func (w *WriteCombiner) OverlayRange(a uint64, buf []byte) {
+	if len(buf) == 0 || w.live.Load() == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lo, hi := a, a+uint64(len(buf))
+	// Collect intersecting entries (dedup across page buckets), then
+	// apply in seq order. Typical counts are tiny; insertion sort.
+	var hitsArr [8]*Pending
+	hits := hitsArr[:0]
+	w.eachPage(a, len(buf), func(page uint64) bool {
+		for _, e := range w.pages[page] {
+			if !overlaps(lo, hi, e.Addr, e.Addr+uint64(len(e.Data))) {
+				continue
+			}
+			dup := false
+			for _, h := range hits {
+				if h == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				hits = append(hits, e)
+			}
+		}
+		return true
+	})
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && hits[j-1].seq > hits[j].seq; j-- {
+			hits[j-1], hits[j] = hits[j], hits[j-1]
+		}
+	}
+	for _, e := range hits {
+		eLo, eHi := e.Addr, e.Addr+uint64(len(e.Data))
+		cLo, cHi := max(lo, eLo), min(hi, eHi)
+		copy(buf[cLo-lo:cHi-lo], e.Data[cLo-eLo:cHi-eLo])
+	}
+}
+
+// BeginFlush moves all pending writes to the flushing list and returns
+// the full flushing batch in seq order. Entries remain visible to
+// Overlay/PendingInRange until EndFlush. The caller must serialize
+// flushes (the pool holds its flush mutex across Begin/EndFlush).
+func (w *WriteCombiner) BeginFlush() []*Pending {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushing = append(w.flushing, w.pending...)
+	w.pending = w.pending[:0]
+	w.bytes = 0
+	out := make([]*Pending, len(w.flushing))
+	copy(out, w.flushing)
+	return out
+}
+
+// EndFlush retires the flushing batch: the writes are now in backing.
+func (w *WriteCombiner) EndFlush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.live.Add(-int64(len(w.flushing)))
+	for _, e := range w.flushing {
+		w.eachPage(e.Addr, len(e.Data), func(page uint64) bool {
+			bucket := w.pages[page]
+			for i, x := range bucket {
+				if x == e {
+					bucket = append(bucket[:i], bucket[i+1:]...)
+					break
+				}
+			}
+			if len(bucket) == 0 {
+				delete(w.pages, page)
+			} else {
+				w.pages[page] = bucket
+			}
+			return true
+		})
+	}
+	w.flushing = w.flushing[:0]
+}
+
+// DropRange discards pending writes fully contained in [lo, hi) — the
+// release path, where the logical range itself is going away. In-flight
+// flushing entries are left alone; the flush's fallback path drops them
+// when the backing store reports the range unmapped.
+func (w *WriteCombiner) DropRange(lo, hi uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	dropped := 0
+	kept := w.pending[:0]
+	for _, e := range w.pending {
+		if e.Addr >= lo && e.Addr+uint64(len(e.Data)) <= hi {
+			dropped++
+			w.live.Add(-1)
+			w.bytes -= len(e.Data)
+			w.eachPage(e.Addr, len(e.Data), func(page uint64) bool {
+				bucket := w.pages[page]
+				for i, x := range bucket {
+					if x == e {
+						bucket = append(bucket[:i], bucket[i+1:]...)
+						break
+					}
+				}
+				if len(bucket) == 0 {
+					delete(w.pages, page)
+				} else {
+					w.pages[page] = bucket
+				}
+				return true
+			})
+			continue
+		}
+		kept = append(kept, e)
+	}
+	w.pending = kept
+	return dropped
+}
+
+// PendingCount reports buffered (not yet flushing) write count.
+func (w *WriteCombiner) PendingCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// PendingBytes reports buffered (not yet flushing) write bytes.
+func (w *WriteCombiner) PendingBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}

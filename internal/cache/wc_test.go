@@ -1,0 +1,167 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newWC() *WriteCombiner { return NewWriteCombiner(64, 1<<20, 1<<20) }
+
+func TestWCAddAndOverlay(t *testing.T) {
+	w := newWC()
+	ok, _ := w.Add(1, 100, []byte{1, 2, 3})
+	if !ok {
+		t.Fatal("Add refused disjoint write")
+	}
+	ok, _ = w.Add(2, 200, []byte{9})
+	if !ok {
+		t.Fatal("Add refused disjoint write")
+	}
+	buf := make([]byte, 16) // backing view of [96,112)
+	w.OverlayRange(96, buf)
+	want := make([]byte, 16)
+	copy(want[4:], []byte{1, 2, 3})
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("overlay %v want %v", buf, want)
+	}
+	if w.PendingCount() != 2 || w.PendingBytes() != 4 {
+		t.Fatalf("pending %d/%d", w.PendingCount(), w.PendingBytes())
+	}
+}
+
+func TestWCInPlaceMergePreservesOrder(t *testing.T) {
+	w := newWC()
+	w.Add(1, 100, []byte{1, 1, 1, 1})
+	ok, _ := w.Add(1, 101, []byte{7, 7}) // covered, same node → merge
+	if !ok {
+		t.Fatal("covered same-node write should merge")
+	}
+	if w.PendingCount() != 1 {
+		t.Fatalf("merge created a new entry: %d", w.PendingCount())
+	}
+	buf := make([]byte, 4)
+	w.OverlayRange(100, buf)
+	if !bytes.Equal(buf, []byte{1, 7, 7, 1}) {
+		t.Fatalf("overlay %v", buf)
+	}
+}
+
+func TestWCPartialOverlapConflicts(t *testing.T) {
+	w := newWC()
+	w.Add(1, 100, []byte{1, 1})
+	if ok, _ := w.Add(1, 101, []byte{2, 2}); ok {
+		t.Fatal("partial overlap absorbed")
+	}
+	if ok, _ := w.Add(2, 100, []byte{2, 2}); ok {
+		t.Fatal("cross-node overlap absorbed")
+	}
+	// Still exactly one pending entry.
+	if w.PendingCount() != 1 {
+		t.Fatalf("pending %d", w.PendingCount())
+	}
+}
+
+func TestWCCrossPageWrite(t *testing.T) {
+	w := newWC()
+	data := make([]byte, 10)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	w.Add(1, 60, data) // spans pages 0 and 1 (page size 64)
+	buf := make([]byte, 128)
+	w.OverlayRange(0, buf)
+	if !bytes.Equal(buf[60:70], data) {
+		t.Fatalf("overlay %v", buf[58:72])
+	}
+	if !w.PendingInRange(63, 1) || !w.PendingInRange(64, 1) {
+		t.Fatal("PendingInRange missed cross-page write")
+	}
+	if w.PendingInRange(70, 4) {
+		t.Fatal("PendingInRange false positive")
+	}
+}
+
+func TestWCFlushLifecycle(t *testing.T) {
+	w := newWC()
+	w.Add(1, 10, []byte{1})
+	w.Add(1, 20, []byte{2})
+	batch := w.BeginFlush()
+	if len(batch) != 2 {
+		t.Fatalf("batch %d", len(batch))
+	}
+	if batch[0].seq > batch[1].seq {
+		t.Fatal("batch out of seq order")
+	}
+	// Flushing entries stay visible.
+	if !w.PendingInRange(10, 1) {
+		t.Fatal("flushing entry invisible to PendingInRange")
+	}
+	buf := make([]byte, 1)
+	w.OverlayRange(20, buf)
+	if buf[0] != 2 {
+		t.Fatal("flushing entry invisible to overlay")
+	}
+	// A new write lands in pending while the flush is in flight, and a
+	// covered rewrite of a *flushing* entry must NOT merge in place
+	// (the flush batch is already being applied).
+	if ok, _ := w.Add(1, 10, []byte{9}); ok {
+		t.Fatal("merged into an in-flight flushing entry")
+	}
+	w.Add(1, 30, []byte{3})
+	w.EndFlush()
+	if w.PendingInRange(10, 1) {
+		t.Fatal("retired entry still visible")
+	}
+	if !w.PendingInRange(30, 1) {
+		t.Fatal("pending write added during flush lost")
+	}
+	if w.PendingCount() != 1 {
+		t.Fatalf("pending %d", w.PendingCount())
+	}
+}
+
+func TestWCSecondFlushIncludesNewPending(t *testing.T) {
+	w := newWC()
+	w.Add(1, 10, []byte{1})
+	w.BeginFlush()
+	w.Add(1, 30, []byte{3})
+	w.EndFlush()
+	batch := w.BeginFlush()
+	if len(batch) != 1 || batch[0].Addr != 30 {
+		t.Fatalf("second flush batch %v", batch)
+	}
+	w.EndFlush()
+}
+
+func TestWCDropRange(t *testing.T) {
+	w := newWC()
+	w.Add(1, 10, []byte{1, 1})
+	w.Add(1, 100, []byte{2, 2})
+	if n := w.DropRange(0, 64); n != 1 {
+		t.Fatalf("dropped %d want 1", n)
+	}
+	if w.PendingInRange(10, 2) {
+		t.Fatal("dropped entry still visible")
+	}
+	if !w.PendingInRange(100, 2) {
+		t.Fatal("survivor lost")
+	}
+	if w.PendingBytes() != 2 {
+		t.Fatalf("bytes %d", w.PendingBytes())
+	}
+}
+
+func TestWCShouldFlushThresholds(t *testing.T) {
+	w := NewWriteCombiner(64, 4, 1000)
+	if _, fl := w.Add(1, 0, []byte{1, 2}); fl {
+		t.Fatal("premature flush request")
+	}
+	if _, fl := w.Add(1, 100, []byte{1, 2, 3}); !fl {
+		t.Fatal("byte threshold ignored")
+	}
+	w2 := NewWriteCombiner(64, 1<<20, 2)
+	w2.Add(1, 0, []byte{1})
+	if _, fl := w2.Add(1, 100, []byte{1}); !fl {
+		t.Fatal("count threshold ignored")
+	}
+}

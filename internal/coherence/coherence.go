@@ -80,6 +80,15 @@ type Directory struct {
 
 	// Telemetry mirrors the internal counters into a registry if set.
 	Registry *telemetry.Registry
+
+	// OnBackInvalidate, if set, is called when the inclusive snoop
+	// filter evicts a block to admit another: every listed holder's
+	// cached copy of the block must be discarded to preserve inclusivity
+	// (the directory no longer tracks them). The callback runs under the
+	// directory lock and must not call back into the directory; callees
+	// with their own locks (the page cache's shards) must order them
+	// strictly after the directory's.
+	OnBackInvalidate func(block int64, holders []NodeID)
 }
 
 // NewDirectory returns a coherence directory tracking blocks of
@@ -161,6 +170,13 @@ func (d *Directory) ensure(idx int64) (*block, error) {
 		delete(d.blocks, victimIdx)
 		if d.Registry != nil {
 			d.Registry.Counter("coherence.back_invalidates").Inc()
+		}
+		if d.OnBackInvalidate != nil && len(victim.holders) > 0 {
+			holders := make([]NodeID, 0, len(victim.holders))
+			for h := range victim.holders {
+				holders = append(holders, h)
+			}
+			d.OnBackInvalidate(victimIdx, holders)
 		}
 	}
 	b := &block{state: Invalid, holders: make(map[NodeID]struct{})}

@@ -303,3 +303,41 @@ func TestStateString(t *testing.T) {
 		t.Fatal("unknown state string empty")
 	}
 }
+
+func TestOnBackInvalidateCallback(t *testing.T) {
+	d := mustDir(t, 64, 2)
+	var gotBlock int64 = -1
+	var gotHolders []NodeID
+	d.OnBackInvalidate = func(block int64, holders []NodeID) {
+		gotBlock = block
+		gotHolders = append([]NodeID(nil), holders...)
+	}
+	// Fill the filter with blocks 0 and 1, block 0 shared by two nodes.
+	if _, err := d.AcquireRead(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AcquireRead(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AcquireRead(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Admitting block 2 must evict the LRU victim (block 0) and report
+	// both of its holders so their caches can drop the copies.
+	if _, err := d.AcquireRead(2, 128); err != nil {
+		t.Fatal(err)
+	}
+	if gotBlock != 0 {
+		t.Fatalf("back-invalidated block %d want 0", gotBlock)
+	}
+	if len(gotHolders) != 2 {
+		t.Fatalf("holders %v want nodes 0 and 1", gotHolders)
+	}
+	seen := map[NodeID]bool{}
+	for _, h := range gotHolders {
+		seen[h] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("holders %v want nodes 0 and 1", gotHolders)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import "testing"
+
+// TestReadWriteAllocFree pins the steady-state allocation counts of the
+// hot data paths: the single-slice read and write, the cached-hit read,
+// and the vectored paths must not allocate per operation. A regression
+// here silently costs GC pressure at fabric rates, so the counts are
+// exact, not bounded.
+func TestReadWriteAllocFree(t *testing.T) {
+	p, err := New(Config{
+		Servers: []ServerConfig{
+			{Name: "a", Capacity: 64 << 20, SharedBytes: 32 << 20},
+			{Name: "b", Capacity: 64 << 20, SharedBytes: 32 << 20},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+
+	if n := testing.AllocsPerRun(200, func() {
+		if err := p.Read(1, b.Addr(), buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("remote read allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := p.Write(1, b.Addr()+4096, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("remote write allocates %.1f per op, want 0", n)
+	}
+	vecs := []Vec{
+		{Addr: b.Addr(), Data: make([]byte, 64)},
+		{Addr: b.Addr() + 8192, Data: make([]byte, 64)},
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := p.ReadV(1, vecs); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("vectored read allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := p.WriteV(1, vecs); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("vectored write allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestCachedReadHitAllocFree pins the cache hit path: once a page is
+// resident, serving reads from it must not allocate.
+func TestCachedReadHitAllocFree(t *testing.T) {
+	p := newCachedPool(t, CacheConfig{})
+	b, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	// Fill the page once so the measured runs are all hits.
+	if err := p.Read(1, b.Addr(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := p.Read(1, b.Addr(), buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("cached read hit allocates %.1f per op, want 0", n)
+	}
+	if st := p.CacheStats(); st.Hits < 200 {
+		t.Fatalf("measured loop was not the hit path: %+v", st)
+	}
+	// Local reads on a cache-enabled pool (served direct through the
+	// miss path) must stay allocation-free too.
+	if n := testing.AllocsPerRun(200, func() {
+		if err := p.Read(0, b.Addr(), buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("local read on cached pool allocates %.1f per op, want 0", n)
+	}
+}

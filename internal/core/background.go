@@ -95,6 +95,14 @@ func (p *Pool) migrateSliceLocked(s uint64, to addr.ServerID) error {
 	p.nodes[from].DropRange(oldOff, SliceSize) // contents were copied; free the backing pages
 	back.server = to
 	back.offset = newOff
+	if p.caches != nil {
+		// The slice is local to its new owner now; drop the owner's cached
+		// copies so its reads hit backing DRAM directly (local pages are
+		// never cached). Other nodes' copies stay valid — the bytes did
+		// not change, only their home.
+		base := uint64(addr.SliceBase(s))
+		p.caches[to].InvalidateRange(base>>p.pageShift, uint64(SliceSize)>>p.pageShift)
+	}
 	return nil
 }
 

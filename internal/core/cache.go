@@ -1,0 +1,640 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/cache"
+	"github.com/lmp-project/lmp/internal/coherence"
+	"github.com/lmp-project/lmp/internal/migrate"
+)
+
+// This file wires the node-local hot-page cache and write combiner
+// (internal/cache) into the pool's data path — the WithLocalCache
+// feature. The paper's §5 "locality balancing" challenge splits into two
+// time scales: the cache serves short-term reuse from local DRAM, while
+// the migration balancer (BalanceOnce) handles long-term placement; the
+// cache feeds its hit counts into the balancer's access matrix so a
+// sustained-hot remote slice is still promoted (migrated local) even
+// when the cache absorbs its reads.
+//
+// Coherence protocol. Each node has its own read cache; a dedicated
+// page-granular coherence.Directory (separate from the coherent region's
+// directory) tracks which nodes cached which page:
+//
+//   - Fill: under the slice's stripe lock in read mode, the filler reads
+//     backing bytes, overlays buffered writes, registers with
+//     AcquireRead, and inserts the composed page into its own cache.
+//   - Write: under the stripe lock in write mode, the writer calls
+//     AcquireWrite and discards every killed holder's copy, then updates
+//     its own copy in place. Fills and writes to the same slice are
+//     serialized by the stripe lock, so a fill can never insert a page a
+//     concurrent writer just invalidated.
+//   - Crash: Crash purges the dead node's cache and DropNodes it from
+//     the directory — purge only, never write back (copies are clean by
+//     construction).
+//   - Capacity evictions (cache-side and directory back-invalidation)
+//     never write back either; a cache-side eviction is invisible to the
+//     directory, which therefore over-approximates holders and issues
+//     some no-op invalidations.
+//
+// Write combining. Small remote writes are buffered in a pool-wide
+// combiner and applied later as one vectored write per issuing node.
+// Until flushed, the authoritative bytes of a range are
+// overlay(backing, flushing batch, pending writes) in that order; every
+// read path composes that overlay (fillPageOnce for cached reads, the
+// accessSliceOnce/vectoredOnce hooks for direct reads), so an accepted
+// write is never invisible and never lost: Release drops pending writes
+// with the range, and a crash of the backing owner leaves the buffered
+// write to be applied after recovery.
+//
+// Lock order (extends the package comment's): structural → stripe →
+// {ec.mu, wc.mu, directory.mu → cache shard}. The flush mutex precedes
+// stripe locks (flushWC → vectored) and is never taken under one.
+
+// CacheConfig configures the optional node-local page cache and write
+// combiner (see the v1 WithLocalCache option).
+type CacheConfig struct {
+	// Enabled turns the cache on.
+	Enabled bool
+	// CapacityFraction sizes each node's cache as a fraction of that
+	// node's private (non-shared) carve-out. Default 0.25. Ignored when
+	// CapacityBytes is set.
+	CapacityFraction float64
+	// CapacityBytes, if nonzero, fixes every node's cache capacity.
+	CapacityBytes int64
+	// PageSize is the cache page size (power of two dividing SliceSize;
+	// default 4096).
+	PageSize int64
+	// Shards is the per-node shard count (default 16).
+	Shards int
+	// NoWriteCombine disables the write combiner (reads still cache).
+	NoWriteCombine bool
+	// WCMaxWrite is the largest single write the combiner absorbs;
+	// larger writes go straight to backing. Default 1024, capped at
+	// PageSize.
+	WCMaxWrite int
+	// WCMaxBytes and WCMaxCount trigger a flush when the pending set
+	// exceeds either. Defaults 128KiB / 128 writes.
+	WCMaxBytes int
+	WCMaxCount int
+}
+
+func (c *CacheConfig) fillDefaults() {
+	if c.PageSize == 0 {
+		c.PageSize = cache.DefaultPageSize
+	}
+	if c.CapacityFraction == 0 {
+		c.CapacityFraction = 0.25
+	}
+	if c.WCMaxWrite == 0 {
+		c.WCMaxWrite = 1024
+	}
+	if c.WCMaxWrite > int(c.PageSize) {
+		c.WCMaxWrite = int(c.PageSize)
+	}
+}
+
+// initCache builds the per-node caches, the page coherence directory,
+// and the write combiner. Called from New after the nodes exist.
+func (p *Pool) initCache() error {
+	cc := p.cfg.Cache
+	cc.fillDefaults()
+	if cc.PageSize <= 0 || cc.PageSize&(cc.PageSize-1) != 0 || SliceSize%cc.PageSize != 0 {
+		return fmt.Errorf("core: cache page size %d must be a power of two dividing the slice size", cc.PageSize)
+	}
+	p.cacheCfg = cc
+	p.pageSize = cc.PageSize
+	for ps := cc.PageSize; ps > 1; ps >>= 1 {
+		p.pageShift++
+	}
+	totalPages := int64(0)
+	p.caches = make([]*cache.Cache, len(p.nodes))
+	for i, node := range p.nodes {
+		capBytes := cc.CapacityBytes
+		if capBytes == 0 {
+			capBytes = int64(cc.CapacityFraction * float64(node.PrivateBytes()))
+			if capBytes == 0 {
+				// No private carve-out to borrow from: a small default
+				// keeps WithLocalCache meaningful on shared-only nodes.
+				capBytes = 4 << 20
+			}
+		}
+		c, err := cache.New(cache.Config{CapacityBytes: capBytes, PageSize: cc.PageSize, Shards: cc.Shards})
+		if err != nil {
+			return err
+		}
+		p.caches[i] = c
+		totalPages += capBytes / cc.PageSize
+	}
+	// The inclusive snoop filter must comfortably track every resident
+	// page across all nodes; 2x slack plus a floor bounds back-
+	// invalidation churn.
+	dirCap := totalPages * 2
+	if dirCap < 1024 {
+		dirCap = 1024
+	}
+	dir, err := coherence.NewDirectory(cc.PageSize, int(dirCap))
+	if err != nil {
+		return err
+	}
+	dir.OnBackInvalidate = func(block int64, holders []coherence.NodeID) {
+		for _, h := range holders {
+			if int(h) >= 0 && int(h) < len(p.caches) {
+				p.caches[h].Invalidate(uint64(block))
+			}
+		}
+	}
+	p.pageDir = dir
+	if !cc.NoWriteCombine {
+		p.wc = cache.NewWriteCombiner(cc.PageSize, cc.WCMaxBytes, cc.WCMaxCount)
+	}
+	p.pagePool = sync.Pool{New: func() any {
+		b := make([]byte, cc.PageSize)
+		return &b
+	}}
+	p.cacheFills = p.metrics.Counter("pool.cache.fills")
+	p.cacheFlushes = p.metrics.Counter("pool.cache.flushes")
+	p.cacheFlushedBytes = p.metrics.Counter("pool.cache.flushed_bytes")
+	p.cacheWCWrites = p.metrics.Counter("pool.cache.wc_writes")
+	p.cacheInvals = p.metrics.Counter("pool.cache.invalidations")
+	return nil
+}
+
+// cacheEnabledFor reports whether the cached data path serves requests
+// from this node. Out-of-range issuers fall back to the direct path,
+// which tolerates them.
+func (p *Pool) cacheEnabledFor(from addr.ServerID) bool {
+	return p.caches != nil && int(from) >= 0 && int(from) < len(p.caches)
+}
+
+// cachedRead is the read path for cache-enabled pools. Reads up to one
+// page long are served per page through the cache; larger reads bypass
+// it (a streaming read would only churn the clock) but still observe
+// buffered writes through the overlay hook in accessSliceOnce. Locally
+// backed pages are never admitted — backing DRAM is already local — but
+// the hit path does not probe ownership up front: a local read simply
+// misses and fillPageOnce serves it directly, so the dominant case (a
+// hit on a hot remote page) pays exactly one shard lookup.
+func (p *Pool) cachedRead(ctx context.Context, from addr.ServerID, la addr.Logical, buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if int64(len(buf)) > p.pageSize {
+		return p.directAccess(ctx, from, la, buf, false)
+	}
+	// Fast path: the read fits one cache page. The resident-hit attempt is
+	// made here directly so the dominant case costs one call into the
+	// cache and nothing else.
+	if cur := uint64(la); int(cur&uint64(p.pageSize-1))+len(buf) <= int(p.pageSize) {
+		pg := cur >> p.pageShift
+		po := int(cur & uint64(p.pageSize-1))
+		if p.caches[from].ReadAt(pg, buf, po) {
+			return nil
+		}
+		return p.fillPage(from, pg, buf, po)
+	}
+	done := 0
+	for done < len(buf) {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		cur := uint64(la) + uint64(done)
+		pg := cur >> p.pageShift
+		po := int(cur & uint64(p.pageSize-1))
+		span := int(p.pageSize) - po
+		if rem := len(buf) - done; rem < span {
+			span = rem
+		}
+		if err := p.readPage(from, pg, buf[done:done+span], po); err != nil {
+			return err
+		}
+		done += span
+	}
+	return nil
+}
+
+// readPage serves one intra-page read window through the node's cache,
+// filling on miss.
+func (p *Pool) readPage(from addr.ServerID, pg uint64, dst []byte, po int) error {
+	if p.caches[from].ReadAt(pg, dst, po) {
+		return nil
+	}
+	return p.fillPage(from, pg, dst, po)
+}
+
+// fillPage is the miss path: it fills through fillPageOnce with the same
+// crash-recovery retry loop as the direct path.
+func (p *Pool) fillPage(from addr.ServerID, pg uint64, dst []byte, po int) error {
+	s := addr.SliceOf(addr.Logical(pg << p.pageShift))
+	for attempt := 0; ; attempt++ {
+		status, err := p.fillPageOnce(from, s, pg, dst, po)
+		switch status {
+		case accessOK:
+			return nil
+		case accessMissing:
+			return p.missingSliceError(s)
+		case accessDead:
+			if attempt >= maxRecoverAttempts {
+				return fmt.Errorf("%w: slice %d not recoverable", ErrServerDead, s)
+			}
+			if err := p.recoverSlice(s); err != nil {
+				return err
+			}
+		default:
+			return err
+		}
+	}
+}
+
+// fillPageOnce is the locked body of a cache miss. Under the slice's
+// stripe lock in read mode it composes the page's authoritative bytes
+// (backing plus buffered-write overlay); for remote pages it registers
+// the copy with the page directory and inserts it into the issuer's
+// cache. The stripe lock orders fills against invalidating writers
+// (which hold it in write mode), so a stale fill cannot overwrite an
+// invalidation.
+func (p *Pool) fillPageOnce(from addr.ServerID, s, pg uint64, dst []byte, po int) (accessStatus, error) {
+	lock := p.stripeFor(s)
+	lock.RLock()
+	defer lock.RUnlock()
+	back := p.lookupSlice(s)
+	if back == nil {
+		return accessMissing, nil
+	}
+	if p.isDead(back.server) {
+		return accessDead, nil
+	}
+	node := p.nodes[back.server]
+	pageAddr := pg << p.pageShift
+	sliceOff := int64(pageAddr - uint64(addr.SliceBase(s)))
+	if back.server == from {
+		// Local pages are not cached — backing DRAM is already local.
+		off := back.offset + sliceOff + int64(po)
+		if err := node.ReadAt(dst, off); err != nil {
+			return accessFailed, err
+		}
+		if p.wc != nil {
+			p.wc.OverlayRange(pageAddr+uint64(po), dst)
+		}
+		node.RecordAccess(off, false, false)
+		back.counts[from].Add(1)
+		p.recordAccessMetrics(false, false, len(dst))
+		return accessOK, nil
+	}
+	sp := p.pagePool.Get().(*[]byte)
+	scratch := *sp
+	if err := node.ReadAt(scratch, back.offset+sliceOff); err != nil {
+		p.pagePool.Put(sp)
+		return accessFailed, err
+	}
+	if p.wc != nil {
+		p.wc.OverlayRange(pageAddr, scratch)
+	}
+	if _, err := p.pageDir.AcquireRead(coherence.NodeID(from), int64(pageAddr)); err == nil {
+		p.caches[from].Put(pg, scratch)
+	}
+	copy(dst, scratch[po:po+len(dst)])
+	p.pagePool.Put(sp)
+	p.cacheFills.Inc()
+	node.RecordAccess(back.offset+sliceOff, true, false)
+	back.counts[from].Add(1)
+	p.recordAccessMetrics(true, false, len(dst))
+	return accessOK, nil
+}
+
+// cachedWrite is the write path for cache-enabled pools: small writes
+// whose first slice is remote are absorbed by the write combiner;
+// everything else goes to backing directly, after flushing any buffered
+// writes that overlap the range (a direct write must not be shadowed by
+// an older buffered one).
+func (p *Pool) cachedWrite(ctx context.Context, from addr.ServerID, la addr.Logical, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if p.wc != nil && len(data) <= p.cacheCfg.WCMaxWrite {
+		if back := p.lookupSlice(addr.SliceOf(la)); back != nil && back.server != from {
+			return p.wcWrite(ctx, from, la, data)
+		}
+	}
+	if p.wc != nil && p.wc.PendingInRange(uint64(la), len(data)) {
+		if err := p.flushWC(); err != nil {
+			return err
+		}
+	}
+	return p.directAccess(ctx, from, la, data, true)
+}
+
+// accessWCConflict reports a buffered write refused for partial overlap
+// with an existing one; the caller flushes and retries.
+const accessWCConflict accessStatus = 100
+
+// wcWrite buffers a small write, slice segment by slice segment.
+func (p *Pool) wcWrite(ctx context.Context, from addr.ServerID, la addr.Logical, data []byte) error {
+	shouldFlush := false
+	done := 0
+	for done < len(data) {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		cur := la + addr.Logical(done)
+		s := addr.SliceOf(cur)
+		off := int64(uint64(cur) % SliceSize)
+		length := int(SliceSize - off)
+		if rem := len(data) - done; rem < length {
+			length = rem
+		}
+		if err := p.wcWriteSlice(from, s, uint64(cur), data[done:done+length], &shouldFlush); err != nil {
+			return err
+		}
+		done += length
+	}
+	if shouldFlush {
+		return p.flushWC()
+	}
+	return nil
+}
+
+// wcWriteSlice buffers one intra-slice write, flushing and retrying on
+// overlap conflicts.
+func (p *Pool) wcWriteSlice(from addr.ServerID, s uint64, la uint64, part []byte, shouldFlush *bool) error {
+	for attempt := 0; ; attempt++ {
+		switch p.wcWriteSliceOnce(from, s, la, part, shouldFlush) {
+		case accessOK:
+			return nil
+		case accessMissing:
+			return p.missingSliceError(s)
+		default: // conflict with a buffered write
+			if err := p.flushWC(); err != nil {
+				return err
+			}
+			if attempt >= maxRecoverAttempts {
+				// Concurrent writers keep landing on the range; take the
+				// direct path (the flush above preserved ordering).
+				return p.accessSlice(from, s, int64(la-uint64(addr.SliceBase(s))), part, true)
+			}
+		}
+	}
+}
+
+// wcWriteSliceOnce is the locked body of one buffered-write attempt.
+// Note a dead backing owner does not block it: the pool accepts the
+// bytes now and the flush applies them after recovery re-homes the
+// slice — buffered writes survive crashes of servers they never reached.
+func (p *Pool) wcWriteSliceOnce(from addr.ServerID, s uint64, la uint64, part []byte, shouldFlush *bool) accessStatus {
+	lock := p.stripeFor(s)
+	lock.Lock()
+	defer lock.Unlock()
+	back := p.lookupSlice(s)
+	if back == nil {
+		return accessMissing
+	}
+	ok, fl := p.wc.Add(int(from), la, part)
+	if !ok {
+		return accessWCConflict
+	}
+	if fl {
+		*shouldFlush = true
+	}
+	p.applyWriteCoherenceLocked(from, la, part)
+	remote := back.server != from
+	if !p.isDead(back.server) {
+		p.nodes[back.server].RecordAccess(back.offset+int64(la-uint64(addr.SliceBase(s))), remote, true)
+	}
+	back.counts[from].Add(1)
+	p.recordAccessMetrics(remote, true, len(part))
+	p.cacheWCWrites.Inc()
+	return accessOK
+}
+
+// applyWriteCoherenceLocked runs the write side of the coherence
+// protocol for [la, la+len(data)): acquire exclusive ownership of each
+// touched page, discard every killed holder's cached copy, and update
+// the writer's own copy in place if resident. Caller holds the covering
+// stripe lock(s) in write mode.
+func (p *Pool) applyWriteCoherenceLocked(from addr.ServerID, la uint64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	first := la >> p.pageShift
+	last := (la + uint64(len(data)) - 1) >> p.pageShift
+	for pg := first; pg <= last; pg++ {
+		pageAddr := pg << p.pageShift
+		killed, err := p.pageDir.AcquireWrite(coherence.NodeID(from), int64(pageAddr))
+		if err != nil {
+			// Directory failure: fail safe by discarding every other
+			// node's copy of the page.
+			for n := range p.caches {
+				if addr.ServerID(n) != from {
+					p.caches[n].Invalidate(pg)
+				}
+			}
+		} else {
+			for _, k := range killed {
+				if int(k) >= 0 && int(k) < len(p.caches) {
+					p.caches[k].Invalidate(pg)
+				}
+			}
+			if len(killed) > 0 {
+				p.cacheInvals.Add(uint64(len(killed)))
+			}
+		}
+		if int(from) >= 0 && int(from) < len(p.caches) {
+			lo := max(la, pageAddr)
+			hi := min(la+uint64(len(data)), pageAddr+uint64(p.pageSize))
+			p.caches[from].WriteAt(pg, data[lo-la:hi-la], int(lo-pageAddr))
+		}
+	}
+}
+
+// purgeSlicePagesLocked discards every node's cached pages of slice s
+// and any pending buffered writes into it. Called under the slice's
+// stripe lock when the logical range dies (Release).
+func (p *Pool) purgeSlicePagesLocked(s uint64) {
+	base := uint64(addr.SliceBase(s))
+	firstPage := base >> p.pageShift
+	pages := uint64(SliceSize) >> p.pageShift
+	for n := range p.caches {
+		p.caches[n].InvalidateRange(firstPage, pages)
+	}
+	if p.wc != nil {
+		p.wc.DropRange(base, base+uint64(SliceSize))
+	}
+}
+
+// FlushWriteCombining applies all buffered writes to backing (and their
+// replicas/parity). Reads already observe buffered writes; flushing
+// matters before operations that bypass the pool's read path entirely.
+// It is a no-op on pools without a write combiner.
+func (p *Pool) FlushWriteCombining() error {
+	if p.wc == nil {
+		return nil
+	}
+	return p.flushWC()
+}
+
+// flushWC drains the combiner and applies the batch as one vectored
+// write per issuing node. The flush mutex serializes flushes and orders
+// strictly before stripe locks (taken inside vectored); the batch stays
+// visible to readers until EndFlush, so there is no window where an
+// accepted write is in neither the combiner nor backing.
+func (p *Pool) flushWC() error {
+	p.flushMu.Lock()
+	defer p.flushMu.Unlock()
+	batch := p.wc.BeginFlush()
+	if len(batch) == 0 {
+		return nil
+	}
+	var order []int
+	vecsByFrom := make(map[int][]Vec)
+	for _, e := range batch {
+		if _, ok := vecsByFrom[e.From]; !ok {
+			order = append(order, e.From)
+		}
+		vecsByFrom[e.From] = append(vecsByFrom[e.From], Vec{Addr: addr.Logical(e.Addr), Data: e.Data})
+	}
+	var firstErr error
+	flushed := 0
+	for _, f := range order {
+		vecs := vecsByFrom[f]
+		if err := p.vectored(nil, addr.ServerID(f), vecs, true, true); err != nil {
+			// The batch hit a range that died mid-flight (released) or an
+			// unrecoverable slice: apply entry by entry so one bad range
+			// does not sink its neighbours, dropping writes whose logical
+			// range is gone.
+			for _, v := range vecs {
+				if err2 := p.flushOneFallback(addr.ServerID(f), v); err2 != nil && firstErr == nil {
+					firstErr = err2
+				}
+			}
+		}
+		for _, v := range vecs {
+			flushed += len(v.Data)
+		}
+	}
+	p.wc.EndFlush()
+	p.cacheFlushes.Inc()
+	p.cacheFlushedBytes.Add(uint64(flushed))
+	return firstErr
+}
+
+func (p *Pool) flushOneFallback(from addr.ServerID, v Vec) error {
+	err := p.directAccess(nil, from, v.Addr, v.Data, true)
+	if err == nil || errors.Is(err, addr.ErrUnmapped) {
+		return nil
+	}
+	return err
+}
+
+// harvestCacheHits drains per-page cache hit counts into matrix samples:
+// a hit is an access the balancer would otherwise never see (it touches
+// no backing counter), yet it is exactly the signal that a remote slice
+// is hot enough to promote.
+func (p *Pool) harvestCacheHits(batch []migrate.Sample) []migrate.Sample {
+	for n := range p.caches {
+		from := addr.ServerID(n)
+		p.caches[n].DrainHits(func(page, hits uint64) {
+			s := addr.SliceOf(addr.Logical(page << p.pageShift))
+			batch = append(batch, migrate.Sample{Slice: uint64(s), From: from, Count: hits})
+		})
+	}
+	return batch
+}
+
+// CacheStats aggregates the per-node cache and write-combiner state.
+type CacheStats struct {
+	cache.Stats
+	PendingWrites int
+	PendingBytes  int
+	Flushes       uint64
+	FlushedBytes  uint64
+	WCWrites      uint64
+	Fills         uint64
+}
+
+// CacheStats reports cache traffic totals across all nodes. On a pool
+// built without WithLocalCache every field is zero.
+func (p *Pool) CacheStats() CacheStats {
+	var out CacheStats
+	if p.caches == nil {
+		return out
+	}
+	for _, c := range p.caches {
+		st := c.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Inserts += st.Inserts
+		out.Evictions += st.Evictions
+		out.Invalidations += st.Invalidations
+		out.HotPromotions += st.HotPromotions
+		out.GhostReadmits += st.GhostReadmits
+		out.Pages += st.Pages
+	}
+	if p.wc != nil {
+		out.PendingWrites = p.wc.PendingCount()
+		out.PendingBytes = p.wc.PendingBytes()
+	}
+	out.Flushes = p.cacheFlushes.Value()
+	out.FlushedBytes = p.cacheFlushedBytes.Value()
+	out.WCWrites = p.cacheWCWrites.Value()
+	out.Fills = p.cacheFills.Value()
+	// Mirror the fold into gauges so Snapshot dumps include it.
+	p.metrics.Gauge("pool.cache.hits").Set(int64(out.Hits))
+	p.metrics.Gauge("pool.cache.misses").Set(int64(out.Misses))
+	p.metrics.Gauge("pool.cache.resident_pages").Set(int64(out.Pages))
+	return out
+}
+
+// PageDirectory exposes the page-cache coherence directory (nil without
+// WithLocalCache); tests assert protocol traffic through it.
+func (p *Pool) PageDirectory() *coherence.Directory { return p.pageDir }
+
+// checkCacheLocked audits every resident cached page against the
+// authoritative bytes (backing plus buffered-write overlay): a diverging
+// copy is a coherence bug, a copy of an unmapped slice is a missed purge.
+// Caller holds p.mu and must be quiesced with respect to the data path
+// (the chaos harness's between-ops oracle position), since the audit
+// takes no stripe locks.
+func (p *Pool) checkCacheLocked(report func(string, ...any)) {
+	type snap struct {
+		page uint64
+		data []byte
+	}
+	scratch := make([]byte, p.pageSize)
+	for n, c := range p.caches {
+		var pages []snap
+		c.Each(func(page uint64, data []byte) {
+			pages = append(pages, snap{page, append([]byte(nil), data...)})
+		})
+		for _, e := range pages {
+			pageAddr := e.page << p.pageShift
+			s := addr.SliceOf(addr.Logical(pageAddr))
+			back := p.lookupSlice(s)
+			if back == nil {
+				report("server %d caches page %d of unmapped slice %d", n, e.page, s)
+				continue
+			}
+			if back.server == addr.ServerID(n) {
+				report("server %d caches page %d of its own local slice %d", n, e.page, s)
+			}
+			if p.isDead(back.server) {
+				continue // backing unreadable until recovery rebinds it
+			}
+			off := back.offset + int64(pageAddr-uint64(addr.SliceBase(s)))
+			if err := p.nodes[back.server].ReadAt(scratch, off); err != nil {
+				report("server %d cached page %d: backing read failed: %v", n, e.page, err)
+				continue
+			}
+			if p.wc != nil {
+				p.wc.OverlayRange(pageAddr, scratch)
+			}
+			if !bytes.Equal(scratch, e.data) {
+				report("server %d cached page %d diverges from authoritative bytes (slice %d)", n, e.page, s)
+			}
+		}
+	}
+}

@@ -88,6 +88,10 @@ func (p *Pool) CheckInvariants() error {
 		}
 	}
 
+	if p.caches != nil {
+		p.checkCacheLocked(report)
+	}
+
 	return errors.Join(violations...)
 }
 

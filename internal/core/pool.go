@@ -43,6 +43,7 @@ import (
 
 	"github.com/lmp-project/lmp/internal/addr"
 	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/cache"
 	"github.com/lmp-project/lmp/internal/coherence"
 	"github.com/lmp-project/lmp/internal/failure"
 	"github.com/lmp-project/lmp/internal/memnode"
@@ -85,6 +86,9 @@ type Config struct {
 	Protection failure.Policy
 	// Migration tunes the locality balancer.
 	Migration migrate.Policy
+	// Cache configures the node-local hot-page cache and write combiner
+	// (see WithLocalCache and internal/core/cache.go).
+	Cache CacheConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -191,6 +195,25 @@ type Pool struct {
 	metrics *telemetry.Registry
 	// hot caches access counters, indexed [write][remote].
 	hot [2][2]hotPath
+
+	// Node-local page cache state (nil/zero unless Config.Cache.Enabled;
+	// see cache.go). caches[n] is server n's private hot-page cache;
+	// pageDir is the page-granular coherence directory over those caches;
+	// wc is the pool-wide write combiner, flushMu its flush serializer.
+	cacheCfg  CacheConfig
+	caches    []*cache.Cache
+	wc        *cache.WriteCombiner
+	pageDir   *coherence.Directory
+	pageSize  int64
+	pageShift uint
+	pagePool  sync.Pool
+	flushMu   sync.Mutex
+
+	cacheFills        *telemetry.Counter
+	cacheFlushes      *telemetry.Counter
+	cacheFlushedBytes *telemetry.Counter
+	cacheWCWrites     *telemetry.Counter
+	cacheInvals       *telemetry.Counter
 }
 
 // New builds a pool from the configuration.
@@ -263,6 +286,11 @@ func New(cfg Config) (*Pool, error) {
 		locals[addr.ServerID(i)] = lm
 	}
 	p.trans = &addr.Translator{Global: p.global, Locals: locals}
+	if cfg.Cache.Enabled {
+		if err := p.initCache(); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -536,6 +564,11 @@ func (b *Buffer) Release() error {
 		p.locals[back.server].UnmapSlice(s)
 		p.freeBackingLocked(back.server, back.offset)
 		_ = p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, addr.NoServer)
+		if p.caches != nil {
+			// The logical range is dying and may be reallocated: cached
+			// pages and buffered writes into it must die with it.
+			p.purgeSlicePagesLocked(s)
+		}
 		st.Unlock()
 	}
 	for _, replica := range b.copies {
@@ -583,25 +616,20 @@ func eachSegment(la addr.Logical, n int, visit func(s uint64, sliceOff int64, bu
 // Release), and with a failure.MemoryException when an unprotected owner
 // has crashed.
 func (p *Pool) Read(from addr.ServerID, la addr.Logical, buf []byte) error {
-	// Fast path: the common case of an access within one slice.
-	if end := la + addr.Logical(len(buf)) - 1; len(buf) > 0 && addr.SliceOf(la) == addr.SliceOf(end) {
-		return p.accessSlice(from, addr.SliceOf(la), int64(uint64(la)%SliceSize), buf, false)
+	if p.cacheEnabledFor(from) {
+		return p.cachedRead(nil, from, la, buf)
 	}
-	return eachSegment(la, len(buf), func(s uint64, sliceOff int64, bufOff, length int) error {
-		return p.accessSlice(from, s, sliceOff, buf[bufOff:bufOff+length], false)
-	})
+	return p.directAccess(nil, from, la, buf, false)
 }
 
 // Write copies data into the pool at logical address la, as issued by
 // server from, updating replicas and parity. Its error contract matches
 // Read's.
 func (p *Pool) Write(from addr.ServerID, la addr.Logical, data []byte) error {
-	if end := la + addr.Logical(len(data)) - 1; len(data) > 0 && addr.SliceOf(la) == addr.SliceOf(end) {
-		return p.accessSlice(from, addr.SliceOf(la), int64(uint64(la)%SliceSize), data, true)
+	if p.cacheEnabledFor(from) {
+		return p.cachedWrite(nil, from, la, data)
 	}
-	return eachSegment(la, len(data), func(s uint64, sliceOff int64, bufOff, length int) error {
-		return p.accessSlice(from, s, sliceOff, data[bufOff:bufOff+length], true)
-	})
+	return p.directAccess(nil, from, la, data, true)
 }
 
 // accessStatus is the outcome of one locked access attempt.
@@ -669,8 +697,19 @@ func (p *Pool) accessSliceOnce(from addr.ServerID, s uint64, sliceOff int64, par
 		if err := p.writeSliceLocked(back, node, s, sliceOff, offset, part); err != nil {
 			return accessFailed, err
 		}
-	} else if err := node.ReadAt(part, offset); err != nil {
-		return accessFailed, err
+		if p.caches != nil {
+			p.applyWriteCoherenceLocked(from, uint64(addr.SliceBase(s))+uint64(sliceOff), part)
+		}
+	} else {
+		if err := node.ReadAt(part, offset); err != nil {
+			return accessFailed, err
+		}
+		// Direct reads on a write-combining pool compose the authoritative
+		// overlay: backing bytes shadowed by buffered writes must never be
+		// returned raw.
+		if p.wc != nil {
+			p.wc.OverlayRange(uint64(addr.SliceBase(s))+uint64(sliceOff), part)
+		}
 	}
 	node.RecordAccess(offset, remote, write)
 	if int(from) >= 0 && int(from) < len(back.counts) {
@@ -690,7 +729,14 @@ func (p *Pool) writeSliceLocked(back *sliceBacking, node *memnode.Node, s uint64
 		// buffer's EC lock (writers of sibling slices share parity).
 		buf.ec.mu.Lock()
 		defer buf.ec.mu.Unlock()
-		old := make([]byte, len(part))
+		sp := byteScratch.Get().(*[]byte)
+		defer byteScratch.Put(sp)
+		old := *sp
+		if cap(old) < len(part) {
+			old = make([]byte, len(part))
+			*sp = old
+		}
+		old = old[:len(part)]
 		if err := node.ReadAt(old, offset); err != nil {
 			return err
 		}
@@ -707,6 +753,13 @@ func (p *Pool) writeSliceLocked(back *sliceBacking, node *memnode.Node, s uint64
 	}
 	return nil
 }
+
+// byteScratch pools transient byte buffers for the protected-write
+// read-modify-write paths, which would otherwise allocate per operation.
+var byteScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
 
 // missingSliceError classifies an access to a slice with no backing:
 // addresses inside a freed logical run report the release, others are
@@ -757,9 +810,12 @@ func (p *Pool) recordAccessMetrics(remote, write bool, n int) {
 	h.bytes.Add(uint64(n))
 }
 
-// harvestAccessCounts drains the per-slice atomic access counters into
-// the balancer's access matrix. Called before planning and profiling.
+// harvestAccessCounts drains the per-slice atomic access counters — and
+// the per-page cache hit counters, which never touch backing counters —
+// into the balancer's access matrix, batched under one matrix lock.
+// Called before planning and profiling.
 func (p *Pool) harvestAccessCounts() {
+	var batch []migrate.Sample
 	t := p.table.Load()
 	for s := range t.entries {
 		back := t.entries[s].Load()
@@ -768,10 +824,14 @@ func (p *Pool) harvestAccessCounts() {
 		}
 		for srv := range back.counts {
 			if n := back.counts[srv].Swap(0); n > 0 {
-				p.matrix.Record(uint64(s), addr.ServerID(srv), n)
+				batch = append(batch, migrate.Sample{Slice: uint64(s), From: addr.ServerID(srv), Count: n})
 			}
 		}
 	}
+	if p.caches != nil {
+		batch = p.harvestCacheHits(batch)
+	}
+	p.matrix.RecordBatch(batch)
 }
 
 // Translate resolves a logical address through the two-step scheme.

@@ -6,6 +6,7 @@ import (
 
 	"github.com/lmp-project/lmp/internal/addr"
 	"github.com/lmp-project/lmp/internal/alloc"
+	"github.com/lmp-project/lmp/internal/coherence"
 	"github.com/lmp-project/lmp/internal/failure"
 )
 
@@ -243,6 +244,14 @@ func (p *Pool) Crash(s addr.ServerID) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.dead[s].Store(true)
+	if p.caches != nil {
+		// Crash-stop: the dead node's cached pages die with it — purged,
+		// never written back (they are clean by construction). Pending
+		// combined writes are NOT dropped: the pool accepted them, and the
+		// flush applies them after recovery re-homes their slices.
+		p.caches[s].InvalidateAll()
+		p.pageDir.DropNode(coherence.NodeID(s))
+	}
 	p.metrics.Counter("pool.crashes").Inc()
 	return nil
 }
@@ -307,6 +316,14 @@ func (p *Pool) recoverSliceLocked(s uint64) error {
 	}
 	back.server = srv
 	back.offset = off
+	if p.caches != nil {
+		// The slice is local to its recovery target now; drop that node's
+		// cached copies so its reads hit backing DRAM directly (local pages
+		// are never cached). Other nodes' copies stay valid — recovery
+		// restored the same bytes, only their home changed.
+		base := uint64(addr.SliceBase(s))
+		p.caches[srv].InvalidateRange(base>>p.pageShift, uint64(SliceSize)>>p.pageShift)
+	}
 	p.metrics.Counter("pool.recoveries").Inc()
 	return nil
 }

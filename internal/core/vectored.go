@@ -1,9 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"github.com/lmp-project/lmp/internal/addr"
 	"github.com/lmp-project/lmp/internal/failure"
@@ -37,12 +39,10 @@ func (p *Pool) ReadCtx(ctx context.Context, from addr.ServerID, la addr.Logical,
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
-	return eachSegment(la, len(buf), func(s uint64, sliceOff int64, bufOff, length int) error {
-		if err := ctxErr(ctx); err != nil {
-			return err
-		}
-		return p.accessSlice(from, s, sliceOff, buf[bufOff:bufOff+length], false)
-	})
+	if p.cacheEnabledFor(from) {
+		return p.cachedRead(ctx, from, la, buf)
+	}
+	return p.directAccess(ctx, from, la, buf, false)
 }
 
 // WriteCtx is Write with cancellation, checked before each slice
@@ -52,12 +52,43 @@ func (p *Pool) WriteCtx(ctx context.Context, from addr.ServerID, la addr.Logical
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
-	return eachSegment(la, len(data), func(s uint64, sliceOff int64, bufOff, length int) error {
+	if p.cacheEnabledFor(from) {
+		return p.cachedWrite(ctx, from, la, data)
+	}
+	return p.directAccess(ctx, from, la, data, true)
+}
+
+// directAccess performs a read or write against backing, bypassing the
+// page cache (the overlay and invalidation hooks inside accessSliceOnce
+// keep it coherent with the write combiner and cached copies). The
+// single-slice fast path and the inline segment loop keep this function
+// allocation-free; see TestReadWriteAllocFree.
+func (p *Pool) directAccess(ctx context.Context, from addr.ServerID, la addr.Logical, buf []byte, write bool) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	// Fast path: the common case of an access within one slice.
+	if end := la + addr.Logical(len(buf)) - 1; addr.SliceOf(la) == addr.SliceOf(end) {
+		return p.accessSlice(from, addr.SliceOf(la), int64(uint64(la)%SliceSize), buf, write)
+	}
+	done := 0
+	for done < len(buf) {
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
-		return p.accessSlice(from, s, sliceOff, data[bufOff:bufOff+length], true)
-	})
+		cur := la + addr.Logical(done)
+		s := addr.SliceOf(cur)
+		off := int64(uint64(cur) % SliceSize)
+		length := int(SliceSize - off)
+		if rem := len(buf) - done; rem < length {
+			length = rem
+		}
+		if err := p.accessSlice(from, s, off, buf[done:done+length], write); err != nil {
+			return err
+		}
+		done += length
+	}
+	return nil
 }
 
 // ReadV performs a vectored read: every element of vecs is filled as by
@@ -67,7 +98,7 @@ func (p *Pool) WriteCtx(ctx context.Context, from addr.ServerID, la addr.Logical
 // unmapped or released range without partial effects, and physically
 // contiguous segments on one server coalesce into a single access.
 func (p *Pool) ReadV(from addr.ServerID, vecs []Vec) error {
-	return p.vectored(nil, from, vecs, false)
+	return p.vectored(nil, from, vecs, false, false)
 }
 
 // WriteV performs a vectored write with the same locking, resolution,
@@ -75,17 +106,17 @@ func (p *Pool) ReadV(from addr.ServerID, vecs []Vec) error {
 // for the whole operation, a WriteV is atomic with respect to
 // concurrent Read/ReadV traffic on the same slices.
 func (p *Pool) WriteV(from addr.ServerID, vecs []Vec) error {
-	return p.vectored(nil, from, vecs, true)
+	return p.vectored(nil, from, vecs, true, false)
 }
 
 // ReadVCtx is ReadV with cancellation, checked between coalesced runs.
 func (p *Pool) ReadVCtx(ctx context.Context, from addr.ServerID, vecs []Vec) error {
-	return p.vectored(ctx, from, vecs, false)
+	return p.vectored(ctx, from, vecs, false, false)
 }
 
 // WriteVCtx is WriteV with cancellation, checked between coalesced runs.
 func (p *Pool) WriteVCtx(ctx context.Context, from addr.ServerID, vecs []Vec) error {
-	return p.vectored(ctx, from, vecs, true)
+	return p.vectored(ctx, from, vecs, true, false)
 }
 
 // vecSeg is one intra-slice piece of a vectored operation.
@@ -97,34 +128,77 @@ type vecSeg struct {
 	data     []byte
 }
 
-func (p *Pool) vectored(ctx context.Context, from addr.ServerID, vecs []Vec, write bool) error {
+// vecState is the reusable scratch of one vectored operation; pooling it
+// keeps ReadV/WriteV allocation-free in steady state.
+type vecState struct {
+	segs  []vecSeg
+	seen  []bool
+	order []uint64
+	backs []*sliceBacking
+}
+
+var vecScratch = sync.Pool{New: func() any { return new(vecState) }}
+
+// vectored runs a vectored operation. flush marks a write-combiner flush
+// batch: its bytes were already made coherent (invalidations happened
+// when each write was buffered) and must not re-trigger a flush.
+func (p *Pool) vectored(ctx context.Context, from addr.ServerID, vecs []Vec, write, flush bool) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
-	segs := make([]vecSeg, 0, len(vecs))
+	if write && !flush && p.wc != nil {
+		// A direct vectored write must not leave older buffered writes
+		// shadowing its bytes.
+		for i := range vecs {
+			if len(vecs[i].Data) > 0 && p.wc.PendingInRange(uint64(vecs[i].Addr), len(vecs[i].Data)) {
+				if err := p.flushWC(); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	st := vecScratch.Get().(*vecState)
+	defer func() {
+		// Drop retained pointers before pooling so a parked scratch does
+		// not pin buffers or backings alive.
+		for i := range st.segs {
+			st.segs[i] = vecSeg{}
+		}
+		for i := range st.backs {
+			st.backs[i] = nil
+		}
+		st.segs = st.segs[:0]
+		st.order = st.order[:0]
+		st.backs = st.backs[:0]
+		vecScratch.Put(st)
+	}()
 	for i := range vecs {
 		v := &vecs[i]
 		if len(v.Data) == 0 {
 			continue
 		}
 		_ = eachSegment(v.Addr, len(v.Data), func(s uint64, sliceOff int64, bufOff, length int) error {
-			segs = append(segs, vecSeg{s: s, sliceOff: sliceOff, vec: v, bufOff: bufOff, data: v.Data[bufOff : bufOff+length]})
+			st.segs = append(st.segs, vecSeg{s: s, sliceOff: sliceOff, vec: v, bufOff: bufOff, data: v.Data[bufOff : bufOff+length]})
 			return nil
 		})
 	}
-	if len(segs) == 0 {
+	if len(st.segs) == 0 {
 		return nil
 	}
-	sort.Slice(segs, func(i, j int) bool {
-		if segs[i].s != segs[j].s {
-			return segs[i].s < segs[j].s
+	segs := st.segs
+	// slices.SortFunc, not sort.Slice: the latter allocates (reflect
+	// swapper) on every call, and this path must stay allocation-free.
+	slices.SortFunc(segs, func(a, b vecSeg) int {
+		if a.s != b.s {
+			return cmp.Compare(a.s, b.s)
 		}
-		return segs[i].sliceOff < segs[j].sliceOff
+		return cmp.Compare(a.sliceOff, b.sliceOff)
 	})
 	// Bound retries generously: recovery repairs one slice at a time, and
 	// a crashed server can own every slice the operation touches.
 	for attempt := 0; ; attempt++ {
-		status, failSlice, err := p.vectoredOnce(ctx, from, segs, write)
+		status, failSlice, err := p.vectoredOnce(ctx, from, st, write, flush)
 		switch status {
 		case accessOK:
 			return nil
@@ -148,9 +222,12 @@ func (p *Pool) vectored(ctx context.Context, from addr.ServerID, vecs []Vec, wri
 // order, so concurrent vectored operations cannot deadlock against each
 // other (single-address operations hold one stripe and cannot be part of
 // a cycle) — and all released through a single deferred unlock.
-func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, segs []vecSeg, write bool) (accessStatus, uint64, error) {
-	seen := make([]bool, len(p.stripes))
-	order := make([]uint64, 0, len(segs))
+func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, st *vecState, write, flush bool) (accessStatus, uint64, error) {
+	segs := st.segs
+	if len(st.seen) < len(p.stripes) {
+		st.seen = make([]bool, len(p.stripes))
+	}
+	seen, order := st.seen, st.order[:0]
 	for _, sg := range segs {
 		idx := sg.s & p.stripeMask
 		if !seen[idx] {
@@ -158,7 +235,14 @@ func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, segs []vecS
 			order = append(order, idx)
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	st.order = order
+	// seen persists across pooled uses: undo exactly the bits set above.
+	defer func() {
+		for _, idx := range order {
+			seen[idx] = false
+		}
+	}()
+	slices.Sort(order)
 	for _, idx := range order {
 		if write {
 			p.stripes[idx].Lock()
@@ -178,8 +262,8 @@ func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, segs []vecS
 
 	// Resolve every address before moving any byte: a vectored op with a
 	// bad address fails without partial effects.
-	backs := make([]*sliceBacking, len(segs))
-	for i, sg := range segs {
+	backs := st.backs[:0]
+	for _, sg := range segs {
 		back := p.lookupSlice(sg.s)
 		if back == nil {
 			return accessMissing, sg.s, nil
@@ -187,8 +271,9 @@ func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, segs []vecS
 		if p.isDead(back.server) {
 			return accessDead, sg.s, nil
 		}
-		backs[i] = back
+		backs = append(backs, back)
 	}
+	st.backs = backs
 
 	for i := 0; i < len(segs); {
 		if err := ctxErr(ctx); err != nil {
@@ -204,11 +289,19 @@ func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, segs []vecS
 			if err := p.writeSliceLocked(back, node, sg.s, sg.sliceOff, offset, sg.data); err != nil {
 				return accessFailed, 0, err
 			}
-			node.RecordAccess(offset, remote, write)
-			if int(from) >= 0 && int(from) < len(back.counts) {
-				back.counts[from].Add(1)
+			if p.caches != nil && !flush {
+				p.applyWriteCoherenceLocked(from, uint64(addr.SliceBase(sg.s))+uint64(sg.sliceOff), sg.data)
 			}
-			p.recordAccessMetrics(remote, write, len(sg.data))
+			// A flush batch was already accounted (heat, per-slice counts,
+			// metrics) when each write was buffered; recording again here
+			// would double-count one logical write.
+			if !flush {
+				node.RecordAccess(offset, remote, write)
+				if int(from) >= 0 && int(from) < len(back.counts) {
+					back.counts[from].Add(1)
+				}
+				p.recordAccessMetrics(remote, write, len(sg.data))
+			}
 			i++
 			continue
 		}
@@ -247,15 +340,26 @@ func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, segs []vecS
 		if err != nil {
 			return accessFailed, 0, err
 		}
-		// One fabric access for the whole run; locality accounting still
-		// attributes each touched slice.
-		node.RecordAccess(offset, remote, write)
-		for k := i; k < j; k++ {
-			if int(from) >= 0 && int(from) < len(backs[k].counts) {
-				backs[k].counts[from].Add(1)
-			}
+		runLa := uint64(addr.SliceBase(sg.s)) + uint64(sg.sliceOff)
+		if !write && p.wc != nil {
+			// Compose buffered writes over the raw backing bytes.
+			p.wc.OverlayRange(runLa, data)
 		}
-		p.recordAccessMetrics(remote, write, len(data))
+		if write && p.caches != nil && !flush {
+			p.applyWriteCoherenceLocked(from, runLa, data)
+		}
+		// One fabric access for the whole run; locality accounting still
+		// attributes each touched slice. Flush batches were accounted when
+		// buffered (see above).
+		if !flush {
+			node.RecordAccess(offset, remote, write)
+			for k := i; k < j; k++ {
+				if int(from) >= 0 && int(from) < len(backs[k].counts) {
+					backs[k].counts[from].Add(1)
+				}
+			}
+			p.recordAccessMetrics(remote, write, len(data))
+		}
 		i = j
 	}
 	return accessOK, 0, nil

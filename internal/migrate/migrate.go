@@ -38,6 +38,36 @@ func (m *AccessMatrix) Record(s uint64, from addr.ServerID, n uint64) {
 	row[from] += n
 }
 
+// Sample is one (slice, accessor, count) observation for RecordBatch.
+type Sample struct {
+	Slice uint64
+	From  addr.ServerID
+	Count uint64
+}
+
+// RecordBatch folds a batch of samples under one lock acquisition. The
+// pool's harvest path drains hundreds of per-stripe counter lanes and
+// cache hit counters per round; per-sample Record calls would take and
+// release the matrix lock for each one.
+func (m *AccessMatrix) RecordBatch(batch []Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, b := range batch {
+		if b.Count == 0 {
+			continue
+		}
+		row := m.counts[b.Slice]
+		if row == nil {
+			row = make(map[addr.ServerID]uint64)
+			m.counts[b.Slice] = row
+		}
+		row[b.From] += b.Count
+	}
+}
+
 // Count reports accesses to slice s by server from.
 func (m *AccessMatrix) Count(s uint64, from addr.ServerID) uint64 {
 	m.mu.Lock()

@@ -186,3 +186,28 @@ func TestAccessMatrixConcurrent(t *testing.T) {
 		t.Fatalf("total recorded = %d, want 4000", total)
 	}
 }
+
+func TestRecordBatch(t *testing.T) {
+	m := NewAccessMatrix()
+	m.Record(1, 0, 5)
+	m.RecordBatch([]Sample{
+		{Slice: 1, From: 0, Count: 3},
+		{Slice: 1, From: 2, Count: 7},
+		{Slice: 4, From: 1, Count: 0}, // zero counts are dropped
+		{Slice: 9, From: 1, Count: 2},
+	})
+	if got := m.Count(1, 0); got != 8 {
+		t.Errorf("Count(1,0) = %d want 8", got)
+	}
+	if got := m.Count(1, 2); got != 7 {
+		t.Errorf("Count(1,2) = %d want 7", got)
+	}
+	if got := m.Count(9, 1); got != 2 {
+		t.Errorf("Count(9,1) = %d want 2", got)
+	}
+	slices := m.Slices()
+	if len(slices) != 2 || slices[0] != 1 || slices[1] != 9 {
+		t.Errorf("Slices() = %v want [1 9]", slices)
+	}
+	m.RecordBatch(nil) // no-op
+}

@@ -51,19 +51,45 @@ type frameHeader struct {
 	length uint32
 }
 
+// framePool recycles frame assembly buffers so the per-call frame write
+// is allocation-free. Buffers stay small: payloads past frameCoalesceMax
+// are written header-then-payload instead of being copied.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4<<10)
+	return &b
+}}
+
+// frameCoalesceMax bounds the payload size assembled into one buffer
+// (one conn.Write, so a frame is one TCP segment in the common case).
+// Larger payloads skip the copy: two writes cost less than moving the
+// bytes twice.
+const frameCoalesceMax = 64 << 10
+
 func writeFrame(w io.Writer, kind, method byte, id uint64, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("rpc: payload %d exceeds max %d", len(payload), MaxPayload)
 	}
-	var hdr [14]byte
-	hdr[0] = kind
-	hdr[1] = method
-	binary.BigEndian.PutUint64(hdr[2:10], id)
-	binary.BigEndian.PutUint32(hdr[10:14], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], kind, method)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	if len(payload) > frameCoalesceMax {
+		// Large payload: header-then-payload; two writes cost less than
+		// copying the bytes into the frame buffer.
+		if _, err := w.Write(buf); err != nil {
+			*bp = buf[:0]
+			framePool.Put(bp)
+			return err
+		}
+		_, err := w.Write(payload)
+		*bp = buf[:0]
+		framePool.Put(bp)
 		return err
 	}
-	_, err := w.Write(payload)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
 	return err
 }
 

@@ -35,8 +35,8 @@
 //
 //   - Construction: New with a Config plus functional options
 //     (WithPlacement, WithProtection, WithMigrationPolicy,
-//     WithCoherentRegion). Filling Config fields directly still works;
-//     options run last and win.
+//     WithCoherentRegion, WithLocalCache). Filling Config fields
+//     directly still works; options run last and win.
 //   - Access: Pool.Read / Pool.Write; Pool.ReadCtx / Pool.WriteCtx with
 //     cancellation; vectored Pool.ReadV / Pool.WriteV (plus ...VCtx)
 //     over []Vec, which lock all touched slices at once — in a
@@ -101,6 +101,12 @@ type (
 	AddressSpace = core.AddressSpace
 	// Mapping is one buffer's window in an address space.
 	Mapping = core.Mapping
+	// CacheConfig configures the node-local hot-page cache and write
+	// combiner (see WithLocalCache).
+	CacheConfig = core.CacheConfig
+	// CacheStats aggregates hot-page cache and write-combiner traffic
+	// (Pool.CacheStats).
+	CacheStats = core.CacheStats
 )
 
 // Placement policies.

@@ -43,3 +43,19 @@ func WithCoherentRegion(bytes, granularity int64) Option {
 		c.CoherenceGranularity = granularity
 	}
 }
+
+// WithLocalCache enables the node-local hot-page cache and write
+// combiner: each server keeps clean copies of hot remote pages in its
+// private DRAM (coherence-safe — remote writers invalidate them through
+// a page directory), and small remote writes coalesce into vectored
+// flushes. The zero CacheConfig (beyond Enabled, which this option sets)
+// picks the defaults: capacity 25% of each node's private carve-out,
+// 4KiB pages, 16 shards, write combining on. Cache hit counts still feed
+// the locality balancer, so sustained-hot pages are eventually migrated,
+// not just cached.
+func WithLocalCache(cc CacheConfig) Option {
+	return func(c *Config) {
+		cc.Enabled = true
+		c.Cache = cc
+	}
+}
