@@ -8,7 +8,7 @@ GO ?= go
 CHAOS_SEEDS ?= 50
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-smoke bench-compare vet lint govulncheck examples chaos fuzz-smoke
+.PHONY: all build test race bench bench-smoke bench-compare vet lint govulncheck examples chaos fuzz-smoke obs-smoke
 
 all: build test
 
@@ -37,6 +37,7 @@ lint:
 race: lint
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) obs-smoke
 
 # Seeded chaos/property sweep over the pool: every seed runs the random
 # Map/Write/Read/Release/crash interleaving twice and must produce an
@@ -56,6 +57,18 @@ fuzz-smoke:
 	@for t in FuzzFrameRoundTrip FuzzReadFrame FuzzErrorPayload FuzzReadFrameTruncation; do \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/rpc/ || exit 1; \
 	done
+
+# End-to-end observability smoke: boot a real lmpd on ephemeral ports,
+# drive traffic with lmpctl, scrape /metrics, /stats, and pprof, and diff
+# the exported metric names against internal/daemon/testdata/metrics.golden.
+# Soft-fails by default (sandboxed CI may forbid sockets); OBS_STRICT=1
+# makes failures fatal.
+obs-smoke:
+	@if [ "$(OBS_STRICT)" = "1" ]; then \
+		sh scripts/obs-smoke.sh; \
+	else \
+		sh scripts/obs-smoke.sh || echo "obs-smoke: failures above (non-blocking)"; \
+	fi
 
 # Known-vulnerability scan. Soft-fails: the tool is not baked into every
 # dev image, and an advisory in a dependency should not mask test

@@ -42,13 +42,20 @@ var defaultZipfConfig = zipfConfig{
 	AccessBytes:  64,
 }
 
-// benchRecord is one benchmark variant's measured numbers.
+// benchRecord is one benchmark variant's measured numbers. The tail
+// fields come from the pool's own sampled read-latency histogram
+// (Pool.Stats().ReadLatency), so the baseline records the distribution
+// the default observability config would report in production, not just
+// the mean.
 type benchRecord struct {
 	Name        string     `json:"name"`
 	NsPerOp     float64    `json:"ns_per_op"`
 	BytesPerOp  int64      `json:"bytes_per_op"`
 	AllocsPerOp int64      `json:"allocs_per_op"`
 	HitRate     float64    `json:"hit_rate"`
+	ReadP50NS   float64    `json:"read_p50_ns,omitempty"`
+	ReadP99NS   float64    `json:"read_p99_ns,omitempty"`
+	ReadP999NS  float64    `json:"read_p999_ns,omitempty"`
 	Config      zipfConfig `json:"config"`
 }
 
@@ -79,9 +86,10 @@ func runZipfVariant(cached bool) benchRecord {
 		name = "PoolZipfReadMostly/cached"
 	}
 	var hitRate float64
+	var readLat lmp.LatencyStats
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
-		hitRate = zipfWorkload(b, cfg, cached)
+		hitRate, readLat = zipfWorkload(b, cfg, cached)
 	})
 	if res.N == 0 {
 		fmt.Fprintln(os.Stderr, "lmpbench: benchmark produced no iterations")
@@ -93,6 +101,9 @@ func runZipfVariant(cached bool) benchRecord {
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		AllocsPerOp: res.AllocsPerOp(),
 		HitRate:     hitRate,
+		ReadP50NS:   readLat.P50NS,
+		ReadP99NS:   readLat.P99NS,
+		ReadP999NS:  readLat.P999NS,
 		Config:      cfg,
 	}
 }
@@ -101,8 +112,9 @@ func runZipfVariant(cached bool) benchRecord {
 // same shape as the repo's BenchmarkPoolZipfReadMostly: hosts lend most
 // of their DRAM, a compute server shares nothing and reads a striped
 // shared buffer with Zipf-skewed page popularity, plus a small stream of
-// private remote writes. Returns the cache hit rate (zero uncached).
-func zipfWorkload(b *testing.B, cfg zipfConfig, cached bool) float64 {
+// private remote writes. Returns the cache hit rate (zero uncached) and
+// the sampled read-latency distribution from the pool's own histograms.
+func zipfWorkload(b *testing.B, cfg zipfConfig, cached bool) (float64, lmp.LatencyStats) {
 	pcfg := lmp.Config{Placement: lmp.Striped}
 	for s := 0; s < cfg.Hosts; s++ {
 		pcfg.Servers = append(pcfg.Servers, lmp.ServerConfig{
@@ -190,11 +202,12 @@ func zipfWorkload(b *testing.B, cfg zipfConfig, cached bool) float64 {
 	}
 	wg.Wait()
 	b.StopTimer()
+	ps := pool.Stats()
 	st := pool.CacheStats()
 	if total := st.Hits + st.Misses; total > 0 {
-		return float64(st.Hits) / float64(total)
+		return float64(st.Hits) / float64(total), ps.ReadLatency
 	}
-	return 0
+	return 0, ps.ReadLatency
 }
 
 // writeBenchJSON runs both variants and writes the baseline file.
@@ -203,8 +216,9 @@ func writeBenchJSON(path string) {
 	out := benchFile{Schema: 1}
 	for _, cached := range []bool{false, true} {
 		rec := runZipfVariant(cached)
-		fmt.Printf("%-32s %10.2f ns/op %6d B/op %4d allocs/op hitrate=%.4f\n",
-			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, rec.HitRate)
+		fmt.Printf("%-32s %10.2f ns/op %6d B/op %4d allocs/op hitrate=%.4f p50=%.0fns p99=%.0fns p99.9=%.0fns\n",
+			rec.Name, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp, rec.HitRate,
+			rec.ReadP50NS, rec.ReadP99NS, rec.ReadP999NS)
 		out.Benchmarks = append(out.Benchmarks, rec)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	lmpctl -server 127.0.0.1:7070 info
+//	lmpctl -server 127.0.0.1:7070 stats
 //	lmpctl -server 127.0.0.1:7070 alloc 1048576
 //	lmpctl -server 127.0.0.1:7070 write 4096 "hello pool"
 //	lmpctl -server 127.0.0.1:7070 read 4096 10
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,7 +28,7 @@ import (
 var server = flag.String("server", "127.0.0.1:7070", "daemon address")
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lmpctl -server ADDR {info | alloc N | free OFF | read OFF N | write OFF DATA | sum OFF N | resize N}")
+	fmt.Fprintln(os.Stderr, "usage: lmpctl -server ADDR {info | stats | alloc N | free OFF | read OFF N | write OFF DATA | sum OFF N | resize N | hot [K]}")
 	os.Exit(2)
 }
 
@@ -124,6 +126,16 @@ func main() {
 		for _, h := range hot {
 			fmt.Printf("page %d heat %d\n", h.Page, h.Heat)
 		}
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			log.Fatalf("lmpctl: %v", err)
+		}
+		out, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			log.Fatalf("lmpctl: %v", err)
+		}
+		fmt.Println(string(out))
 	default:
 		usage()
 	}

@@ -26,6 +26,7 @@ import (
 	"github.com/lmp-project/lmp/internal/analysis/loader"
 	"github.com/lmp-project/lmp/internal/analysis/sentinelerr"
 	"github.com/lmp-project/lmp/internal/analysis/simtime"
+	"github.com/lmp-project/lmp/internal/analysis/spanflow"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -34,6 +35,7 @@ var analyzers = []*analysis.Analyzer{
 	lockorder.Analyzer,
 	sentinelerr.Analyzer,
 	simtime.Analyzer,
+	spanflow.Analyzer,
 }
 
 func main() {

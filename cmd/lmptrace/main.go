@@ -102,6 +102,7 @@ func replay(args []string) {
 	placementName := fs.String("placement", "locality-aware", "placement: first-fit, round-robin, locality-aware, striped")
 	accessor := fs.Int("accessor", 0, "issuing server")
 	balanceEvery := fs.Int("balance-every", 0, "run a balancing round every N accesses (0 = off)")
+	traceN := fs.Int("trace", 0, "trace every op and dump the last N spans (0 = off)")
 	_ = fs.Parse(args)
 
 	var placement alloc.Policy
@@ -136,7 +137,13 @@ func replay(args []string) {
 			Name: fmt.Sprintf("server%d", i), Capacity: perServer, SharedBytes: perServer,
 		})
 	}
-	pool, err := lmp.New(cfg)
+	var opts []lmp.Option
+	if *traceN > 0 {
+		opts = append(opts, lmp.WithTracing(lmp.TraceConfig{
+			SampleEvery: 1, RingSize: *traceN, SlowOpNS: -1,
+		}))
+	}
+	pool, err := lmp.New(cfg, opts...)
 	if err != nil {
 		log.Fatalf("lmptrace: %v", err)
 	}
@@ -166,15 +173,27 @@ func replay(args []string) {
 		}
 	}
 
-	m := pool.Metrics()
-	local := m.Counter("pool.reads.local").Value() + m.Counter("pool.writes.local").Value()
-	remote := m.Counter("pool.reads.remote").Value() + m.Counter("pool.writes.remote").Value()
+	st := pool.Stats()
+	local := st.Reads.LocalOps + st.Writes.LocalOps
+	remote := st.Reads.RemoteOps + st.Writes.RemoteOps
 	total := local + remote
 	fmt.Printf("replayed %d accesses under %s placement on %d servers\n",
 		len(tr.Accesses), placement, *servers)
 	fmt.Printf("locality: %d local / %d remote (%.1f%% local)\n",
 		local, remote, 100*float64(local)/float64(total))
-	fmt.Printf("migrations: %d\n", m.Counter("pool.migrations").Value())
+	fmt.Printf("migrations: %d\n", st.Migrations)
+	if *traceN > 0 {
+		spans := pool.TraceSpans()
+		if len(spans) > *traceN {
+			spans = spans[len(spans)-*traceN:]
+		}
+		fmt.Printf("last %d spans (%d recorded in total):\n", len(spans), pool.TracePublished())
+		for _, sp := range spans {
+			fmt.Printf("  trace=%x span=%x parent=%x op=%-20s server=%d bytes=%-6d %.3fus err=%v\n",
+				sp.Trace, sp.ID, sp.Parent, sp.Op, sp.Server, sp.Bytes,
+				float64(sp.DurationNS)/1e3, sp.Err)
+		}
+	}
 }
 
 func stat(args []string) {

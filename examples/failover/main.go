@@ -90,5 +90,5 @@ func main() {
 		fmt.Printf("repair finished with unrecoverable data (expected for the unprotected buffer): %v\n", err)
 	}
 	fmt.Printf("proactive repair recovered %d additional slice(s)\n", recovered)
-	fmt.Printf("recoveries counted: %d\n", pool.Metrics().Counter("pool.recoveries").Value())
+	fmt.Printf("recoveries counted: %d\n", pool.Stats().Recoveries)
 }

@@ -249,7 +249,8 @@ func main() {
 	st := pool.Directory().Stats()
 	fmt.Printf("coherence traffic: %d fetches, %d invalidations, %d writebacks\n",
 		st.Fetches, st.Invalidations, st.Writebacks)
+	ps := pool.Stats()
 	fmt.Printf("pool accesses: %d local, %d remote\n",
-		pool.Metrics().Counter("pool.reads.local").Value()+pool.Metrics().Counter("pool.writes.local").Value(),
-		pool.Metrics().Counter("pool.reads.remote").Value()+pool.Metrics().Counter("pool.writes.remote").Value())
+		ps.Reads.LocalOps+ps.Writes.LocalOps,
+		ps.Reads.RemoteOps+ps.Writes.RemoteOps)
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 
@@ -71,8 +72,13 @@ func main() {
 	fmt.Printf("server 1 now shares %d MiB, server 2 shares %d MiB\n",
 		pool.SharedBytes(1)>>20, pool.SharedBytes(2)>>20)
 
-	fmt.Println("\npool metrics:")
-	for _, line := range pool.Metrics().Snapshot() {
-		fmt.Println("  " + line)
+	st := pool.Stats()
+	fmt.Printf("\npool stats: %d allocs, %d bytes allocated\n", st.Allocs, st.BytesAllocated)
+	fmt.Printf("reads: %d local / %d remote; writes: %d local / %d remote\n",
+		st.Reads.LocalOps, st.Reads.RemoteOps, st.Writes.LocalOps, st.Writes.RemoteOps)
+	out, err := json.MarshalIndent(st.Cache, "  ", "  ")
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("cache: %s\n", out)
 }

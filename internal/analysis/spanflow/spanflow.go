@@ -1,0 +1,109 @@
+// Package spanflow defines an analyzer guarding the span-identity
+// contract of the tracing layer: trace and span IDs are minted by a
+// Tracer (Begin) or arrive from the caller via context or the wire,
+// never hand-built in library code, and a SpanContext accepted as a
+// parameter must actually be threaded down — a dropped one silently
+// orphans every child span from its trace tree.
+package spanflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+)
+
+// Analyzer is the spanflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanflow",
+	Doc: "flag hand-built non-zero telemetry.SpanContext literals in library code " +
+		"under internal/ (span identity comes from Tracer.Begin, Span.Context, or " +
+		"the incoming context/wire; the zero SpanContext starts a root) and " +
+		"functions that accept a SpanContext they never use",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	library := strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+	// The telemetry package owns span identity; it is the one place
+	// allowed to construct a populated SpanContext.
+	owner := path == "internal/telemetry" || strings.HasSuffix(path, "/internal/telemetry")
+	if !library || owner {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Filename(f.Pos()), "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || len(cl.Elts) == 0 {
+				return true
+			}
+			if isSpanContext(pass.TypesInfo.TypeOf(cl)) {
+				pass.Reportf(cl.Pos(), "hand-built SpanContext mints span identity in library code; derive it from Tracer.Begin, Span.Context, or the incoming context/wire (the zero SpanContext starts a root)")
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpanThreading(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkSpanThreading flags a function whose SpanContext parameter is
+// never read in its body: the parameter promises the callee will keep
+// child spans attached to the caller's trace, so dropping it detaches
+// the subtree without any visible failure.
+func checkSpanThreading(pass *analysis.Pass, fn *ast.FuncDecl) {
+	for _, field := range fn.Type.Params.List {
+		if !isSpanContext(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "%s discards its SpanContext parameter; thread it down to the child span (e.g. beginChild) or drop the parameter", fn.Name.Name)
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "%s discards its SpanContext parameter; thread it down to the child span (e.g. beginChild) or drop the parameter", fn.Name.Name)
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+					return false
+				}
+				return !used
+			})
+			if !used {
+				pass.Reportf(name.Pos(), "%s takes a SpanContext but never uses it; thread %s down to the child span (e.g. beginChild) or drop the parameter", fn.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+func isSpanContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "SpanContext" {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "internal/telemetry" || strings.HasSuffix(p, "/internal/telemetry")
+}

@@ -1,0 +1,12 @@
+package spanflow_test
+
+import (
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/analysis/analysistest"
+	"github.com/lmp-project/lmp/internal/analysis/spanflow"
+)
+
+func TestSpanFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", spanflow.Analyzer, "internal/telemetry", "internal/spanflow")
+}

@@ -1,0 +1,53 @@
+// Package spanflow is a fixture for the span-identity contract: library
+// code never mints trace/span IDs by hand, and a SpanContext parameter
+// must be threaded down to the child span rather than dropped.
+package spanflow
+
+import "internal/telemetry"
+
+var tr telemetry.Tracer
+
+func mint() telemetry.SpanContext {
+	return telemetry.SpanContext{Trace: 1, Span: 2} // want "hand-built SpanContext mints span identity"
+}
+
+func mintPartial() telemetry.SpanContext {
+	return telemetry.SpanContext{Trace: 9} // want "hand-built SpanContext mints span identity"
+}
+
+// rootSpan starts from the zero SpanContext: the sanctioned way to open
+// a new trace, so no diagnostic.
+func rootSpan() telemetry.Span {
+	return tr.Begin(telemetry.SpanContext{}, "pool.read")
+}
+
+// derive re-parents on an existing span's identity: compliant.
+func derive(s telemetry.Span) telemetry.SpanContext {
+	return s.Context()
+}
+
+// readSlice drops the caller's span context on the floor.
+func readSlice(sc telemetry.SpanContext, n int) error { // want "takes a SpanContext but never uses it"
+	_ = n
+	return nil
+}
+
+// discard throws its SpanContext away by name.
+func discard(_ telemetry.SpanContext) error { // want "discards its SpanContext parameter"
+	return nil
+}
+
+// anonymous drops it without even binding a name.
+func anonymous(telemetry.SpanContext) error { // want "discards its SpanContext parameter"
+	return nil
+}
+
+// fill threads sc down to the child span: compliant.
+func fill(sc telemetry.SpanContext) telemetry.Span {
+	return tr.Begin(sc, "pool.cache.fill")
+}
+
+// waived carries a justified suppression: the analyzer must honor it.
+func waived(sc telemetry.SpanContext) error { //lint:ignore spanflow fixture asserts suppression works
+	return nil
+}

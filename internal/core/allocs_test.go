@@ -1,6 +1,24 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+// vecAllocsOK reports whether a vectored path's per-op allocation count
+// is acceptable. The vectored scratch (vecState) is pooled, so the
+// steady state is exactly zero — except under the race detector, where
+// sync.Pool deliberately drops a fraction of Puts to widen race
+// coverage, so the scratch periodically reallocates and exact-zero is
+// unattainable by design. Race builds assert a small bound instead.
+func vecAllocsOK(n float64) bool {
+	if raceDetectorEnabled {
+		return n <= 4
+	}
+	return n == 0
+}
 
 // TestReadWriteAllocFree pins the steady-state allocation counts of the
 // hot data paths: the single-slice read and write, the cached-hit read,
@@ -45,14 +63,14 @@ func TestReadWriteAllocFree(t *testing.T) {
 		if err := p.ReadV(1, vecs); err != nil {
 			t.Fatal(err)
 		}
-	}); n != 0 {
+	}); !vecAllocsOK(n) {
 		t.Errorf("vectored read allocates %.1f per op, want 0", n)
 	}
 	if n := testing.AllocsPerRun(200, func() {
 		if err := p.WriteV(1, vecs); err != nil {
 			t.Fatal(err)
 		}
-	}); n != 0 {
+	}); !vecAllocsOK(n) {
 		t.Errorf("vectored write allocates %.1f per op, want 0", n)
 	}
 }
@@ -88,5 +106,111 @@ func TestCachedReadHitAllocFree(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Errorf("local read on cached pool allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestTracedOpsAllocFree pins the observability cost contract: with
+// every op traced (SampleEvery 1 — span begin/end, ring publication, and
+// latency histogram observation on each call) the hot paths still
+// allocate exactly zero per operation. This is the "tracing is free to
+// leave on" claim as an exact guard, not a bound.
+func TestTracedOpsAllocFree(t *testing.T) {
+	p, err := New(Config{
+		Servers: []ServerConfig{
+			{Name: "a", Capacity: 64 << 20, SharedBytes: 32 << 20},
+			{Name: "b", Capacity: 64 << 20, SharedBytes: 32 << 20},
+		},
+		Trace: TraceConfig{SampleEvery: 1, SlowOpNS: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	vecs := []Vec{
+		{Addr: b.Addr(), Data: make([]byte, 64)},
+		{Addr: b.Addr() + 8192, Data: make([]byte, 64)},
+	}
+
+	cases := []struct {
+		name     string
+		op       func() error
+		vectored bool // pooled scratch: see vecAllocsOK
+	}{
+		{"traced remote read", func() error { return p.Read(1, b.Addr(), buf) }, false},
+		{"traced remote write", func() error { return p.Write(1, b.Addr()+4096, buf) }, false},
+		{"traced vectored read", func() error { return p.ReadV(1, vecs) }, true},
+		{"traced vectored write", func() error { return p.WriteV(1, vecs) }, true},
+	}
+	for _, tc := range cases {
+		n := testing.AllocsPerRun(200, func() {
+			if err := tc.op(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if ok := n == 0 || (tc.vectored && vecAllocsOK(n)); !ok {
+			t.Errorf("%s allocates %.1f per op, want 0", tc.name, n)
+		}
+	}
+	if got := p.TracePublished(); got < 800 {
+		t.Fatalf("measured loops were not traced: %d spans published", got)
+	}
+
+	// A caller-supplied parent span forces tracing regardless of the
+	// sampler; threading it through the Ctx entry points must not
+	// allocate either (the SpanContext travels by value, never through
+	// context.WithValue on the data path).
+	ctx := telemetry.ContextWithSpan(context.Background(), telemetry.SpanContext{Trace: 7, Span: 11})
+	if n := testing.AllocsPerRun(200, func() {
+		if err := p.ReadCtx(ctx, 1, b.Addr(), buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("context-traced read allocates %.1f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := p.WriteCtx(ctx, 1, b.Addr()+4096, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("context-traced write allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestTracedCachedHitAllocFree extends the cache-hit guard to a fully
+// traced pool: a resident-page read records a span and observes the
+// latency histogram and still must not allocate.
+func TestTracedCachedHitAllocFree(t *testing.T) {
+	p, err := New(Config{
+		Servers: []ServerConfig{
+			{Name: "a", Capacity: 64 << 20, SharedBytes: 32 << 20},
+			{Name: "b", Capacity: 64 << 20, SharedBytes: 32 << 20},
+		},
+		Cache: CacheConfig{Enabled: true, CapacityBytes: 1 << 20},
+		Trace: TraceConfig{SampleEvery: 1, SlowOpNS: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := p.Read(1, b.Addr(), buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := p.Read(1, b.Addr(), buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("traced cached read hit allocates %.1f per op, want 0", n)
+	}
+	if st := p.CacheStats(); st.Hits < 200 {
+		t.Fatalf("measured loop was not the hit path: %+v", st)
 	}
 }

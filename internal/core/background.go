@@ -6,6 +6,7 @@ import (
 	"github.com/lmp-project/lmp/internal/addr"
 	"github.com/lmp-project/lmp/internal/migrate"
 	"github.com/lmp-project/lmp/internal/sizing"
+	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 // BalanceReport summarizes one locality-balancing round.
@@ -20,6 +21,22 @@ type BalanceReport struct {
 // toward dominant accessors, executes them (preserving every logical
 // address), and ages the profile.
 func (p *Pool) BalanceOnce() (BalanceReport, error) {
+	// A balancing round is a root trace: migration stalls tail latencies
+	// (each move holds a stripe lock in write mode), so the span's
+	// duration and byte count are first-order signals.
+	var sp telemetry.Span
+	traced := p.obs != nil
+	if traced {
+		sp = p.obs.tracer.Begin(telemetry.SpanContext{}, "pool.balance")
+	}
+	rep, err := p.balanceOnce()
+	if traced {
+		p.endChild(&sp, rep.Migrated*int(SliceSize), err)
+	}
+	return rep, err
+}
+
+func (p *Pool) balanceOnce() (BalanceReport, error) {
 	p.harvestAccessCounts()
 	moves, err := migrate.Plan(p.matrix, p.global, p.cfg.Migration)
 	if err != nil {

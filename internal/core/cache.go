@@ -11,6 +11,7 @@ import (
 	"github.com/lmp-project/lmp/internal/cache"
 	"github.com/lmp-project/lmp/internal/coherence"
 	"github.com/lmp-project/lmp/internal/migrate"
+	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 // This file wires the node-local hot-page cache and write combiner
@@ -162,6 +163,7 @@ func (p *Pool) initCache() error {
 	p.cacheFlushedBytes = p.metrics.Counter("pool.cache.flushed_bytes")
 	p.cacheWCWrites = p.metrics.Counter("pool.cache.wc_writes")
 	p.cacheInvals = p.metrics.Counter("pool.cache.invalidations")
+	p.wcFlushBytesHist = p.metrics.Histogram("pool.cache.flush_bytes")
 	return nil
 }
 
@@ -180,12 +182,12 @@ func (p *Pool) cacheEnabledFor(from addr.ServerID) bool {
 // the hit path does not probe ownership up front: a local read simply
 // misses and fillPageOnce serves it directly, so the dominant case (a
 // hit on a hot remote page) pays exactly one shard lookup.
-func (p *Pool) cachedRead(ctx context.Context, from addr.ServerID, la addr.Logical, buf []byte) error {
+func (p *Pool) cachedRead(ctx context.Context, sc telemetry.SpanContext, from addr.ServerID, la addr.Logical, buf []byte) error {
 	if len(buf) == 0 {
 		return nil
 	}
 	if int64(len(buf)) > p.pageSize {
-		return p.directAccess(ctx, from, la, buf, false)
+		return p.directAccess(ctx, sc, from, la, buf, false)
 	}
 	// Fast path: the read fits one cache page. The resident-hit attempt is
 	// made here directly so the dominant case costs one call into the
@@ -196,7 +198,7 @@ func (p *Pool) cachedRead(ctx context.Context, from addr.ServerID, la addr.Logic
 		if p.caches[from].ReadAt(pg, buf, po) {
 			return nil
 		}
-		return p.fillPage(from, pg, buf, po)
+		return p.fillPage(sc, from, pg, buf, po)
 	}
 	done := 0
 	for done < len(buf) {
@@ -210,7 +212,7 @@ func (p *Pool) cachedRead(ctx context.Context, from addr.ServerID, la addr.Logic
 		if rem := len(buf) - done; rem < span {
 			span = rem
 		}
-		if err := p.readPage(from, pg, buf[done:done+span], po); err != nil {
+		if err := p.readPage(sc, from, pg, buf[done:done+span], po); err != nil {
 			return err
 		}
 		done += span
@@ -220,16 +222,31 @@ func (p *Pool) cachedRead(ctx context.Context, from addr.ServerID, la addr.Logic
 
 // readPage serves one intra-page read window through the node's cache,
 // filling on miss.
-func (p *Pool) readPage(from addr.ServerID, pg uint64, dst []byte, po int) error {
+func (p *Pool) readPage(sc telemetry.SpanContext, from addr.ServerID, pg uint64, dst []byte, po int) error {
 	if p.caches[from].ReadAt(pg, dst, po) {
 		return nil
 	}
-	return p.fillPage(from, pg, dst, po)
+	return p.fillPage(sc, from, pg, dst, po)
 }
 
 // fillPage is the miss path: it fills through fillPageOnce with the same
-// crash-recovery retry loop as the direct path.
-func (p *Pool) fillPage(from addr.ServerID, pg uint64, dst []byte, po int) error {
+// crash-recovery retry loop as the direct path. A traced read records
+// the miss as a "pool.cache.fill" child span — the hit path records
+// nothing, so the span's presence is itself the hit/miss signal.
+func (p *Pool) fillPage(sc telemetry.SpanContext, from addr.ServerID, pg uint64, dst []byte, po int) error {
+	sp, traced := p.beginChild(sc, "pool.cache.fill")
+	if traced {
+		sp.Server = int(from)
+		sc = sp.Context()
+	}
+	err := p.fillPageLoop(sc, from, pg, dst, po)
+	if traced {
+		p.endChild(&sp, len(dst), err)
+	}
+	return err
+}
+
+func (p *Pool) fillPageLoop(sc telemetry.SpanContext, from addr.ServerID, pg uint64, dst []byte, po int) error {
 	s := addr.SliceOf(addr.Logical(pg << p.pageShift))
 	for attempt := 0; ; attempt++ {
 		status, err := p.fillPageOnce(from, s, pg, dst, po)
@@ -242,7 +259,7 @@ func (p *Pool) fillPage(from addr.ServerID, pg uint64, dst []byte, po int) error
 			if attempt >= maxRecoverAttempts {
 				return fmt.Errorf("%w: slice %d not recoverable", ErrServerDead, s)
 			}
-			if err := p.recoverSlice(s); err != nil {
+			if err := p.recoverSlice(sc, s); err != nil {
 				return err
 			}
 		default:
@@ -283,7 +300,7 @@ func (p *Pool) fillPageOnce(from addr.ServerID, s, pg uint64, dst []byte, po int
 		}
 		node.RecordAccess(off, false, false)
 		back.counts[from].Add(1)
-		p.recordAccessMetrics(false, false, len(dst))
+		p.recordAccessMetrics(from, back.server, s, false, false, len(dst))
 		return accessOK, nil
 	}
 	sp := p.pagePool.Get().(*[]byte)
@@ -303,7 +320,7 @@ func (p *Pool) fillPageOnce(from addr.ServerID, s, pg uint64, dst []byte, po int
 	p.cacheFills.Inc()
 	node.RecordAccess(back.offset+sliceOff, true, false)
 	back.counts[from].Add(1)
-	p.recordAccessMetrics(true, false, len(dst))
+	p.recordAccessMetrics(from, back.server, s, true, false, len(dst))
 	return accessOK, nil
 }
 
@@ -312,13 +329,13 @@ func (p *Pool) fillPageOnce(from addr.ServerID, s, pg uint64, dst []byte, po int
 // everything else goes to backing directly, after flushing any buffered
 // writes that overlap the range (a direct write must not be shadowed by
 // an older buffered one).
-func (p *Pool) cachedWrite(ctx context.Context, from addr.ServerID, la addr.Logical, data []byte) error {
+func (p *Pool) cachedWrite(ctx context.Context, sc telemetry.SpanContext, from addr.ServerID, la addr.Logical, data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
 	if p.wc != nil && len(data) <= p.cacheCfg.WCMaxWrite {
 		if back := p.lookupSlice(addr.SliceOf(la)); back != nil && back.server != from {
-			return p.wcWrite(ctx, from, la, data)
+			return p.wcWrite(ctx, sc, from, la, data)
 		}
 	}
 	if p.wc != nil && p.wc.PendingInRange(uint64(la), len(data)) {
@@ -326,7 +343,7 @@ func (p *Pool) cachedWrite(ctx context.Context, from addr.ServerID, la addr.Logi
 			return err
 		}
 	}
-	return p.directAccess(ctx, from, la, data, true)
+	return p.directAccess(ctx, sc, from, la, data, true)
 }
 
 // accessWCConflict reports a buffered write refused for partial overlap
@@ -334,7 +351,7 @@ func (p *Pool) cachedWrite(ctx context.Context, from addr.ServerID, la addr.Logi
 const accessWCConflict accessStatus = 100
 
 // wcWrite buffers a small write, slice segment by slice segment.
-func (p *Pool) wcWrite(ctx context.Context, from addr.ServerID, la addr.Logical, data []byte) error {
+func (p *Pool) wcWrite(ctx context.Context, sc telemetry.SpanContext, from addr.ServerID, la addr.Logical, data []byte) error {
 	shouldFlush := false
 	done := 0
 	for done < len(data) {
@@ -348,7 +365,7 @@ func (p *Pool) wcWrite(ctx context.Context, from addr.ServerID, la addr.Logical,
 		if rem := len(data) - done; rem < length {
 			length = rem
 		}
-		if err := p.wcWriteSlice(from, s, uint64(cur), data[done:done+length], &shouldFlush); err != nil {
+		if err := p.wcWriteSlice(sc, from, s, uint64(cur), data[done:done+length], &shouldFlush); err != nil {
 			return err
 		}
 		done += length
@@ -361,9 +378,9 @@ func (p *Pool) wcWrite(ctx context.Context, from addr.ServerID, la addr.Logical,
 
 // wcWriteSlice buffers one intra-slice write, flushing and retrying on
 // overlap conflicts.
-func (p *Pool) wcWriteSlice(from addr.ServerID, s uint64, la uint64, part []byte, shouldFlush *bool) error {
+func (p *Pool) wcWriteSlice(sc telemetry.SpanContext, from addr.ServerID, s uint64, la uint64, part []byte, shouldFlush *bool) error {
 	for attempt := 0; ; attempt++ {
-		switch p.wcWriteSliceOnce(from, s, la, part, shouldFlush) {
+		switch p.wcWriteSliceOnce(sc, from, s, la, part, shouldFlush) {
 		case accessOK:
 			return nil
 		case accessMissing:
@@ -375,7 +392,7 @@ func (p *Pool) wcWriteSlice(from addr.ServerID, s uint64, la uint64, part []byte
 			if attempt >= maxRecoverAttempts {
 				// Concurrent writers keep landing on the range; take the
 				// direct path (the flush above preserved ordering).
-				return p.accessSlice(from, s, int64(la-uint64(addr.SliceBase(s))), part, true)
+				return p.accessSlice(sc, from, s, int64(la-uint64(addr.SliceBase(s))), part, true)
 			}
 		}
 	}
@@ -385,7 +402,7 @@ func (p *Pool) wcWriteSlice(from addr.ServerID, s uint64, la uint64, part []byte
 // Note a dead backing owner does not block it: the pool accepts the
 // bytes now and the flush applies them after recovery re-homes the
 // slice — buffered writes survive crashes of servers they never reached.
-func (p *Pool) wcWriteSliceOnce(from addr.ServerID, s uint64, la uint64, part []byte, shouldFlush *bool) accessStatus {
+func (p *Pool) wcWriteSliceOnce(sc telemetry.SpanContext, from addr.ServerID, s uint64, la uint64, part []byte, shouldFlush *bool) accessStatus {
 	lock := p.stripeFor(s)
 	lock.Lock()
 	defer lock.Unlock()
@@ -400,13 +417,13 @@ func (p *Pool) wcWriteSliceOnce(from addr.ServerID, s uint64, la uint64, part []
 	if fl {
 		*shouldFlush = true
 	}
-	p.applyWriteCoherenceLocked(from, la, part)
+	p.applyWriteCoherenceLocked(sc, from, la, part)
 	remote := back.server != from
 	if !p.isDead(back.server) {
 		p.nodes[back.server].RecordAccess(back.offset+int64(la-uint64(addr.SliceBase(s))), remote, true)
 	}
 	back.counts[from].Add(1)
-	p.recordAccessMetrics(remote, true, len(part))
+	p.recordAccessMetrics(from, back.server, s, remote, true, len(part))
 	p.cacheWCWrites.Inc()
 	return accessOK
 }
@@ -416,9 +433,13 @@ func (p *Pool) wcWriteSliceOnce(from addr.ServerID, s uint64, la uint64, part []
 // touched page, discard every killed holder's cached copy, and update
 // the writer's own copy in place if resident. Caller holds the covering
 // stripe lock(s) in write mode.
-func (p *Pool) applyWriteCoherenceLocked(from addr.ServerID, la uint64, data []byte) {
+func (p *Pool) applyWriteCoherenceLocked(sc telemetry.SpanContext, from addr.ServerID, la uint64, data []byte) {
 	if len(data) == 0 {
 		return
+	}
+	sp, traced := p.beginChild(sc, "pool.coherence.write")
+	if traced {
+		sp.Server = int(from)
 	}
 	first := la >> p.pageShift
 	last := (la + uint64(len(data)) - 1) >> p.pageShift
@@ -448,6 +469,9 @@ func (p *Pool) applyWriteCoherenceLocked(from addr.ServerID, la uint64, data []b
 			hi := min(la+uint64(len(data)), pageAddr+uint64(p.pageSize))
 			p.caches[from].WriteAt(pg, data[lo-la:hi-la], int(lo-pageAddr))
 		}
+	}
+	if traced {
+		p.endChild(&sp, len(data), nil)
 	}
 }
 
@@ -489,6 +513,17 @@ func (p *Pool) flushWC() error {
 	if len(batch) == 0 {
 		return nil
 	}
+	// A flush is its own root trace: it applies writes buffered by many
+	// earlier (possibly untraced) ops, so no single parent owns it. The
+	// flush-size histogram is always on — flushes are rare enough that
+	// one Observe per flush is free.
+	var sp telemetry.Span
+	var fsc telemetry.SpanContext
+	traced := p.obs != nil
+	if traced {
+		sp = p.obs.tracer.Begin(telemetry.SpanContext{}, "pool.wc.flush")
+		fsc = sp.Context()
+	}
 	var order []int
 	vecsByFrom := make(map[int][]Vec)
 	for _, e := range batch {
@@ -501,7 +536,7 @@ func (p *Pool) flushWC() error {
 	flushed := 0
 	for _, f := range order {
 		vecs := vecsByFrom[f]
-		if err := p.vectored(nil, addr.ServerID(f), vecs, true, true); err != nil {
+		if err := p.vectored(nil, fsc, addr.ServerID(f), vecs, true, true); err != nil {
 			// The batch hit a range that died mid-flight (released) or an
 			// unrecoverable slice: apply entry by entry so one bad range
 			// does not sink its neighbours, dropping writes whose logical
@@ -519,11 +554,15 @@ func (p *Pool) flushWC() error {
 	p.wc.EndFlush()
 	p.cacheFlushes.Inc()
 	p.cacheFlushedBytes.Add(uint64(flushed))
+	p.wcFlushBytesHist.Observe(float64(flushed))
+	if traced {
+		p.endChild(&sp, flushed, firstErr)
+	}
 	return firstErr
 }
 
 func (p *Pool) flushOneFallback(from addr.ServerID, v Vec) error {
-	err := p.directAccess(nil, from, v.Addr, v.Data, true)
+	err := p.directAccess(nil, telemetry.SpanContext{}, from, v.Addr, v.Data, true)
 	if err == nil || errors.Is(err, addr.ErrUnmapped) {
 		return nil
 	}
@@ -547,13 +586,29 @@ func (p *Pool) harvestCacheHits(batch []migrate.Sample) []migrate.Sample {
 
 // CacheStats aggregates the per-node cache and write-combiner state.
 type CacheStats struct {
-	cache.Stats
-	PendingWrites int
-	PendingBytes  int
-	Flushes       uint64
-	FlushedBytes  uint64
-	WCWrites      uint64
-	Fills         uint64
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Inserts       uint64 `json:"inserts"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	HotPromotions uint64 `json:"hot_promotions"`
+	GhostReadmits uint64 `json:"ghost_readmits"`
+	Pages         int    `json:"pages"` // resident pages
+	PendingWrites int    `json:"pending_writes"`
+	PendingBytes  int    `json:"pending_bytes"`
+	Flushes       uint64 `json:"flushes"`
+	FlushedBytes  uint64 `json:"flushed_bytes"`
+	WCWrites      uint64 `json:"wc_writes"`
+	Fills         uint64 `json:"fills"`
+}
+
+// HitRate reports hits/(hits+misses), or 0 with no lookups.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // CacheStats reports cache traffic totals across all nodes. On a pool

@@ -10,6 +10,7 @@ import (
 	"github.com/lmp-project/lmp/internal/addr"
 	"github.com/lmp-project/lmp/internal/alloc"
 	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 // The cache-coherence chaos harness drives random interleavings of cached
@@ -80,6 +81,8 @@ type ccStats struct {
 	flushes    uint64
 	crashes    int
 	evictions  uint64
+	spans      []telemetry.Span
+	published  uint64
 }
 
 // chaosCacheRun replays one seed's op sequence sequentially (coherence
@@ -89,6 +92,10 @@ func chaosCacheRun(t *testing.T, seed int64) ccStats {
 	t.Helper()
 	cfg := Config{
 		Placement: alloc.Striped,
+		// Trace every op so each run also checks the span-tree oracle:
+		// the cache path is where child spans (fill, coherence, flush)
+		// actually hang off the op roots.
+		Trace: TraceConfig{SampleEvery: 1, RingSize: chaosRingSize, SlowOpNS: -1},
 		Cache: CacheConfig{
 			Enabled: true,
 			// Tiny cache (16 pages across 4 shards) so resident pages are
@@ -287,6 +294,9 @@ func chaosCacheRun(t *testing.T, seed int64) ccStats {
 	res.wcWrites = st.WCWrites
 	res.flushes = st.Flushes
 	res.evictions = st.Evictions
+	res.spans = p.TraceSpans()
+	res.published = p.TracePublished()
+	checkSpanTree(diverge, res.spans, res.published)
 	return res
 }
 

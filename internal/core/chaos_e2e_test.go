@@ -15,6 +15,7 @@ import (
 	"github.com/lmp-project/lmp/internal/chaos"
 	"github.com/lmp-project/lmp/internal/failure"
 	"github.com/lmp-project/lmp/internal/sim"
+	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 // The chaos end-to-end harness drives random Map/Read/Write/Release and
@@ -36,6 +37,7 @@ const (
 	chaosMaxBufs   = 6
 	opSpacing      = 50 * sim.Microsecond
 	repairDelay    = 130 * sim.Microsecond // spans ~2 ops: a lazy-recovery window
+	chaosRingSize  = 1 << 15               // must exceed total spans per run or the tree oracle loses parents
 )
 
 // opKind enumerates the generator's operation alphabet.
@@ -96,6 +98,8 @@ type chaosResult struct {
 	recoveries uint64
 	crashes    int
 	repaired   int
+	spans      []telemetry.Span
+	published  uint64
 }
 
 // chaosRun replays the seed's op sequence, keeping only ops whose index
@@ -116,7 +120,18 @@ func chaosRun(t *testing.T, seed int64, keep []int, corruptAt int) chaosResult {
 		return false
 	}
 
-	cfg := Config{Placement: alloc.Striped}
+	eng := sim.NewEngine()
+	cfg := Config{
+		Placement: alloc.Striped,
+		// Trace every op on the sim clock so each run also checks the
+		// span-tree oracle below, deterministically.
+		Trace: TraceConfig{
+			SampleEvery: 1,
+			RingSize:    chaosRingSize,
+			SlowOpNS:    -1,
+			Clock:       func() int64 { return int64(eng.Now()) },
+		},
+	}
 	for i := 0; i < chaosServers; i++ {
 		cfg.Servers = append(cfg.Servers, ServerConfig{
 			Name:        "srv",
@@ -128,7 +143,6 @@ func chaosRun(t *testing.T, seed int64, keep []int, corruptAt int) chaosResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := sim.NewEngine()
 	in := chaos.New(eng, chaos.Config{Seed: seed, Metrics: p.Metrics()})
 	in.OnCrash = func(s int) { _ = p.Crash(addr.ServerID(s)) }
 
@@ -297,10 +311,47 @@ func chaosRun(t *testing.T, seed int64, keep []int, corruptAt int) chaosResult {
 	}
 	checkInv("at end")
 
+	res.spans = p.TraceSpans()
+	res.published = p.TracePublished()
+	checkSpanTree(diverge, res.spans, res.published)
+
 	res.log = sb.String()
 	res.trace = in.TraceString()
 	res.recoveries = p.Metrics().Counter("pool.recoveries").Value()
 	return res
+}
+
+// checkSpanTree is the span-tree completeness oracle shared by the chaos
+// harnesses: with every op traced and the ring sized to hold a whole run,
+// each recorded child must find its parent in the ring under the same
+// trace ID. An orphan means a layer dropped or hand-minted a SpanContext;
+// a cross-trace edge means one re-parented onto the wrong operation.
+func checkSpanTree(diverge func(string, ...any), spans []telemetry.Span, published uint64) {
+	if published > uint64(chaosRingSize) {
+		diverge("span ring overflowed: %d published > %d retained; grow chaosRingSize", published, chaosRingSize)
+		return
+	}
+	byID := make(map[uint64]telemetry.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	for _, sp := range spans {
+		if sp.Trace == 0 || sp.ID == 0 {
+			diverge("span %q has zero identity: trace=%d id=%d", sp.Op, sp.Trace, sp.ID)
+			continue
+		}
+		if sp.Parent == 0 {
+			continue
+		}
+		parent, ok := byID[sp.Parent]
+		if !ok {
+			diverge("span %q (trace=%d id=%d) orphaned: parent %d not in the ring", sp.Op, sp.Trace, sp.ID, sp.Parent)
+			continue
+		}
+		if parent.Trace != sp.Trace {
+			diverge("span %q crosses traces: parent %q has trace=%d, child has trace=%d", sp.Op, parent.Op, parent.Trace, sp.Trace)
+		}
+	}
 }
 
 // chaosSeeds resolves the seed set: CHAOS_SEED pins one seed, CHAOS_SEEDS
@@ -390,6 +441,55 @@ func TestChaosDivergenceDetectionAndShrink(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("minimal subset %v lost the corrupting op %d", minimal, corrupt)
+	}
+}
+
+// TestChaosSpanTreeCoverage guards the span-tree oracle against being
+// vacuously green: the uncached harness must record read/write op roots
+// plus repair spans, and the cache harness must record child spans (fill,
+// coherence) hanging off op roots — otherwise checkSpanTree is passing
+// over an empty or trivial forest.
+func TestChaosSpanTreeCoverage(t *testing.T) {
+	countOps := func(spans []telemetry.Span) (byOp map[string]int, roots, children int) {
+		byOp = make(map[string]int)
+		for _, sp := range spans {
+			byOp[sp.Op]++
+			if sp.Parent == 0 {
+				roots++
+			} else {
+				children++
+			}
+		}
+		return byOp, roots, children
+	}
+
+	e2e := chaosRun(t, 1, nil, -1)
+	if len(e2e.divergence) > 0 {
+		reportChaosFailure(t, 1, e2e)
+		return
+	}
+	byOp, roots, _ := countOps(e2e.spans)
+	if e2e.published == 0 || roots == 0 {
+		t.Fatalf("e2e harness recorded no root spans (published=%d)", e2e.published)
+	}
+	for _, op := range []string{"pool.read", "pool.write", "pool.repair"} {
+		if byOp[op] == 0 {
+			t.Errorf("e2e harness: no %s spans recorded (ops: %v)", op, byOp)
+		}
+	}
+
+	cc := chaosCacheRun(t, 1)
+	for _, d := range cc.divergence {
+		t.Errorf("cache harness: %s", d)
+	}
+	byOp, roots, children := countOps(cc.spans)
+	if roots == 0 || children == 0 {
+		t.Fatalf("cache harness span forest degenerate: %d roots, %d children (ops: %v)", roots, children, byOp)
+	}
+	for _, op := range []string{"pool.cache.fill", "pool.coherence.write", "pool.wc.flush"} {
+		if byOp[op] == 0 {
+			t.Errorf("cache harness: no %s spans recorded (ops: %v)", op, byOp)
+		}
 	}
 }
 

@@ -124,6 +124,8 @@ func NewPhysical(cfg PhysicalConfig) (*PhysicalPool, error) {
 }
 
 // Metrics exposes the pool's telemetry registry.
+//
+// Deprecated: use Stats for a typed snapshot.
 func (p *PhysicalPool) Metrics() *telemetry.Registry { return p.metrics }
 
 // PoolBytes reports device capacity.

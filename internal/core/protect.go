@@ -8,6 +8,7 @@ import (
 	"github.com/lmp-project/lmp/internal/alloc"
 	"github.com/lmp-project/lmp/internal/coherence"
 	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 // ecState holds a buffer's erasure-coding metadata: its slices are grouped
@@ -379,6 +380,23 @@ func (p *Pool) reconstructECLocked(b *Buffer, idx uint64, out []byte) error {
 // returns the first unrecoverable error (if any) after attempting all
 // slices and protection blocks.
 func (p *Pool) RepairServer(s addr.ServerID) (recovered int, firstErr error) {
+	// Repair is a root trace: it walks the whole slice table under the
+	// structural lock, so its duration bounds how long allocations and
+	// other structural work stalled.
+	var sp telemetry.Span
+	traced := p.obs != nil
+	if traced {
+		sp = p.obs.tracer.Begin(telemetry.SpanContext{}, "pool.repair")
+		sp.Server = int(s)
+	}
+	recovered, firstErr = p.repairServer(s)
+	if traced {
+		p.endChild(&sp, recovered*int(SliceSize), firstErr)
+	}
+	return recovered, firstErr
+}
+
+func (p *Pool) repairServer(s addr.ServerID) (recovered int, firstErr error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.isDead(s) {

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether this test binary was built with
+// the race detector; see vecAllocsOK in allocs_test.go.
+const raceDetectorEnabled = true

@@ -9,6 +9,7 @@ import (
 
 	"github.com/lmp-project/lmp/internal/addr"
 	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 // Vec is one element of a vectored access: a logical address and the
@@ -39,10 +40,10 @@ func (p *Pool) ReadCtx(ctx context.Context, from addr.ServerID, la addr.Logical,
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
-	if p.cacheEnabledFor(from) {
-		return p.cachedRead(ctx, from, la, buf)
+	if parent, traced := p.shouldTrace(ctx); traced {
+		return p.tracedRead(ctx, parent, from, la, buf)
 	}
-	return p.directAccess(ctx, from, la, buf, false)
+	return p.read(ctx, telemetry.SpanContext{}, from, la, buf)
 }
 
 // WriteCtx is Write with cancellation, checked before each slice
@@ -52,10 +53,10 @@ func (p *Pool) WriteCtx(ctx context.Context, from addr.ServerID, la addr.Logical
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
-	if p.cacheEnabledFor(from) {
-		return p.cachedWrite(ctx, from, la, data)
+	if parent, traced := p.shouldTrace(ctx); traced {
+		return p.tracedWrite(ctx, parent, from, la, data)
 	}
-	return p.directAccess(ctx, from, la, data, true)
+	return p.write(ctx, telemetry.SpanContext{}, from, la, data)
 }
 
 // directAccess performs a read or write against backing, bypassing the
@@ -63,13 +64,13 @@ func (p *Pool) WriteCtx(ctx context.Context, from addr.ServerID, la addr.Logical
 // keep it coherent with the write combiner and cached copies). The
 // single-slice fast path and the inline segment loop keep this function
 // allocation-free; see TestReadWriteAllocFree.
-func (p *Pool) directAccess(ctx context.Context, from addr.ServerID, la addr.Logical, buf []byte, write bool) error {
+func (p *Pool) directAccess(ctx context.Context, sc telemetry.SpanContext, from addr.ServerID, la addr.Logical, buf []byte, write bool) error {
 	if len(buf) == 0 {
 		return nil
 	}
 	// Fast path: the common case of an access within one slice.
 	if end := la + addr.Logical(len(buf)) - 1; addr.SliceOf(la) == addr.SliceOf(end) {
-		return p.accessSlice(from, addr.SliceOf(la), int64(uint64(la)%SliceSize), buf, write)
+		return p.accessSlice(sc, from, addr.SliceOf(la), int64(uint64(la)%SliceSize), buf, write)
 	}
 	done := 0
 	for done < len(buf) {
@@ -83,7 +84,7 @@ func (p *Pool) directAccess(ctx context.Context, from addr.ServerID, la addr.Log
 		if rem := len(buf) - done; rem < length {
 			length = rem
 		}
-		if err := p.accessSlice(from, s, off, buf[done:done+length], write); err != nil {
+		if err := p.accessSlice(sc, from, s, off, buf[done:done+length], write); err != nil {
 			return err
 		}
 		done += length
@@ -98,7 +99,7 @@ func (p *Pool) directAccess(ctx context.Context, from addr.ServerID, la addr.Log
 // unmapped or released range without partial effects, and physically
 // contiguous segments on one server coalesce into a single access.
 func (p *Pool) ReadV(from addr.ServerID, vecs []Vec) error {
-	return p.vectored(nil, from, vecs, false, false)
+	return p.vecOp(nil, from, vecs, trReadV)
 }
 
 // WriteV performs a vectored write with the same locking, resolution,
@@ -106,17 +107,28 @@ func (p *Pool) ReadV(from addr.ServerID, vecs []Vec) error {
 // for the whole operation, a WriteV is atomic with respect to
 // concurrent Read/ReadV traffic on the same slices.
 func (p *Pool) WriteV(from addr.ServerID, vecs []Vec) error {
-	return p.vectored(nil, from, vecs, true, false)
+	return p.vecOp(nil, from, vecs, trWriteV)
 }
 
 // ReadVCtx is ReadV with cancellation, checked between coalesced runs.
 func (p *Pool) ReadVCtx(ctx context.Context, from addr.ServerID, vecs []Vec) error {
-	return p.vectored(ctx, from, vecs, false, false)
+	return p.vecOp(ctx, from, vecs, trReadV)
 }
 
 // WriteVCtx is WriteV with cancellation, checked between coalesced runs.
 func (p *Pool) WriteVCtx(ctx context.Context, from addr.ServerID, vecs []Vec) error {
-	return p.vectored(ctx, from, vecs, true, false)
+	return p.vecOp(ctx, from, vecs, trWriteV)
+}
+
+// vecOp wraps one public vectored operation in its (sampled) root span.
+func (p *Pool) vecOp(ctx context.Context, from addr.ServerID, vecs []Vec, kind int) error {
+	if parent, traced := p.shouldTrace(ctx); traced {
+		sp := p.startOp(parent, from, kind)
+		err := p.vectored(ctx, sp.Context(), from, vecs, kind == trWriteV, false)
+		p.endOp(&sp, kind, vecBytes(vecs), err)
+		return err
+	}
+	return p.vectored(ctx, telemetry.SpanContext{}, from, vecs, kind == trWriteV, false)
 }
 
 // vecSeg is one intra-slice piece of a vectored operation.
@@ -142,7 +154,7 @@ var vecScratch = sync.Pool{New: func() any { return new(vecState) }}
 // vectored runs a vectored operation. flush marks a write-combiner flush
 // batch: its bytes were already made coherent (invalidations happened
 // when each write was buffered) and must not re-trigger a flush.
-func (p *Pool) vectored(ctx context.Context, from addr.ServerID, vecs []Vec, write, flush bool) error {
+func (p *Pool) vectored(ctx context.Context, sc telemetry.SpanContext, from addr.ServerID, vecs []Vec, write, flush bool) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
@@ -198,7 +210,7 @@ func (p *Pool) vectored(ctx context.Context, from addr.ServerID, vecs []Vec, wri
 	// Bound retries generously: recovery repairs one slice at a time, and
 	// a crashed server can own every slice the operation touches.
 	for attempt := 0; ; attempt++ {
-		status, failSlice, err := p.vectoredOnce(ctx, from, st, write, flush)
+		status, failSlice, err := p.vectoredOnce(ctx, sc, from, st, write, flush)
 		switch status {
 		case accessOK:
 			return nil
@@ -208,7 +220,7 @@ func (p *Pool) vectored(ctx context.Context, from addr.ServerID, vecs []Vec, wri
 			if attempt >= len(segs)+maxRecoverAttempts {
 				return fmt.Errorf("%w: slice %d not recoverable", ErrServerDead, failSlice)
 			}
-			if err := p.recoverSlice(failSlice); err != nil {
+			if err := p.recoverSlice(sc, failSlice); err != nil {
 				return err
 			}
 		default:
@@ -222,7 +234,7 @@ func (p *Pool) vectored(ctx context.Context, from addr.ServerID, vecs []Vec, wri
 // order, so concurrent vectored operations cannot deadlock against each
 // other (single-address operations hold one stripe and cannot be part of
 // a cycle) — and all released through a single deferred unlock.
-func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, st *vecState, write, flush bool) (accessStatus, uint64, error) {
+func (p *Pool) vectoredOnce(ctx context.Context, sc telemetry.SpanContext, from addr.ServerID, st *vecState, write, flush bool) (accessStatus, uint64, error) {
 	segs := st.segs
 	if len(st.seen) < len(p.stripes) {
 		st.seen = make([]bool, len(p.stripes))
@@ -290,7 +302,7 @@ func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, st *vecStat
 				return accessFailed, 0, err
 			}
 			if p.caches != nil && !flush {
-				p.applyWriteCoherenceLocked(from, uint64(addr.SliceBase(sg.s))+uint64(sg.sliceOff), sg.data)
+				p.applyWriteCoherenceLocked(sc, from, uint64(addr.SliceBase(sg.s))+uint64(sg.sliceOff), sg.data)
 			}
 			// A flush batch was already accounted (heat, per-slice counts,
 			// metrics) when each write was buffered; recording again here
@@ -300,7 +312,7 @@ func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, st *vecStat
 				if int(from) >= 0 && int(from) < len(back.counts) {
 					back.counts[from].Add(1)
 				}
-				p.recordAccessMetrics(remote, write, len(sg.data))
+				p.recordAccessMetrics(from, back.server, sg.s, remote, write, len(sg.data))
 			}
 			i++
 			continue
@@ -346,7 +358,7 @@ func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, st *vecStat
 			p.wc.OverlayRange(runLa, data)
 		}
 		if write && p.caches != nil && !flush {
-			p.applyWriteCoherenceLocked(from, runLa, data)
+			p.applyWriteCoherenceLocked(sc, from, runLa, data)
 		}
 		// One fabric access for the whole run; locality accounting still
 		// attributes each touched slice. Flush batches were accounted when
@@ -358,7 +370,7 @@ func (p *Pool) vectoredOnce(ctx context.Context, from addr.ServerID, st *vecStat
 					backs[k].counts[from].Add(1)
 				}
 			}
-			p.recordAccessMetrics(remote, write, len(data))
+			p.recordAccessMetrics(from, back.server, sg.s, remote, write, len(data))
 		}
 		i = j
 	}

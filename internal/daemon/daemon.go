@@ -10,13 +10,16 @@ package daemon
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/lmp-project/lmp/internal/alloc"
 	"github.com/lmp-project/lmp/internal/memnode"
 	"github.com/lmp-project/lmp/internal/rpc"
+	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 // RPC method numbers.
@@ -29,6 +32,7 @@ const (
 	MethodSum
 	MethodResize
 	MethodHotPages
+	MethodStats
 )
 
 // Info describes a daemon's shared region.
@@ -46,6 +50,10 @@ type Server struct {
 	region *alloc.Extents
 	rpc    *rpc.Server
 
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+	slowLog atomic.Pointer[func(telemetry.Span)]
+
 	mu   sync.Mutex
 	addr string
 }
@@ -62,9 +70,75 @@ func NewServer(name string, capacity, shared int64) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{name: name, node: node, region: region, rpc: rpc.NewServer()}
+	s := &Server{
+		name:    name,
+		node:    node,
+		region:  region,
+		rpc:     rpc.NewServer(),
+		metrics: telemetry.NewRegistry(),
+	}
+	s.tracer = telemetry.NewTracer(telemetry.TracerConfig{Observer: slowRelay{s}})
+	s.rpc.SetTracer(s.tracer)
+	s.rpc.SetRegistry(s.metrics)
 	s.register()
 	return s, nil
+}
+
+// slowRelay forwards slow-op spans to the daemon's current log hook.
+type slowRelay struct{ s *Server }
+
+func (r slowRelay) OnSpan(telemetry.Span) {}
+
+func (r slowRelay) OnSlowOp(sp telemetry.Span) {
+	if f := r.s.slowLog.Load(); f != nil {
+		(*f)(sp)
+	}
+}
+
+// OnSlowOp installs fn to receive every handler span that crosses the
+// slow-op threshold — lmpd logs them. A nil fn uninstalls.
+func (s *Server) OnSlowOp(fn func(telemetry.Span)) {
+	if fn == nil {
+		s.slowLog.Store(nil)
+		return
+	}
+	s.slowLog.Store(&fn)
+}
+
+// SetSlowOpNS adjusts the slow-op threshold (default 10ms; negative
+// disables).
+func (s *Server) SetSlowOpNS(ns int64) { s.tracer.SetSlowOpNS(ns) }
+
+// Metrics exposes the daemon's telemetry registry (rpc.requests,
+// rpc.errors) for the Prometheus endpoint.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
+
+// TraceSpans returns the daemon's retained handler spans, oldest first.
+func (s *Server) TraceSpans() []telemetry.Span { return s.tracer.Spans() }
+
+// ServerStats is the daemon's typed observability snapshot, served as
+// JSON by lmpd's /stats endpoint.
+type ServerStats struct {
+	Name           string            `json:"name"`
+	Capacity       int64             `json:"capacity"`
+	Shared         int64             `json:"shared"`
+	InUse          int64             `json:"in_use"`
+	Methods        []rpc.MethodStats `json:"methods"`
+	SlowOps        uint64            `json:"slow_ops"`
+	SpansPublished uint64            `json:"spans_published"`
+}
+
+// Stats captures the daemon's typed snapshot.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Name:           s.name,
+		Capacity:       s.node.Capacity(),
+		Shared:         s.region.Size(),
+		InUse:          s.region.InUse(),
+		Methods:        s.rpc.Stats(),
+		SlowOps:        s.tracer.SlowOps(),
+		SpansPublished: s.tracer.Published(),
+	}
 }
 
 // Listen starts serving on addr (":0" picks a port) and returns the bound
@@ -92,6 +166,23 @@ func (s *Server) register() {
 	s.rpc.Handle(MethodSum, s.handleSum)
 	s.rpc.Handle(MethodResize, s.handleResize)
 	s.rpc.Handle(MethodHotPages, s.handleHotPages)
+	s.rpc.NameMethod(MethodInfo, "rpc.info")
+	s.rpc.NameMethod(MethodAlloc, "rpc.alloc")
+	s.rpc.NameMethod(MethodFree, "rpc.free")
+	s.rpc.NameMethod(MethodRead, "rpc.read")
+	s.rpc.NameMethod(MethodWrite, "rpc.write")
+	s.rpc.NameMethod(MethodSum, "rpc.sum")
+	s.rpc.NameMethod(MethodResize, "rpc.resize")
+	s.rpc.NameMethod(MethodHotPages, "rpc.hot_pages")
+	s.rpc.Handle(MethodStats, s.handleStats)
+	s.rpc.NameMethod(MethodStats, "rpc.stats")
+}
+
+// handleStats returns the daemon's typed snapshot as JSON — the wire
+// format doubles as the /stats endpoint payload, so lmpctl and HTTP
+// scrapers see the same document.
+func (s *Server) handleStats(_ []byte) ([]byte, error) {
+	return json.Marshal(s.Stats())
 }
 
 // handleHotPages returns up to k (page, heat) pairs by descending heat —
@@ -364,6 +455,19 @@ func (c *Client) HotPages(k int) ([]HotPage, error) {
 		}
 	}
 	return out, nil
+}
+
+// Stats fetches the daemon's typed observability snapshot.
+func (c *Client) Stats() (ServerStats, error) {
+	resp, err := c.c.Call(MethodStats, nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	var st ServerStats
+	if err := json.Unmarshal(resp, &st); err != nil {
+		return ServerStats{}, fmt.Errorf("daemon: bad stats payload: %w", err)
+	}
+	return st, nil
 }
 
 // Resize moves the daemon's private/shared boundary.

@@ -1,0 +1,110 @@
+// End-to-end trace propagation through a live daemon: a client context
+// carrying a span identity produces daemon-side handler spans in the
+// same trace, the typed stats snapshot reflects the dispatches, and the
+// slow-op hook fires.
+package daemon
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+func TestDaemonTracePropagation(t *testing.T) {
+	s, err := NewServer("d0", 1<<24, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	off, err := c.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := telemetry.ContextWithSpan(context.Background(),
+		telemetry.SpanContext{Trace: 555, Span: 1})
+	if err := c.WriteCtx(ctx, off, []byte("traced bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadCtx(ctx, off, 12); err != nil {
+		t.Fatal(err)
+	}
+
+	var write, read int
+	for _, sp := range s.TraceSpans() {
+		if sp.Trace != 555 {
+			continue
+		}
+		switch sp.Op {
+		case "rpc.write":
+			write++
+		case "rpc.read":
+			read++
+		}
+	}
+	if write != 1 || read != 1 {
+		t.Fatalf("spans in trace 555: %d writes, %d reads, want 1/1", write, read)
+	}
+
+	st := s.Stats()
+	if st.Name != "d0" || st.InUse != 4096 {
+		t.Fatalf("stats = %+v", st)
+	}
+	byName := map[string]uint64{}
+	for _, m := range st.Methods {
+		byName[m.Name] = m.Calls
+	}
+	if byName["rpc.alloc"] != 1 || byName["rpc.write"] != 1 || byName["rpc.read"] != 1 {
+		t.Fatalf("method calls = %v", byName)
+	}
+	if got := s.Metrics().Counter("rpc.requests").Value(); got != 3 {
+		t.Fatalf("rpc.requests = %d, want 3", got)
+	}
+}
+
+func TestDaemonSlowOpHook(t *testing.T) {
+	s, err := NewServer("d0", 1<<24, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var mu sync.Mutex
+	var slow []telemetry.Span
+	s.OnSlowOp(func(sp telemetry.Span) {
+		mu.Lock()
+		slow = append(slow, sp)
+		mu.Unlock()
+	})
+	s.SetSlowOpNS(0) // every op is slow
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Info(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slow) != 1 || slow[0].Op != "rpc.info" {
+		t.Fatalf("slow ops = %+v, want one rpc.info", slow)
+	}
+	if s.Stats().SlowOps != 1 {
+		t.Fatalf("SlowOps = %d, want 1", s.Stats().SlowOps)
+	}
+}

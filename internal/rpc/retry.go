@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 // Sentinel errors of the transport layer. They survive the wire: a server
@@ -135,6 +137,18 @@ func (r *Retrier) CallCtx(ctx context.Context, method byte, payload []byte) ([]b
 		}
 	}
 	return nil, fmt.Errorf("rpc: call not healed after retries: %w", err)
+}
+
+// NewCountingRetrier builds a Retrier over t that mirrors every retry
+// decision into reg's "rpc.retries" counter, so transport-level healing
+// shows up on the exported metrics surface alongside the pool counters.
+func NewCountingRetrier(t Caller, policy RetryPolicy, reg *telemetry.Registry) *Retrier {
+	retries := reg.Counter("rpc.retries")
+	return &Retrier{
+		T:       t,
+		Policy:  policy,
+		OnRetry: func(int, byte, error) { retries.Inc() },
+	}
 }
 
 // Error-frame payload codes. The first byte of a kindError payload names

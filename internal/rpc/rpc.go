@@ -8,12 +8,19 @@
 // Wire format (big endian):
 //
 //	frame  = kind(1) method(1) id(8) len(4) payload(len)
-//	kind   = 1 request | 2 response | 3 error
+//	kind   = 1 request | 2 response | 3 error | 4 traced request
 //	error payload = code(1) message(len-1)
+//	traced request payload = trace(8) span(8) request-payload(len-16)
 //
 // The error code byte names the sentinel the handler error wrapped
 // (ErrServerDead, ErrTransient), so errors.Is classification survives the
 // wire instead of degrading to a raw string.
+//
+// A traced request carries the caller's span identity: when the caller's
+// context holds a telemetry.SpanContext (see telemetry.ContextWithSpan),
+// the client sends kind 4 and the server — if it has a tracer — records
+// its handler span as a child of the caller's span, so one trace ID
+// follows an operation across the process boundary.
 package rpc
 
 import (
@@ -24,13 +31,20 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 const (
-	kindRequest  = 1
-	kindResponse = 2
-	kindError    = 3
+	kindRequest       = 1
+	kindResponse      = 2
+	kindError         = 3
+	kindTracedRequest = 4
 )
+
+// traceHeaderLen is the trace(8) span(8) prefix of a traced request.
+const traceHeaderLen = 16
 
 // MaxPayload bounds a frame payload (16 MiB), protecting against corrupt
 // length prefixes.
@@ -93,6 +107,36 @@ func writeFrame(w io.Writer, kind, method byte, id uint64, payload []byte) error
 	return err
 }
 
+// writeTracedFrame writes a kindTracedRequest frame: the caller's span
+// identity rides as a 16-byte prefix of the payload.
+func writeTracedFrame(w io.Writer, method byte, id uint64, sc telemetry.SpanContext, payload []byte) error {
+	if len(payload)+traceHeaderLen > MaxPayload {
+		return fmt.Errorf("rpc: payload %d exceeds max %d", len(payload), MaxPayload-traceHeaderLen)
+	}
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], kindTracedRequest, method)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(traceHeaderLen+len(payload)))
+	buf = binary.BigEndian.AppendUint64(buf, sc.Trace)
+	buf = binary.BigEndian.AppendUint64(buf, sc.Span)
+	if len(payload) > frameCoalesceMax {
+		if _, err := w.Write(buf); err != nil {
+			*bp = buf[:0]
+			framePool.Put(bp)
+			return err
+		}
+		_, err := w.Write(payload)
+		*bp = buf[:0]
+		framePool.Put(bp)
+		return err
+	}
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
+	return err
+}
+
 func readFrame(r io.Reader) (frameHeader, []byte, error) {
 	var hdr [14]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -118,10 +162,17 @@ func readFrame(r io.Reader) (frameHeader, []byte, error) {
 type Server struct {
 	mu       sync.Mutex
 	handlers map[byte]Handler
+	names    [256]string
+	tracer   *telemetry.Tracer
+	reqCount *telemetry.Counter
+	errCount *telemetry.Counter
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	calls [256]atomic.Uint64
+	errs  [256]atomic.Uint64
 }
 
 // NewServer returns a server with no handlers.
@@ -138,6 +189,57 @@ func (s *Server) Handle(method byte, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
+}
+
+// NameMethod labels method for spans and Stats; unnamed methods appear
+// as "rpc.request".
+func (s *Server) NameMethod(method byte, name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.names[method] = name
+}
+
+// SetTracer makes the server record one span per request into t, named
+// by NameMethod and parented on the caller's span when the request was
+// traced (kind 4). A nil tracer turns spans off.
+func (s *Server) SetTracer(t *telemetry.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
+// SetRegistry mirrors request and error totals into reg as the counters
+// "rpc.requests" and "rpc.errors" (per-method detail stays in Stats).
+func (s *Server) SetRegistry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reqCount = reg.Counter("rpc.requests")
+	s.errCount = reg.Counter("rpc.errors")
+}
+
+// MethodStats is one method's dispatch totals.
+type MethodStats struct {
+	Method byte   `json:"method"`
+	Name   string `json:"name"`
+	Calls  uint64 `json:"calls"`
+	Errors uint64 `json:"errors"`
+}
+
+// Stats reports per-method dispatch totals for every method that is
+// named or has been called.
+func (s *Server) Stats() []MethodStats {
+	s.mu.Lock()
+	names := s.names
+	s.mu.Unlock()
+	var out []MethodStats
+	for m := 0; m < 256; m++ {
+		calls, errors := s.calls[m].Load(), s.errs[m].Load()
+		if calls == 0 && errors == 0 && names[m] == "" {
+			continue
+		}
+		out = append(out, MethodStats{Method: byte(m), Name: names[m], Calls: calls, Errors: errors})
+	}
+	return out
 }
 
 // Listen starts accepting on addr ("host:port"; ":0" picks a free port)
@@ -194,26 +296,64 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if h.kind != kindRequest {
+		var sc telemetry.SpanContext
+		switch h.kind {
+		case kindRequest:
+		case kindTracedRequest:
+			if len(payload) < traceHeaderLen {
+				return // protocol violation
+			}
+			sc.Trace = binary.BigEndian.Uint64(payload[0:8])
+			sc.Span = binary.BigEndian.Uint64(payload[8:16])
+			payload = payload[traceHeaderLen:]
+		default:
 			return // protocol violation
 		}
 		s.mu.Lock()
 		handler := s.handlers[h.method]
+		name := s.names[h.method]
+		tracer := s.tracer
+		reqCount, errCount := s.reqCount, s.errCount
 		s.mu.Unlock()
+		s.calls[h.method].Add(1)
+		if reqCount != nil {
+			reqCount.Inc()
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			var sp telemetry.Span
+			if tracer != nil {
+				if name == "" {
+					name = "rpc.request"
+				}
+				sp = tracer.Begin(sc, name)
+			}
 			var kind byte
 			var resp []byte
+			var herr error
 			if handler == nil {
+				herr = fmt.Errorf("rpc: no handler for method %d", h.method)
 				kind = kindError
-				resp = encodeErrorPayload(fmt.Errorf("rpc: no handler for method %d", h.method))
+				resp = encodeErrorPayload(herr)
 			} else if out, err := handler(payload); err != nil {
+				herr = err
 				kind = kindError
 				resp = encodeErrorPayload(err)
 			} else {
 				kind = kindResponse
 				resp = out
+			}
+			if herr != nil {
+				s.errs[h.method].Add(1)
+				if errCount != nil {
+					errCount.Inc()
+				}
+			}
+			if tracer != nil {
+				sp.Bytes = len(resp)
+				sp.Err = herr != nil
+				tracer.End(&sp)
 			}
 			wmu.Lock()
 			defer wmu.Unlock()
@@ -366,8 +506,16 @@ func (c *Client) CallCtx(ctx context.Context, method byte, payload []byte) ([]by
 	c.pending[id] = pc
 	c.mu.Unlock()
 
+	// A context carrying a span identity upgrades the frame to a traced
+	// request, extending the caller's trace across the wire.
+	sc := telemetry.SpanFromContext(ctx)
 	c.wmu.Lock()
-	err := writeFrame(c.conn, kindRequest, method, id, payload)
+	var err error
+	if sc.Traced() {
+		err = writeTracedFrame(c.conn, method, id, sc, payload)
+	} else {
+		err = writeFrame(c.conn, kindRequest, method, id, payload)
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition for a Registry. Metric names follow the
+// lmp_<layer>_<name> scheme: the registry's dotted names ("pool.reads.
+// local") are prefixed with "lmp_" and dots become underscores
+// ("lmp_pool_reads_local"). Histograms render as summaries — quantile
+// series plus _sum and _count — computed from one atomic snapshot each.
+
+// PromName converts a registry metric name to its exported Prometheus
+// name: lmp_ prefix, dots and dashes to underscores.
+func PromName(name string) string {
+	mapped := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	return "lmp_" + mapped
+}
+
+// WritePrometheus renders every metric in r in the Prometheus text
+// exposition format, sorted by name within each metric kind.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	type kv struct {
+		name string
+		v    any
+	}
+	collect := func(m interface {
+		Range(func(any, any) bool)
+	}) []kv {
+		var out []kv
+		m.Range(func(n, v any) bool {
+			out = append(out, kv{name: n.(string), v: v})
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+		return out
+	}
+
+	for _, e := range collect(&r.counters) {
+		n := PromName(e.name)
+		emit("# TYPE %s counter\n%s %d\n", n, n, e.v.(*Counter).Value())
+	}
+	for _, e := range collect(&r.striped) {
+		n := PromName(e.name)
+		emit("# TYPE %s counter\n%s %d\n", n, n, e.v.(*StripedCounter).Value())
+	}
+	for _, e := range collect(&r.gauges) {
+		n := PromName(e.name)
+		emit("# TYPE %s gauge\n%s %d\n", n, n, e.v.(*Gauge).Value())
+	}
+	for _, e := range collect(&r.hists) {
+		n := PromName(e.name)
+		s := e.v.(*Histogram).Snapshot()
+		emit("# TYPE %s summary\n", n)
+		for _, q := range [...]float64{0.5, 0.9, 0.99, 0.999} {
+			emit("%s{quantile=%q} %g\n", n, fmt.Sprintf("%g", q), s.Quantile(q))
+		}
+		emit("%s_sum %g\n%s_count %d\n", n, s.Sum, n, s.Count)
+	}
+	return err
+}

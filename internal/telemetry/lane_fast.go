@@ -1,0 +1,31 @@
+//go:build !race
+
+package telemetry
+
+import "unsafe"
+
+// Fast cell updates for pinned sections. While the caller holds
+// BeginUpdate's pin, its P's cell has exactly one writer, so a plain
+// 8-byte aligned add is sound on every platform Go supports (the word
+// is single-copy atomic; readers fold with atomic loads and may observe
+// a slightly stale value, which is inherent to statistics counters
+// anyway). A seqcst atomic here would cost a full-barrier RMW — on
+// x86 even atomic Store compiles to XCHG — which measured as the bulk
+// of the hot-path observability budget. The race-detector build (see
+// lane_race.go) swaps these for real atomic RMWs so -race runs stay
+// data-race-clean by construction.
+
+// add increments the cell by n. Caller must hold the BeginUpdate pin
+// that makes this cell exclusively theirs.
+func (l *stripedLane) add(n uint64) {
+	p := (*uint64)(unsafe.Pointer(&l.v))
+	*p += n
+}
+
+// bump increments the cell by one and returns the new value, under the
+// same exclusivity contract as add.
+func (l *stripedLane) bump() uint64 {
+	p := (*uint64)(unsafe.Pointer(&l.v))
+	*p++
+	return *p
+}

@@ -1,0 +1,13 @@
+//go:build race
+
+package telemetry
+
+// Race-detector builds take the honest atomic path: the fast variants
+// in lane_fast.go rely on pin-exclusivity the detector cannot see (two
+// goroutines pinned to the same P at different times have no
+// happens-before edge it tracks), so they would be reported as races.
+// Perf does not matter under -race; being warning-free does.
+
+func (l *stripedLane) add(n uint64) { l.v.Add(n) }
+
+func (l *stripedLane) bump() uint64 { return l.v.Add(1) }

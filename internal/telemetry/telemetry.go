@@ -12,22 +12,60 @@ import (
 	"sync/atomic"
 )
 
-// Counter is a monotonically increasing count.
+// cellsPerLane is the internal sub-striping factor for Counter and
+// StripedCounter: each logical count is spread across this many padded
+// cells, indexed by the writer's current P (see laneHint). A single
+// shared atomic serializes every writing core on one cache line; with
+// per-P cells, concurrent increments proceed in parallel and the (cold)
+// read side folds the cells. Sixteen cells cover common core counts;
+// larger machines wrap and share cells, which only costs locality.
+const (
+	cellsPerLane = 16
+	cellMask     = cellsPerLane - 1
+)
+
+// Counter is a monotonically increasing count. Increments land in a
+// per-P padded cell so hot paths incrementing the same counter from
+// many cores never contend on one cache line; Value folds the cells.
 type Counter struct {
-	v atomic.Uint64
+	cells [cellsPerLane]stripedLane
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
+func (c *Counter) Add(n uint64) { c.cells[laneHint()&cellMask].v.Add(n) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddAt increments the counter by n from inside a BeginUpdate/EndUpdate
+// section, where p is the pinned P id BeginUpdate returned. When p
+// addresses a private cell the increment is a plain add — exclusivity
+// while pinned makes it safe (see lane_fast.go); beyond the cell range
+// (GOMAXPROCS > cellsPerLane) it falls back to a shared atomic add, so
+// the counter never loses increments on larger machines.
+func (c *Counter) AddAt(p int, n uint64) {
+	if uint(p) < cellsPerLane {
+		c.cells[p].add(n)
+		return
+	}
+	c.cells[p&cellMask].v.Add(n)
+}
 
 // Value reports the current count.
-func (c *Counter) Value() uint64 { return c.v.Load() }
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.v.Store(0) }
+func (c *Counter) Reset() {
+	for i := range c.cells {
+		c.cells[i].v.Store(0)
+	}
+}
 
 // Gauge is a settable instantaneous value.
 type Gauge struct {
@@ -126,6 +164,36 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) from the snapshot's
+// buckets: the upper bound of the bucket containing it, clamped to the
+// observed maximum so a distribution of identical small samples (e.g.
+// all zeros, which land in bucket 0 covering [0,2)) reports the sample
+// itself rather than the bucket boundary.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(s.Count))
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum > target {
+			ub := math.Exp2(float64(i + 1))
+			if ub > s.Max {
+				ub = s.Max
+			}
+			return ub
+		}
+	}
+	return s.Max
+}
+
 // Snapshot captures the histogram's state atomically.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	h.mu.Lock()
@@ -140,47 +208,45 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 // Quantile estimates the q-th quantile (q in [0,1]) from the buckets,
-// returning the upper bound of the bucket containing it.
+// returning the upper bound of the bucket containing it clamped to the
+// observed maximum.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	target := uint64(q * float64(h.count))
-	var cum uint64
-	for i, b := range h.buckets {
-		cum += b
-		if cum > target {
-			return math.Exp2(float64(i + 1))
-		}
-	}
-	return h.max
+	return h.Snapshot().Quantile(q)
 }
 
-// stripedLane is a cache-line padded counter lane. 64 bytes of padding
-// keeps neighbouring lanes out of each other's cache lines so concurrent
-// Adds from different lanes never contend.
+// Reset zeroes the histogram: buckets, count, sum, and the min/max
+// watermarks.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets = [64]uint64{}
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
+// stripedLane is a padded counter cell. 128 bytes — two cache lines —
+// keeps neighbouring cells fully decoupled: 64 bytes would put the
+// counter words in distinct lines, but x86's adjacent-line prefetcher
+// moves lines in 128-byte pairs, so 64-byte spacing still ping-pongs
+// under concurrent writers.
 type stripedLane struct {
 	v atomic.Uint64
-	_ [56]byte
+	_ [120]byte
 }
 
 // StripedCounter is a monotonically increasing counter split across
-// padded lanes. Hot paths that already know a natural partition index (a
-// cache shard, a stripe, a worker id) pass it as the lane hint so
-// concurrent increments land on distinct cache lines; Value folds the
-// lanes on the (cold) read side. A plain Counter bounces one cache line
-// between every core that touches it — on skewed workloads that shared
-// line is the bottleneck StripedCounter exists to remove.
+// semantic lanes. Hot paths that already know a natural partition index
+// (a cache shard, a stripe, an issuing server) pass it as the lane so
+// the per-partition breakdown stays readable via Lane. Within each
+// lane, increments are further spread across per-P padded cells (like
+// Counter), because a "lane" such as an issuing server may itself be
+// driven by many goroutines at once — a skewed workload hammering one
+// lane would otherwise serialize on that lane's cache line.
 type StripedCounter struct {
-	lanes []stripedLane
+	lanes int
+	cells []stripedLane // lanes × cellsPerLane, lane-major
 }
 
 // NewStripedCounter returns a counter with n lanes (min 1).
@@ -188,31 +254,75 @@ func NewStripedCounter(n int) *StripedCounter {
 	if n < 1 {
 		n = 1
 	}
-	return &StripedCounter{lanes: make([]stripedLane, n)}
+	return &StripedCounter{lanes: n, cells: make([]stripedLane, n*cellsPerLane)}
 }
 
-// Add increments the counter by n using lane as the placement hint. Any
-// lane value is safe; it is reduced modulo the lane count.
+// Add increments the counter by n under the given semantic lane. Any
+// lane value is safe; it is reduced modulo the lane count (callers
+// normally pass an in-range partition index, so the division is off
+// the common path).
 func (s *StripedCounter) Add(lane int, n uint64) {
 	if lane < 0 {
 		lane = -lane
 	}
-	s.lanes[lane%len(s.lanes)].v.Add(n)
+	if lane >= s.lanes {
+		lane %= s.lanes
+	}
+	s.cells[lane*cellsPerLane+laneHint()&cellMask].v.Add(n)
+}
+
+// AddAt is Add from inside a BeginUpdate/EndUpdate section; p is the
+// pinned P id. See Counter.AddAt for the exclusivity argument and the
+// large-machine fallback.
+func (s *StripedCounter) AddAt(p, lane int, n uint64) {
+	if lane < 0 {
+		lane = -lane
+	}
+	if lane >= s.lanes {
+		lane %= s.lanes
+	}
+	base := lane * cellsPerLane
+	if uint(p) < cellsPerLane {
+		s.cells[base+p].add(n)
+		return
+	}
+	s.cells[base+(p&cellMask)].v.Add(n)
 }
 
 // Value reports the counter total across all lanes.
 func (s *StripedCounter) Value() uint64 {
 	var total uint64
-	for i := range s.lanes {
-		total += s.lanes[i].v.Load()
+	for i := range s.cells {
+		total += s.cells[i].v.Load()
+	}
+	return total
+}
+
+// Lanes reports the lane count.
+func (s *StripedCounter) Lanes() int { return s.lanes }
+
+// Lane reports one lane's count. When lanes map to a real partition (a
+// server, a stripe) this exposes the per-partition breakdown — e.g. the
+// per-issuer traffic matrix — not just the folded total.
+func (s *StripedCounter) Lane(i int) uint64 {
+	if i < 0 {
+		i = -i
+	}
+	if i >= s.lanes {
+		i %= s.lanes
+	}
+	base := i * cellsPerLane
+	var total uint64
+	for j := base; j < base+cellsPerLane; j++ {
+		total += s.cells[j].v.Load()
 	}
 	return total
 }
 
 // Reset zeroes every lane.
 func (s *StripedCounter) Reset() {
-	for i := range s.lanes {
-		s.lanes[i].v.Store(0)
+	for i := range s.cells {
+		s.cells[i].v.Store(0)
 	}
 }
 
@@ -224,6 +334,7 @@ type Registry struct {
 	counters sync.Map // string → *Counter
 	gauges   sync.Map // string → *Gauge
 	hists    sync.Map // string → *Histogram
+	striped  sync.Map // string → *StripedCounter
 }
 
 // NewRegistry returns an empty registry.
@@ -256,6 +367,17 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h.(*Histogram)
 }
 
+// Striped returns (creating if needed) the named striped counter with
+// lanes lanes. The lane count is fixed at first creation; later calls
+// return the existing counter regardless of the lanes argument.
+func (r *Registry) Striped(name string, lanes int) *StripedCounter {
+	if s, ok := r.striped.Load(name); ok {
+		return s.(*StripedCounter)
+	}
+	s, _ := r.striped.LoadOrStore(name, NewStripedCounter(lanes))
+	return s.(*StripedCounter)
+}
+
 // Snapshot renders all metrics as sorted "name value" lines.
 func (r *Registry) Snapshot() []string {
 	var lines []string
@@ -270,6 +392,10 @@ func (r *Registry) Snapshot() []string {
 	r.hists.Range(func(n, h any) bool {
 		hh := h.(*Histogram)
 		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%.1f p99=%.0f", n, hh.Count(), hh.Mean(), hh.Quantile(0.99)))
+		return true
+	})
+	r.striped.Range(func(n, s any) bool {
+		lines = append(lines, fmt.Sprintf("counter %s %d", n, s.(*StripedCounter).Value()))
 		return true
 	})
 	sort.Strings(lines)

@@ -165,6 +165,96 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileUpperBoundBias(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		// Bucket 0 covers [0,2): before the clamp fix, all-zero samples
+		// reported Exp2(1)=2 for every quantile.
+		{name: "all zeros", samples: []float64{0, 0, 0}, q: 0.5, want: 0},
+		{name: "all zeros p99", samples: []float64{0, 0, 0}, q: 0.99, want: 0},
+		{name: "single sample clamps to max", samples: []float64{100}, q: 0.99, want: 100},
+		{name: "identical samples clamp", samples: []float64{10, 10, 10, 10}, q: 0.5, want: 10},
+		{name: "bucket bound below max stays", samples: []float64{10, 10, 10, 10000}, q: 0.5, want: 16},
+		{name: "empty", samples: nil, q: 0.5, want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+			if got := h.Snapshot().Quantile(tc.q); got != tc.want {
+				t.Fatalf("Snapshot().Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{-3, 5, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Min() != -3 || h.Max() != 1000 {
+		t.Fatalf("pre-reset state: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("post-reset state: count=%d mean=%v min=%v max=%v", h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+	s := h.Snapshot()
+	for i, b := range s.Buckets {
+		if b != 0 {
+			t.Fatalf("bucket %d not cleared: %d", i, b)
+		}
+	}
+	// Watermarks restart from the first post-reset sample, not the
+	// pre-reset min/max.
+	h.Observe(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatalf("post-reset watermarks: min=%v max=%v, want 7/7", h.Min(), h.Max())
+	}
+}
+
+func TestStripedCounterLanes(t *testing.T) {
+	s := NewStripedCounter(4)
+	s.Add(0, 1)
+	s.Add(1, 10)
+	s.Add(5, 100) // wraps to lane 1
+	s.Add(-2, 1000)
+	if s.Lanes() != 4 {
+		t.Fatalf("lanes = %d", s.Lanes())
+	}
+	if s.Lane(0) != 1 || s.Lane(1) != 110 || s.Lane(2) != 1000 || s.Lane(3) != 0 {
+		t.Fatalf("lane values: %d %d %d %d", s.Lane(0), s.Lane(1), s.Lane(2), s.Lane(3))
+	}
+	if s.Value() != 1111 {
+		t.Fatalf("total = %d", s.Value())
+	}
+}
+
+func TestRegistryStriped(t *testing.T) {
+	r := NewRegistry()
+	r.Striped("pool.stripe.ops", 8).Add(3, 5)
+	if r.Striped("pool.stripe.ops", 2).Value() != 5 {
+		t.Fatal("striped counter not shared by name")
+	}
+	if r.Striped("pool.stripe.ops", 2).Lanes() != 8 {
+		t.Fatal("lane count changed on second lookup")
+	}
+	snap := strings.Join(r.Snapshot(), "\n")
+	if !strings.Contains(snap, "counter pool.stripe.ops 5") {
+		t.Fatalf("snapshot missing striped counter:\n%s", snap)
+	}
+}
+
 func TestHistogramSnapshotConsistency(t *testing.T) {
 	var h Histogram
 	for _, v := range []float64{1, 2, 4, 1000} {

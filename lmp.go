@@ -60,6 +60,8 @@
 package lmp
 
 import (
+	"context"
+
 	"github.com/lmp-project/lmp/internal/addr"
 	"github.com/lmp-project/lmp/internal/alloc"
 	"github.com/lmp-project/lmp/internal/core"
@@ -67,6 +69,7 @@ import (
 	"github.com/lmp-project/lmp/internal/memsim"
 	"github.com/lmp-project/lmp/internal/migrate"
 	"github.com/lmp-project/lmp/internal/sizing"
+	"github.com/lmp-project/lmp/internal/telemetry"
 	"github.com/lmp-project/lmp/internal/topology"
 )
 
@@ -108,6 +111,44 @@ type (
 	// (Pool.CacheStats).
 	CacheStats = core.CacheStats
 )
+
+// Observability types (Pool.Stats, Pool.TraceSpans, WithTracing,
+// WithObserver). Stats snapshots are plain exported structs that marshal
+// directly to JSON; spans identify one traced operation and its
+// descendants across pool, cache, coherence, and recovery layers.
+type (
+	// PoolStats is the typed snapshot returned by Pool.Stats.
+	PoolStats = core.PoolStats
+	// ServerStats is one server's slice of a PoolStats snapshot.
+	ServerStats = core.ServerStats
+	// OpStats splits one access class (reads or writes) by locality.
+	OpStats = core.OpStats
+	// LatencyStats summarizes one sampled latency histogram.
+	LatencyStats = core.LatencyStats
+	// PhysicalStats is the typed snapshot returned by PhysicalPool.Stats.
+	PhysicalStats = core.PhysicalStats
+	// TraceConfig configures per-op tracing (Config.Trace). The zero
+	// value enables tracing with defaults; set Disabled to opt out.
+	TraceConfig = core.TraceConfig
+	// Span is one completed traced operation.
+	Span = telemetry.Span
+	// SpanContext identifies a live span so child work can attach to it.
+	SpanContext = telemetry.SpanContext
+	// Observer receives completed spans synchronously (see WithObserver).
+	Observer = telemetry.Observer
+)
+
+// ContextWithSpan returns a context carrying sc; pool operations invoked
+// through the ...Ctx entry points with that context are always traced,
+// recording their spans as children of sc.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return telemetry.ContextWithSpan(ctx, sc)
+}
+
+// SpanFromContext extracts the span identity carried by ctx, if any.
+func SpanFromContext(ctx context.Context) SpanContext {
+	return telemetry.SpanFromContext(ctx)
+}
 
 // Placement policies.
 const (

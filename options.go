@@ -59,3 +59,20 @@ func WithLocalCache(cc CacheConfig) Option {
 		c.Cache = cc
 	}
 }
+
+// WithTracing configures per-op tracing: the span ring size, the
+// sampling period, the slow-op threshold, and the clock. Tracing is on
+// by default (sampling one op in 64 per issuing server); pass
+// TraceConfig{Disabled: true} to turn spans and latency histograms off
+// entirely — traffic counters stay on either way.
+func WithTracing(tc TraceConfig) Option {
+	return func(c *Config) { c.Trace = tc }
+}
+
+// WithObserver registers o to receive every completed span (OnSpan) and
+// every span crossing the slow-op threshold (OnSlowOp) synchronously
+// from the completing operation's goroutine. Observers must be fast and
+// must not call back into the pool.
+func WithObserver(o Observer) Option {
+	return func(c *Config) { c.Trace.Observer = o }
+}

@@ -1,0 +1,85 @@
+#!/bin/sh
+# obs-smoke: end-to-end check of the observability surface against real
+# binaries. Boots lmpd on ephemeral ports, drives traffic with lmpctl,
+# then asserts:
+#
+#   - /metrics serves Prometheus text and its metric names match the
+#     golden list (internal/daemon/testdata/metrics.golden) exactly, so
+#     a renamed or dropped metric fails loudly instead of silently
+#     breaking dashboards;
+#   - /stats serves the typed JSON snapshot with moving counters;
+#   - /debug/pprof/cmdline answers 200;
+#   - `lmpctl stats` renders the per-method table.
+#
+# Run from the repo root (`make obs-smoke`). Exit 0 on success.
+set -u
+
+GOLDEN=internal/daemon/testdata/metrics.golden
+TMP=$(mktemp -d)
+LMPD_PID=
+
+cleanup() {
+    [ -n "$LMPD_PID" ] && kill "$LMPD_PID" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "obs-smoke: FAIL: $*" >&2
+    [ -f "$TMP/lmpd.log" ] && sed 's/^/  lmpd: /' "$TMP/lmpd.log" >&2
+    exit 1
+}
+
+command -v curl >/dev/null 2>&1 || fail "curl not installed"
+
+go build -o "$TMP/lmpd" ./cmd/lmpd || fail "building lmpd"
+go build -o "$TMP/lmpctl" ./cmd/lmpctl || fail "building lmpctl"
+
+"$TMP/lmpd" -listen 127.0.0.1:0 -ops 127.0.0.1:0 -slowop 1ms \
+    >"$TMP/lmpd.log" 2>&1 &
+LMPD_PID=$!
+
+# Wait for both listeners to announce themselves.
+i=0
+while ! grep -q "lmpd ops on" "$TMP/lmpd.log" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "lmpd did not start in 5s"
+    kill -0 "$LMPD_PID" 2>/dev/null || fail "lmpd exited early"
+    sleep 0.1
+done
+DATA_ADDR=$(awk '/serving .* bytes shared/ {print $NF}' "$TMP/lmpd.log")
+OPS_URL=$(sed -n 's|.*lmpd ops on \(http://[^ ]*\).*|\1|p' "$TMP/lmpd.log")
+[ -n "$DATA_ADDR" ] || fail "could not parse data address from lmpd output"
+[ -n "$OPS_URL" ] || fail "could not parse ops URL from lmpd output"
+
+# Drive traffic so the counters the golden list names actually move.
+OFF=$("$TMP/lmpctl" -server "$DATA_ADDR" alloc 1048576 | sed 's/offset=//') \
+    || fail "lmpctl alloc"
+"$TMP/lmpctl" -server "$DATA_ADDR" write "$OFF" "obs smoke" >/dev/null \
+    || fail "lmpctl write"
+"$TMP/lmpctl" -server "$DATA_ADDR" read "$OFF" 9 >/dev/null \
+    || fail "lmpctl read"
+"$TMP/lmpctl" -server "$DATA_ADDR" stats >"$TMP/ctl-stats.json" \
+    || fail "lmpctl stats"
+grep -q '"rpc.write"' "$TMP/ctl-stats.json" \
+    || fail "lmpctl stats missing per-method table"
+
+# /metrics: Prometheus text whose metric-name set matches the golden.
+curl -fsS "$OPS_URL/metrics" >"$TMP/metrics.txt" || fail "GET /metrics"
+grep -v '^#' "$TMP/metrics.txt" | awk '{print $1}' | sed 's/{.*//' \
+    | sort -u >"$TMP/metrics.names"
+diff -u "$GOLDEN" "$TMP/metrics.names" \
+    || fail "exported metric names diverge from $GOLDEN (regenerate it if the change is intentional)"
+awk '$1 == "lmp_rpc_requests" && $2+0 > 0 {found=1} END {exit !found}' "$TMP/metrics.txt" \
+    || fail "lmp_rpc_requests did not count the lmpctl traffic"
+
+# /stats: typed JSON snapshot with the traffic reflected.
+curl -fsS "$OPS_URL/stats" >"$TMP/stats.json" || fail "GET /stats"
+grep -q '"in_use": 1048576' "$TMP/stats.json" \
+    || fail "/stats does not reflect the allocation"
+
+# /debug/pprof: the profile surface answers.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$OPS_URL/debug/pprof/cmdline")
+[ "$CODE" = "200" ] || fail "/debug/pprof/cmdline returned $CODE"
+
+echo "obs-smoke: ok (data=$DATA_ADDR ops=$OPS_URL)"
