@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF 2.1.0 output: the minimal subset code-scanning consumers need —
+// one run, one rule per analyzer, one result per finding, with witness
+// chains mapped to relatedLocations so viewers render the call path.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	Message          sarifText       `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifText    `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func writeSARIF(w io.Writer, findings []finding) error {
+	ruleDocs := map[string]string{"lmplint": "driver-level checks (stale suppression directives)"}
+	for _, a := range analyzers {
+		ruleDocs[a.Name] = a.Doc
+	}
+	for _, a := range programAnalyzers {
+		// The syntactic and whole-program halves of an analyzer share a
+		// name; keep the first doc.
+		if _, ok := ruleDocs[a.Name]; !ok {
+			ruleDocs[a.Name] = a.Doc
+		}
+	}
+	used := map[string]bool{}
+	for _, f := range findings {
+		used[f.Analyzer] = true
+	}
+	var rules []sarifRule
+	for name := range used {
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifText{Text: ruleDocs[name]}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		r := sarifResult{
+			RuleID:    f.Analyzer,
+			Level:     "error",
+			Message:   sarifText{Text: f.Message},
+			Locations: []sarifLocation{sarifLoc(f.Pos, "")},
+		}
+		for _, s := range f.Related {
+			r.RelatedLocations = append(r.RelatedLocations, sarifLoc(s.Pos, s.Message))
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lmplint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func sarifLoc(p position, msg string) sarifLocation {
+	loc := sarifLocation{
+		PhysicalLocation: sarifPhysical{
+			ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(p.File)},
+			Region:           sarifRegion{StartLine: p.Line, StartColumn: p.Column},
+		},
+	}
+	if msg != "" {
+		loc.Message = &sarifText{Text: msg}
+	}
+	return loc
+}

@@ -32,8 +32,18 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Diagnostic is one finding at a source position.
+// Diagnostic is one finding at a source position. Interprocedural
+// analyzers attach the witness path — the call chain from the reported
+// site to the operation that grounds the finding — as Related steps, in
+// order from the reported site to the origin.
 type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	Related []RelatedPos
+}
+
+// RelatedPos is one step of a diagnostic's witness path.
+type RelatedPos struct {
 	Pos     token.Pos
 	Message string
 }
@@ -67,8 +77,24 @@ type Unit struct {
 	Types   *types.Package
 	Info    *types.Info
 
-	suppress map[string][]string // "file:line" → analyzer names ignored there
+	directives []*Directive
+	suppress   map[string][]*Directive // "file:line" → directives covering that line
 }
+
+// Directive is one parsed //lint:ignore suppression. The driver tracks
+// which directives actually suppressed a finding so stale waivers can be
+// reported instead of silently rotting.
+type Directive struct {
+	Pos    token.Pos
+	File   string
+	Line   int // line the directive covers findings on (its own and the next)
+	Names  []string
+	Reason string
+	used   bool
+}
+
+// Used reports whether the directive suppressed at least one finding.
+func (d *Directive) Used() bool { return d.used }
 
 // NewInfo returns a types.Info with every map analyzers rely on.
 func NewInfo() *types.Info {
@@ -100,21 +126,9 @@ func (u *Unit) Run(a *Analyzer) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, u.PkgPath, err)
 	}
-	if u.suppress == nil {
-		u.suppress = suppressions(u.Fset, u.Files)
-	}
 	kept := diags[:0]
 	for _, d := range diags {
-		pos := u.Fset.Position(d.Pos)
-		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-		ignored := false
-		for _, name := range u.suppress[key] {
-			if name == a.Name {
-				ignored = true
-				break
-			}
-		}
-		if !ignored {
+		if !u.Suppressed(d.Pos, a.Name) {
 			kept = append(kept, d)
 		}
 	}
@@ -122,11 +136,40 @@ func (u *Unit) Run(a *Analyzer) ([]Diagnostic, error) {
 	return kept, nil
 }
 
-// suppressions indexes every lint:ignore directive by the file:line
-// pairs it covers.
-func suppressions(fset *token.FileSet, files []*ast.File) map[string][]string {
-	out := make(map[string][]string)
-	for _, f := range files {
+// Suppressed reports whether a finding by the named analyzer at pos is
+// covered by a //lint:ignore directive in this unit, marking the
+// directive used. Whole-program analyzers report through the driver,
+// which routes each diagnostic to the unit owning its file and applies
+// the same directives as the per-unit path.
+func (u *Unit) Suppressed(pos token.Pos, name string) bool {
+	u.parseDirectives()
+	p := u.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	for _, d := range u.suppress[key] {
+		for _, n := range d.Names {
+			if n == name {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Directives returns the unit's parsed //lint:ignore directives.
+func (u *Unit) Directives() []*Directive {
+	u.parseDirectives()
+	return u.directives
+}
+
+// parseDirectives indexes every lint:ignore directive by the file:line
+// pairs it covers (its own line and the line directly below).
+func (u *Unit) parseDirectives() {
+	if u.suppress != nil {
+		return
+	}
+	u.suppress = make(map[string][]*Directive)
+	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
@@ -138,16 +181,22 @@ func suppressions(fset *token.FileSet, files []*ast.File) map[string][]string {
 				if len(fields) < 2 {
 					continue // a reason is mandatory; bare directives are inert
 				}
-				names := strings.Split(fields[0], ",")
-				pos := fset.Position(c.Pos())
+				pos := u.Fset.Position(c.Pos())
+				d := &Directive{
+					Pos:    c.Pos(),
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Names:  strings.Split(fields[0], ","),
+					Reason: strings.Join(fields[1:], " "),
+				}
+				u.directives = append(u.directives, d)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					key := fmt.Sprintf("%s:%d", pos.Filename, line)
-					out[key] = append(out[key], names...)
+					u.suppress[key] = append(u.suppress[key], d)
 				}
 			}
 		}
 	}
-	return out
 }
 
 // PkgFuncCall resolves call's callee as a selector onto an imported

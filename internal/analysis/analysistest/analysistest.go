@@ -33,6 +33,7 @@ import (
 	"testing"
 
 	"github.com/lmp-project/lmp/internal/analysis"
+	"github.com/lmp-project/lmp/internal/analysis/summary"
 )
 
 // Run loads each fixture package in order (later fixtures may import
@@ -59,6 +60,40 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		}
 		checkWants(t, fset, files, diags)
 	}
+}
+
+// RunProgram loads all fixture packages together (in order; later
+// fixtures may import earlier ones), builds the whole-program summary
+// over them, applies the program analyzer, and checks its diagnostics —
+// which may land in any fixture file — against the combined // want
+// annotations. Witness chains are carried on the diagnostics' Related
+// steps; want regexps match the main message only.
+func RunProgram(t *testing.T, testdata string, a *summary.ProgramAnalyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	local := make(map[string]*types.Package)
+	var units []*analysis.Unit
+	var allFiles []*ast.File
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkg))
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", pkg, err)
+		}
+		unit, err := typeCheck(fset, pkg, files, local)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", pkg, err)
+		}
+		local[pkg] = unit.Types
+		units = append(units, unit)
+		allFiles = append(allFiles, files...)
+	}
+	prog := summary.Build(units)
+	diags, err := prog.Run(a)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, fset, allFiles, diags)
 }
 
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {

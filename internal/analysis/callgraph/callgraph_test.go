@@ -1,0 +1,118 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+	"github.com/lmp-project/lmp/internal/analysis/callgraph"
+)
+
+// load type-checks one import-free source file into a Unit.
+func load(t *testing.T, pkgPath, src string) *analysis.Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, pkgPath+".go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	tpkg, err := (&types.Config{}).Check(pkgPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Unit{PkgPath: pkgPath, Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+const graphSrc = `package p
+
+type writer interface{ write(b []byte) int }
+
+type fileSink struct{}
+
+func (fileSink) write(b []byte) int { return len(b) }
+
+type nullSink struct{}
+
+func (*nullSink) write(b []byte) int { return 0 }
+
+func direct(b []byte) int { return helper(b) }
+
+func helper(b []byte) int { return len(b) }
+
+func dynamic(w writer, b []byte) int { return w.write(b) }
+
+func value(f func() int) int { return f() }
+
+func spawn() { go helper(nil) }
+
+func deferred() { defer helper(nil) }
+`
+
+func node(t *testing.T, g *callgraph.Graph, id string) *callgraph.Node {
+	t.Helper()
+	n := g.Nodes[id]
+	if n == nil {
+		t.Fatalf("no node %q; have %d nodes", id, len(g.Nodes))
+	}
+	return n
+}
+
+func TestBuild(t *testing.T) {
+	u := load(t, "p", graphSrc)
+	g := callgraph.Build([]*analysis.Unit{u})
+
+	d := node(t, g, "p.direct")
+	if len(d.Calls) != 1 || d.Calls[0].CalleeID != "p.helper" {
+		t.Fatalf("direct: want one static call to p.helper, got %+v", d.Calls)
+	}
+	if d.Calls[0].CalleePkg != "p" {
+		t.Fatalf("direct: CalleePkg = %q, want p", d.Calls[0].CalleePkg)
+	}
+
+	dyn := node(t, g, "p.dynamic")
+	if len(dyn.Calls) != 1 {
+		t.Fatalf("dynamic: want one site, got %+v", dyn.Calls)
+	}
+	want := []string{"(*p.nullSink).write", "(p.fileSink).write"}
+	got := dyn.Calls[0].Candidates
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("dynamic: candidates = %v, want %v", got, want)
+	}
+
+	v := node(t, g, "p.value")
+	if len(v.Calls) != 1 || !v.Calls[0].Unknown {
+		t.Fatalf("value: want one unknown site, got %+v", v.Calls)
+	}
+
+	sp := node(t, g, "p.spawn")
+	if len(sp.Calls) != 1 || !sp.Calls[0].Go {
+		t.Fatalf("spawn: want one Go site, got %+v", sp.Calls)
+	}
+
+	df := node(t, g, "p.deferred")
+	if len(df.Calls) != 1 || !df.Calls[0].Deferred {
+		t.Fatalf("deferred: want one Deferred site, got %+v", df.Calls)
+	}
+
+	if _, ok := g.Nodes["(p.fileSink).write"]; !ok {
+		t.Fatal("missing node for value-receiver method")
+	}
+}
+
+func TestShortName(t *testing.T) {
+	cases := map[string]string{
+		"github.com/lmp-project/lmp/internal/core.Read":           "core.Read",
+		"(*github.com/lmp-project/lmp/internal/cache.Cache).Put":  "(*cache.Cache).Put",
+		"(github.com/lmp-project/lmp/internal/telemetry.Gauge).V": "(telemetry.Gauge).V",
+		"p.helper": "p.helper",
+	}
+	for in, want := range cases {
+		if got := callgraph.ShortName(in); got != want {
+			t.Errorf("ShortName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

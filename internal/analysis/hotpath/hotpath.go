@@ -1,0 +1,70 @@
+// Package hotpath proves that functions annotated //lmp:hotpath are
+// transitively allocation-free, turning the repo's dynamic AllocsPerRun
+// guards into compile-time facts. The diagnostic prints the full call
+// chain from the annotated function to the allocating operation.
+//
+// A function annotated //lmp:coldpath is exempt from the proof of its
+// callers: use it for slow paths that are dynamically unreachable from
+// the steady state (miss fills, error paths) but share an entry point
+// with the hot one. Every coldpath escape is visible in the source at
+// the function it exempts.
+//
+// Soundness: the proof inherits the summary layer's caveats — interface
+// calls resolve to in-program candidates, function-value calls and
+// unlisted externals count as allocating (never silently pass), and
+// panic is exempt. `go` statements are allocations themselves.
+package hotpath
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+	"github.com/lmp-project/lmp/internal/analysis/callgraph"
+	"github.com/lmp-project/lmp/internal/analysis/summary"
+)
+
+// Analyzer is the whole-program hotpath check.
+var Analyzer = &summary.ProgramAnalyzer{
+	Name: "hotpath",
+	Doc: "check that //lmp:hotpath-annotated functions are transitively " +
+		"zero-alloc, reporting the offending call chain; //lmp:coldpath " +
+		"exempts a callee from its callers' proofs",
+	Run: run,
+}
+
+func run(p *summary.Program, report func(analysis.Diagnostic)) error {
+	cold := map[string]bool{}
+	var roots []string
+	for id, fi := range p.Fns {
+		if summary.Annotated(fi.Node.Decl, "coldpath") {
+			cold[id] = true
+		}
+		if summary.Annotated(fi.Node.Decl, "hotpath") {
+			roots = append(roots, id)
+		}
+	}
+	sort.Strings(roots)
+	skip := func(id string) bool { return cold[id] }
+	for _, id := range roots {
+		fi := p.Fns[id]
+		if cold[id] {
+			report(analysis.Diagnostic{
+				Pos:     fi.Node.Decl.Name.Pos(),
+				Message: fmt.Sprintf("%s is annotated both lmp:hotpath and lmp:coldpath", callgraph.ShortName(id)),
+			})
+			continue
+		}
+		if p.ReachableFacts(id, skip)&summary.Allocs == 0 {
+			continue
+		}
+		chain := p.Witness(id, summary.Allocs, skip)
+		report(analysis.Diagnostic{
+			Pos: fi.Node.Decl.Name.Pos(),
+			Message: fmt.Sprintf("hotpath function %s may allocate: %s",
+				callgraph.ShortName(id), p.WitnessString(chain)),
+			Related: chain,
+		})
+	}
+	return nil
+}

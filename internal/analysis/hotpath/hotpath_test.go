@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/analysis/analysistest"
+	"github.com/lmp-project/lmp/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", hotpath.Analyzer, "hp")
+}

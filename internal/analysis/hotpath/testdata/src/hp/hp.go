@@ -1,0 +1,42 @@
+// Package hp exercises the hotpath analyzer: a transitive allocation
+// two calls below the annotated function, a clean proof, and the
+// //lmp:coldpath escape for a dynamically unreachable slow path.
+package hp
+
+//lmp:hotpath
+func ReadFast(buf []byte) int { // want "hotpath function hp\\.ReadFast may allocate: .*helper.*grow.*make"
+	return helper(buf)
+}
+
+func helper(buf []byte) int { return grow(buf) }
+
+func grow(buf []byte) int {
+	b := make([]byte, len(buf)+1)
+	return len(b)
+}
+
+//lmp:hotpath
+func Mix(x uint64) uint64 { return round(round(x)) }
+
+func round(x uint64) uint64 { return x*2654435761 ^ x>>13 }
+
+// WithCold stays provable because the refill branch is annotated cold:
+// the steady state never takes it, and the dynamic guards cover it.
+//
+//lmp:hotpath
+func WithCold(b []byte) int {
+	if len(b) == 0 {
+		return slowRefill()
+	}
+	return int(b[0])
+}
+
+//lmp:coldpath
+func slowRefill() int { return len(make([]byte, 8)) }
+
+// Boxed allocates directly: the diagnostic grounds in the conversion.
+//
+//lmp:hotpath
+func Boxed(x int) any { // want "hotpath function hp\\.Boxed may allocate: .*interface conversion"
+	return any(x)
+}

@@ -101,6 +101,11 @@ func Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
 			exports[p.ImportPath] = p.Export
 		}
 		if !p.DepOnly && p.Module != nil {
+			if underTestdata(p.Dir) {
+				// Fixture packages (analysistest layouts, stray roots):
+				// never analysis targets, even when named explicitly.
+				continue
+			}
 			if len(p.CgoFiles) > 0 {
 				return nil, fmt.Errorf("loader: %s: cgo packages are not supported", p.ImportPath)
 			}
@@ -125,7 +130,15 @@ func Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
 			}
 			f, ok := exports[path]
 			if !ok {
-				return nil, fmt.Errorf("loader: no export data for %q", path)
+				// The -deps listing normally covers every import; a miss
+				// (stale build cache, an import added between list and
+				// check) falls back to a one-off fetch.
+				fetched, err := fetchExport(dir, path)
+				if err != nil {
+					return nil, fmt.Errorf("loader: no export data for %q: %v", path, err)
+				}
+				exports[path] = fetched
+				f = fetched
 			}
 			return os.Open(f)
 		}
@@ -150,6 +163,37 @@ func Load(dir string, patterns ...string) ([]*analysis.Unit, error) {
 		}
 	}
 	return units, nil
+}
+
+// underTestdata reports whether dir lies inside a testdata directory.
+func underTestdata(dir string) bool {
+	for _, part := range strings.Split(filepath.ToSlash(dir), "/") {
+		if part == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchExport compiles export data for one import path on demand, for
+// imports the initial -deps listing did not cover.
+func fetchExport(dir, path string) (string, error) {
+	cmd := exec.Command("go", "list", "-export", "-json=ImportPath,Export", path)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	var p struct{ ImportPath, Export string }
+	if err := json.Unmarshal(out, &p); err != nil {
+		return "", fmt.Errorf("decoding go list output for %s: %v", path, err)
+	}
+	if p.Export == "" {
+		return "", fmt.Errorf("no export data produced for %s", path)
+	}
+	return p.Export, nil
 }
 
 func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {

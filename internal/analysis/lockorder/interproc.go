@@ -1,0 +1,247 @@
+// Whole-program lockorder: the syntactic rules in this package catch
+// in-function violations; the ProgramAnalyzer below adds the two checks
+// a helper one call deep used to defeat.
+//
+//  1. Transitive RPC under a data lock: no call made while a stripe or
+//     cache-shard lock is held may *transitively* reach an rpc package.
+//     The wire can block indefinitely and its completion path can
+//     re-enter the cache; PR 2's syntactic rule only saw direct calls.
+//  2. Lock-graph cycles: every function contributes edges "holding
+//     class H, acquires class A" (directly or through any callee) to a
+//     global graph over the lock hierarchy — structural, stripe,
+//     cache-shard, directory. Any cycle is a potential deadlock and is
+//     reported with the witness path for each edge. Self-edges are not
+//     cycles: multi-stripe acquisition is legal because the vectored
+//     path sorts stripe indices first (the syntactic rule enforces the
+//     sort).
+//
+// Held regions are lexical, like the syntactic rules: a lock is held
+// from its acquire to the first matching inline release, or to the end
+// of the body when released by defer. Deferred, go-spawned, and
+// closure-captured calls are not attributed to the held region — a
+// closure built under a lock may run after release (the flush path does
+// exactly that), so charging it would make the clean tree unachievable;
+// the known cost is that a closure invoked synchronously under the lock
+// escapes these two checks (the dynamic chaos harness still covers it).
+package lockorder
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+	"github.com/lmp-project/lmp/internal/analysis/callgraph"
+	"github.com/lmp-project/lmp/internal/analysis/summary"
+)
+
+// ProgramAnalyzer is the whole-program half of the lockorder check. It
+// shares the "lockorder" name with the syntactic analyzer on purpose:
+// one //lint:ignore lockorder directive covers both aspects of the same
+// discipline.
+var ProgramAnalyzer = &summary.ProgramAnalyzer{
+	Name: "lockorder",
+	Doc: "whole-program lock discipline: no call under a stripe or cache-shard " +
+		"lock may transitively reach an rpc package, and the global lock graph " +
+		"over structural/stripe/shard/directory must be acyclic",
+	Run: runProgram,
+}
+
+// lockEdge is one "holding from, acquires to" observation.
+type lockEdge struct {
+	from, to summary.LockClass
+	fn       string // function contributing the edge
+	pos      token.Pos
+	chain    []analysis.RelatedPos
+}
+
+func runProgram(p *summary.Program, report func(analysis.Diagnostic)) error {
+	ids := make([]string, 0, len(p.Fns))
+	for id := range p.Fns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	edges := map[[2]summary.LockClass]lockEdge{}
+	for _, id := range ids {
+		scanHeldRegions(p, id, report, edges)
+	}
+	reportCycles(p, edges, report)
+	return nil
+}
+
+// acqMask covers the four classified acquisition facts.
+const acqMask = summary.AcqStripe | summary.AcqShard | summary.AcqDirectory | summary.AcqStructural
+
+var lockClasses = []summary.LockClass{
+	summary.LockStructural, summary.LockStripe, summary.LockShard, summary.LockDirectory,
+}
+
+// scanHeldRegions walks one function's sites in source order with the
+// lexically-held lock set, reporting transitive RPC reachability and
+// collecting lock-graph edges.
+func scanHeldRegions(p *summary.Program, id string, report func(analysis.Diagnostic), edges map[[2]summary.LockClass]lockEdge) {
+	fi := p.Fns[id]
+	held := map[summary.LockClass]int{}
+	li := 0
+	for _, s := range fi.Sites {
+		// Apply lock operations strictly before this site; a deferred
+		// release keeps the lock held to the end of the body.
+		for li < len(fi.Locks) && fi.Locks[li].Pos < s.Pos {
+			op := fi.Locks[li]
+			li++
+			if op.Deferred {
+				continue
+			}
+			if op.Acquire {
+				held[op.Class]++
+			} else if held[op.Class] > 0 {
+				held[op.Class]--
+			}
+		}
+		anyHeld := false
+		for _, c := range lockClasses {
+			if held[c] > 0 {
+				anyHeld = true
+			}
+		}
+		if !anyHeld {
+			continue
+		}
+		if s.Call != nil && (s.Call.Deferred || s.Call.Go || s.Call.InLit) {
+			continue // runs outside the lexical held region (see package comment)
+		}
+		facts := p.SiteFacts(s)
+		// Rule 1: nothing under a stripe or shard lock reaches rpc.
+		if facts&summary.CallsRPC != 0 && (held[summary.LockStripe] > 0 || held[summary.LockShard] > 0) {
+			holder := summary.LockStripe
+			if held[summary.LockStripe] == 0 {
+				holder = summary.LockShard
+			}
+			chain := p.SiteWitness(s, summary.CallsRPC, nil)
+			report(analysis.Diagnostic{
+				Pos: s.Pos,
+				Message: fmt.Sprintf("%s lock held across a call that transitively reaches package rpc: %s",
+					holder, p.WitnessString(chain)),
+				Related: chain,
+			})
+		}
+		// Rule 2: collect "holding H, acquires A" edges.
+		if facts&acqMask == 0 {
+			continue
+		}
+		for _, to := range lockClasses {
+			if facts&to.AcqFact() == 0 {
+				continue
+			}
+			for _, from := range lockClasses {
+				if from == to || held[from] == 0 {
+					continue
+				}
+				key := [2]summary.LockClass{from, to}
+				if _, seen := edges[key]; seen {
+					continue
+				}
+				edges[key] = lockEdge{
+					from: from, to: to, fn: id, pos: s.Pos,
+					chain: p.SiteWitness(s, to.AcqFact(), nil),
+				}
+			}
+		}
+	}
+}
+
+// reportCycles finds every elementary cycle in the 4-node class graph
+// and reports each once, rotated to start at the smallest class so the
+// report position is deterministic.
+func reportCycles(p *summary.Program, edges map[[2]summary.LockClass]lockEdge, report func(analysis.Diagnostic)) {
+	adj := map[summary.LockClass][]summary.LockClass{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, next := range adj {
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+	}
+	seen := map[string]bool{}
+	var path []summary.LockClass
+	onPath := map[summary.LockClass]bool{}
+	var dfs func(at summary.LockClass)
+	dfs = func(at summary.LockClass) {
+		path = append(path, at)
+		onPath[at] = true
+		for _, to := range adj[at] {
+			if !onPath[to] {
+				dfs(to)
+				continue
+			}
+			// Found a cycle: the path suffix from `to` to `at`, closed.
+			start := 0
+			for i, c := range path {
+				if c == to {
+					start = i
+					break
+				}
+			}
+			cycle := append([]summary.LockClass{}, path[start:]...)
+			reportCycle(p, cycle, edges, seen, report)
+		}
+		path = path[:len(path)-1]
+		onPath[at] = false
+	}
+	for _, c := range lockClasses {
+		dfs(c)
+	}
+}
+
+func reportCycle(p *summary.Program, cycle []summary.LockClass, edges map[[2]summary.LockClass]lockEdge, seen map[string]bool, report func(analysis.Diagnostic)) {
+	// Canonicalize: rotate so the smallest class leads.
+	min := 0
+	for i, c := range cycle {
+		if c < cycle[min] {
+			min = i
+		}
+	}
+	cycle = append(cycle[min:], cycle[:min]...)
+	names := make([]string, 0, len(cycle)+1)
+	for _, c := range cycle {
+		names = append(names, c.String())
+	}
+	names = append(names, cycle[0].String())
+	key := strings.Join(names, ">")
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+
+	var related []analysis.RelatedPos
+	var parts []string
+	for i, from := range cycle {
+		to := cycle[(i+1)%len(cycle)]
+		e := edges[[2]summary.LockClass{from, to}]
+		related = append(related, analysis.RelatedPos{
+			Pos: e.pos,
+			Message: fmt.Sprintf("%s acquires the %s lock while holding the %s lock",
+				callgraph.ShortName(e.fn), to, from),
+		})
+		// The edge's own call chain down to the acquire grounds the claim.
+		related = append(related, e.chain...)
+		pos := p.Fset.Position(e.pos)
+		parts = append(parts, fmt.Sprintf("%s takes %s under %s (%s:%d)",
+			callgraph.ShortName(e.fn), to, from, shortBase(pos.Filename), pos.Line))
+	}
+	first := edges[[2]summary.LockClass{cycle[0], cycle[1%len(cycle)]}]
+	report(analysis.Diagnostic{
+		Pos: first.pos,
+		Message: fmt.Sprintf("lock-order cycle %s: %s",
+			strings.Join(names, " -> "), strings.Join(parts, "; ")),
+		Related: related,
+	})
+}
+
+func shortBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/analysis/analysistest"
+	"github.com/lmp-project/lmp/internal/analysis/lockorder"
+)
+
+func TestInterprocedural(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", lockorder.ProgramAnalyzer, "rpc", "interproc")
+}

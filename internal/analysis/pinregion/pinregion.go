@@ -1,0 +1,131 @@
+// Package pinregion proves that nothing allocates, blocks, or takes a
+// nested pin between telemetry.BeginUpdate and telemetry.EndUpdate (or
+// between a raw runtime_procPin/runtime_procUnpin pair). While pinned,
+// the goroutine owns its P and must not park or enter the allocator's
+// slow path: a blocking call while pinned can deadlock the scheduler,
+// and an allocation can trigger a GC assist on a pinned P.
+//
+// Regions are lexical: the sites between a non-deferred Begin call and
+// the next matching End call in the same function body. A Begin with no
+// matching End in the body is a wrapper (telemetry.BeginUpdate itself is
+// one around runtime_procPin) and opens no region. Deferred and
+// go-spawned calls inside a region are not checked — they run at
+// function exit or on another goroutine — but the spawn's own
+// allocation is.
+//
+// Violations are interprocedural: a call is flagged if *any* function
+// transitively reachable from it allocates, blocks, or pins, with the
+// full call chain printed.
+package pinregion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+	"github.com/lmp-project/lmp/internal/analysis/summary"
+)
+
+// Analyzer is the whole-program pin-region check.
+var Analyzer = &summary.ProgramAnalyzer{
+	Name: "pinregion",
+	Doc: "check that no allocation, blocking call, or nested pin occurs " +
+		"between BeginUpdate/EndUpdate (or raw runtime_procPin pairs), " +
+		"transitively, with the offending call chain printed",
+	Run: run,
+}
+
+// isBegin/isEnd match the pin entry points by canonical-name suffix, so
+// both the real internal/telemetry package and test fixtures resolve.
+func isBegin(id string) bool {
+	return strings.HasSuffix(id, "telemetry.BeginUpdate") || strings.HasSuffix(id, ".runtime_procPin")
+}
+
+func isEnd(id string) bool {
+	return strings.HasSuffix(id, "telemetry.EndUpdate") || strings.HasSuffix(id, ".runtime_procUnpin")
+}
+
+func run(p *summary.Program, report func(analysis.Diagnostic)) error {
+	ids := make([]string, 0, len(p.Fns))
+	for id := range p.Fns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		checkFn(p, p.Fns[id], report)
+	}
+	return nil
+}
+
+// checkFn scans one function's sites in source order, tracking the
+// lexical pin region.
+func checkFn(p *summary.Program, fi *summary.FnInfo, report func(analysis.Diagnostic)) {
+	sites := fi.Sites
+	for i := 0; i < len(sites); i++ {
+		s := sites[i]
+		if s.Call == nil || s.Call.Deferred || s.Call.Go {
+			continue
+		}
+		if !isBegin(s.Call.CalleeID) {
+			continue
+		}
+		// Find the matching End in the same body; without one this is a
+		// wrapper, not a region.
+		end := -1
+		for j := i + 1; j < len(sites); j++ {
+			c := sites[j].Call
+			if c != nil && !c.Deferred && !c.Go {
+				if isEnd(c.CalleeID) {
+					end = j
+					break
+				}
+				if isBegin(c.CalleeID) {
+					// An inner Begin before any End: nested pin, checked
+					// below via the Pins fact of the region's sites.
+					continue
+				}
+			}
+		}
+		if end < 0 {
+			continue
+		}
+		beginLine := p.Fset.Position(s.Pos).Line
+		for j := i + 1; j < end; j++ {
+			checkSite(p, sites[j], beginLine, report)
+		}
+		i = end
+	}
+}
+
+// severity order: a nested pin is reported over a block, a block over an
+// allocation, an allocation over a bare unknown.
+var severities = []struct {
+	fact summary.Fact
+	verb string
+}{
+	{summary.Pins, "nested proc pin"},
+	{summary.BlocksChan | summary.BlocksMutex, "blocking operation"},
+	{summary.Allocs, "allocation"},
+	{summary.Unknown, "unprovable call"},
+}
+
+func checkSite(p *summary.Program, s summary.Site, beginLine int, report func(analysis.Diagnostic)) {
+	if s.Call != nil && (s.Call.Deferred || s.Call.Go) {
+		return // runs at function exit / on another goroutine
+	}
+	facts := p.SiteFacts(s)
+	for _, sev := range severities {
+		if facts&sev.fact == 0 {
+			continue
+		}
+		chain := p.SiteWitness(s, sev.fact, nil)
+		report(analysis.Diagnostic{
+			Pos: s.Pos,
+			Message: fmt.Sprintf("%s while pinned (pin begun on line %d): %s",
+				sev.verb, beginLine, p.WitnessString(chain)),
+			Related: chain,
+		})
+		return
+	}
+}

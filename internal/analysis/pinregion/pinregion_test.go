@@ -1,0 +1,12 @@
+package pinregion_test
+
+import (
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/analysis/analysistest"
+	"github.com/lmp-project/lmp/internal/analysis/pinregion"
+)
+
+func TestPinRegion(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", pinregion.Analyzer, "telemetry", "pinuser")
+}

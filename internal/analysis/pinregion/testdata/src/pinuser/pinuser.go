@@ -1,0 +1,54 @@
+// Package pinuser exercises the interprocedural reach of pinregion:
+// the violations sit two calls below the pinned region, where the
+// intra-procedural PR-2 analyzers could not see them.
+package pinuser
+
+import (
+	"sync"
+
+	"telemetry"
+)
+
+var (
+	mu    sync.Mutex
+	total uint64
+)
+
+// Record blocks two calls deep while pinned: Record -> addSlow ->
+// flush -> mu.Lock.
+func Record(n uint64) {
+	h := telemetry.BeginUpdate()
+	addSlow(h, n) // want "blocking operation while pinned \\(pin begun on line \\d+\\): .*addSlow.*flush.*Lock"
+	telemetry.EndUpdate()
+}
+
+func addSlow(h int, n uint64) { flush(n) }
+
+func flush(n uint64) {
+	mu.Lock()
+	total += n
+	mu.Unlock()
+}
+
+// Nested re-pins through a helper while already pinned.
+func Nested(n uint64) {
+	h := telemetry.BeginUpdate()
+	_ = h
+	pinnedBump(n) // want "nested proc pin while pinned .*pinnedBump"
+	telemetry.EndUpdate()
+}
+
+func pinnedBump(n uint64) {
+	h := telemetry.BeginUpdate()
+	_ = h
+	_ = n
+	telemetry.EndUpdate()
+}
+
+// Deferred cleanup runs at function exit, outside the region: clean.
+func WithDefer(n uint64) {
+	defer flush(n)
+	h := telemetry.BeginUpdate()
+	_ = h
+	telemetry.EndUpdate()
+}

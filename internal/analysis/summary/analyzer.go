@@ -1,0 +1,61 @@
+package summary
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+)
+
+// ProgramAnalyzer is a whole-program check: it sees the complete
+// Program (units, call graph, fact fixpoint) instead of one package at
+// a time. The driver builds the Program once and shares it across every
+// registered ProgramAnalyzer.
+type ProgramAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:ignore <name> <reason>" suppression directives.
+	Name string
+	// Doc is the one-paragraph description shown by `lmplint -list`.
+	Doc string
+	// Run applies the analyzer to the whole program.
+	Run func(p *Program, report func(analysis.Diagnostic)) error
+}
+
+// Run applies a to the program and returns its diagnostics sorted by
+// position, with findings suppressed by //lint:ignore directives
+// removed — each diagnostic routes to the unit owning its file, so the
+// suppression semantics match the per-unit path exactly.
+func (p *Program) Run(a *ProgramAnalyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	err := a.Run(p, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if u := p.UnitFor(d.Pos); u != nil && u.Suppressed(d.Pos, a.Name) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// UnitFor returns the unit containing the file of pos (nil when pos is
+// outside every loaded file).
+func (p *Program) UnitFor(pos token.Pos) *analysis.Unit {
+	if !pos.IsValid() {
+		return nil
+	}
+	if p.fileUnit == nil {
+		p.fileUnit = make(map[string]*analysis.Unit)
+		for _, u := range p.Units {
+			for _, f := range u.Files {
+				p.fileUnit[p.Fset.Position(f.Pos()).Filename] = u
+			}
+		}
+	}
+	return p.fileUnit[p.Fset.Position(pos).Filename]
+}

@@ -1,0 +1,745 @@
+// Package summary computes per-function facts over the whole-program
+// call graph: may-allocate, may-block (split into channel/external waits
+// and mutex acquisition), calls-into-rpc, takes-a-proc-pin, and
+// acquires-lock-class. Facts are a may-analysis: a function's facts are
+// the union of the local facts of every function reachable from it in
+// the call graph, so a clean result is a proof (modulo the documented
+// unknowns) while a reported fact may be a false positive on an
+// unreachable branch.
+//
+// Soundness caveats, shared by every analyzer built on this layer:
+//
+//   - Interface calls use the call graph's class-hierarchy candidates;
+//     an implementation outside the loaded units (or one reached via
+//     reflection) is invisible.
+//   - Calls through function values are unknown and reported as such
+//     (Unknown|Allocs), never silently ignored — except inside `go`
+//     statements, whose work does not run on the caller's stack.
+//   - Callees outside the module resolve through a small intrinsic
+//     table (sync, sync/atomic, math, time, ...); anything unlisted is
+//     conservatively Unknown|Allocs.
+//   - panic is exempt from the allocation facts: a panicking hot path
+//     is already failing, and the exemption keeps invariant-check
+//     panics out of every zero-alloc proof.
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+	"github.com/lmp-project/lmp/internal/analysis/callgraph"
+)
+
+// Fact is a bitset of per-function facts.
+type Fact uint16
+
+const (
+	// Allocs: the function may allocate (make/new/append, closure or
+	// goroutine creation, boxing conversions, map writes, string
+	// building, or a call to an allocating callee).
+	Allocs Fact = 1 << iota
+	// BlocksChan: the function may park on a channel op, select, or an
+	// external wait (time.Sleep, WaitGroup.Wait, cond wait).
+	BlocksChan
+	// BlocksMutex: the function may acquire a sync.Mutex/RWMutex.
+	BlocksMutex
+	// CallsRPC: the function may call into an rpc package (import path
+	// "rpc" or ending in "/rpc").
+	CallsRPC
+	// Pins: the function may take a runtime proc pin
+	// (telemetry.BeginUpdate or a raw runtime_procPin).
+	Pins
+	// Unknown: the function calls something the analysis cannot resolve
+	// (function value, candidate-less interface call, unlisted external).
+	Unknown
+	// AcqStripe..AcqStructural: the function may acquire a lock of the
+	// named class (see LockClass).
+	AcqStripe
+	AcqShard
+	AcqDirectory
+	AcqStructural
+)
+
+// String renders the low fact bits for diagnostics.
+func (f Fact) String() string {
+	var parts []string
+	for _, e := range []struct {
+		bit  Fact
+		name string
+	}{
+		{Allocs, "allocates"}, {BlocksChan, "blocks"}, {BlocksMutex, "locks a mutex"},
+		{CallsRPC, "calls rpc"}, {Pins, "pins"}, {Unknown, "unknown behavior"},
+		{AcqStripe, "acquires a stripe lock"}, {AcqShard, "acquires a shard lock"},
+		{AcqDirectory, "acquires the directory lock"}, {AcqStructural, "acquires the structural lock"},
+	} {
+		if f&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "pure"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// LockClass identifies one level of the documented lock hierarchy.
+type LockClass int
+
+const (
+	LockNone LockClass = iota
+	LockStructural
+	LockStripe
+	LockShard
+	LockDirectory
+)
+
+// String names the class as diagnostics print it.
+func (c LockClass) String() string {
+	switch c {
+	case LockStructural:
+		return "structural"
+	case LockStripe:
+		return "stripe"
+	case LockShard:
+		return "cache-shard"
+	case LockDirectory:
+		return "directory"
+	}
+	return "none"
+}
+
+// AcqFact maps a lock class to its acquisition fact bit.
+func (c LockClass) AcqFact() Fact {
+	switch c {
+	case LockStructural:
+		return AcqStructural
+	case LockStripe:
+		return AcqStripe
+	case LockShard:
+		return AcqShard
+	case LockDirectory:
+		return AcqDirectory
+	}
+	return 0
+}
+
+// Site is one fact-bearing point in a function body: a local operation
+// (channel op, allocation, lock acquisition) or a call site.
+type Site struct {
+	Pos   token.Pos
+	Local Fact   // facts arising at the site itself
+	What  string // human description of the local facts
+	// Call is the resolved call site, nil for purely local operations.
+	Call *callgraph.Site
+}
+
+// LockOp is one acquisition or release of a classified lock.
+type LockOp struct {
+	Pos      token.Pos
+	Class    LockClass
+	Acquire  bool
+	Write    bool   // Lock/Unlock vs RLock/RUnlock
+	Recv     string // receiver expression as written, for pairing
+	Deferred bool
+}
+
+// FnInfo is the per-function summary input: sites and lock operations
+// in source order.
+type FnInfo struct {
+	Node  *callgraph.Node
+	Sites []Site
+	Locks []LockOp
+}
+
+// Program is the shared interprocedural state: units, call graph, and
+// computed summaries. Built once by the driver and reused by every
+// whole-program analyzer.
+type Program struct {
+	Units []*analysis.Unit
+	Fset  *token.FileSet
+	Graph *callgraph.Graph
+	Fns   map[string]*FnInfo
+
+	facts    map[string]Fact
+	fileUnit map[string]*analysis.Unit
+}
+
+// Build scans every function of units and computes the fact fixpoint.
+func Build(units []*analysis.Unit) *Program {
+	g := callgraph.Build(units)
+	p := &Program{
+		Units: units,
+		Graph: g,
+		Fns:   make(map[string]*FnInfo, len(g.Nodes)),
+	}
+	if len(units) > 0 {
+		p.Fset = units[0].Fset
+	}
+	for id, n := range g.Nodes {
+		p.Fns[id] = scanFunc(n)
+	}
+	p.fixpoint()
+	return p
+}
+
+// Facts returns the fixpoint facts of the named function. External
+// functions resolve through the intrinsic table.
+func (p *Program) Facts(id string) Fact {
+	if f, ok := p.facts[id]; ok {
+		return f
+	}
+	return ExternalFacts(id)
+}
+
+// SiteFacts returns the facts contributed by one site: its local facts
+// plus its callees' fixpoint facts. Sites inside `go` statements
+// contribute only their local facts (the spawn allocates; the spawned
+// work runs elsewhere).
+func (p *Program) SiteFacts(s Site) Fact {
+	f := s.Local
+	if s.Call == nil || s.Call.Go {
+		return f
+	}
+	if s.Call.Unknown {
+		return f
+	}
+	if s.Call.CalleeID != "" {
+		return f | p.Facts(s.Call.CalleeID)
+	}
+	for _, c := range s.Call.Candidates {
+		f |= p.Facts(c)
+	}
+	return f
+}
+
+// fixpoint iterates facts[n] = local(n) | union(callees) to a fixed
+// point. The lattice is a finite bitset and the transfer function is
+// monotone, so the loop terminates within bits×nodes rounds; in
+// practice a handful of passes suffice.
+func (p *Program) fixpoint() {
+	p.facts = make(map[string]Fact, len(p.Fns))
+	for id, fi := range p.Fns {
+		var f Fact
+		for _, s := range fi.Sites {
+			f |= s.Local
+			if s.Call != nil && !s.Call.Go && !s.Call.Unknown {
+				if s.Call.CalleeID != "" {
+					if _, inProgram := p.Fns[s.Call.CalleeID]; !inProgram {
+						f |= ExternalFacts(s.Call.CalleeID)
+					}
+				}
+				for _, c := range s.Call.Candidates {
+					if _, inProgram := p.Fns[c]; !inProgram {
+						f |= ExternalFacts(c)
+					}
+				}
+			}
+		}
+		p.facts[id] = f
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, fi := range p.Fns {
+			f := p.facts[id]
+			for _, s := range fi.Sites {
+				if s.Call == nil || s.Call.Go || s.Call.Unknown {
+					continue
+				}
+				if s.Call.CalleeID != "" {
+					if cf, ok := p.facts[s.Call.CalleeID]; ok {
+						f |= cf
+					}
+				}
+				for _, c := range s.Call.Candidates {
+					if cf, ok := p.facts[c]; ok {
+						f |= cf
+					}
+				}
+			}
+			if f != p.facts[id] {
+				p.facts[id] = f
+				changed = true
+			}
+		}
+	}
+}
+
+// ReachableFacts unions the local facts of every function reachable
+// from root, skipping functions for which skip returns true (used by
+// the hotpath analyzer's //lmp:coldpath exemption). skip may be nil.
+func (p *Program) ReachableFacts(root string, skip func(id string) bool) Fact {
+	visited := map[string]bool{}
+	var visit func(id string) Fact
+	visit = func(id string) Fact {
+		if visited[id] {
+			return 0
+		}
+		visited[id] = true
+		if skip != nil && skip(id) {
+			return 0
+		}
+		fi, ok := p.Fns[id]
+		if !ok {
+			return ExternalFacts(id)
+		}
+		var f Fact
+		for _, s := range fi.Sites {
+			f |= s.Local
+			if s.Call == nil || s.Call.Go || s.Call.Unknown {
+				continue
+			}
+			if s.Call.CalleeID != "" {
+				f |= visit(s.Call.CalleeID)
+			}
+			for _, c := range s.Call.Candidates {
+				f |= visit(c)
+			}
+		}
+		return f
+	}
+	return visit(root)
+}
+
+// Witness returns the call chain grounding fact want starting from the
+// function id: one step per call plus a final step at the local
+// operation that introduces the fact. Returns nil when id does not
+// carry want. skip mirrors ReachableFacts' exemption; may be nil.
+func (p *Program) Witness(id string, want Fact, skip func(string) bool) []analysis.RelatedPos {
+	return p.fnWitness(id, want, skip, map[string]bool{})
+}
+
+// SiteWitness returns the chain grounding want at one site: the site's
+// own local operation, or the call chain into its callee. Returns nil
+// when the site does not carry want.
+func (p *Program) SiteWitness(s Site, want Fact, skip func(string) bool) []analysis.RelatedPos {
+	return p.siteWitness(s, want, skip, map[string]bool{})
+}
+
+func (p *Program) fnWitness(id string, want Fact, skip func(string) bool, visited map[string]bool) []analysis.RelatedPos {
+	if visited[id] {
+		return nil
+	}
+	visited[id] = true
+	if skip != nil && skip(id) {
+		return nil
+	}
+	fi, ok := p.Fns[id]
+	if !ok {
+		return nil
+	}
+	for _, s := range fi.Sites {
+		if chain := p.siteWitness(s, want, skip, visited); chain != nil {
+			return chain
+		}
+	}
+	return nil
+}
+
+func (p *Program) siteWitness(s Site, want Fact, skip func(string) bool, visited map[string]bool) []analysis.RelatedPos {
+	if s.Local&want != 0 {
+		return []analysis.RelatedPos{{Pos: s.Pos, Message: s.What}}
+	}
+	if s.Call == nil || s.Call.Go || s.Call.Unknown {
+		return nil
+	}
+	callees := s.Call.Candidates
+	if s.Call.CalleeID != "" {
+		callees = []string{s.Call.CalleeID}
+	}
+	for _, c := range callees {
+		if skip != nil && skip(c) {
+			continue
+		}
+		if _, inProgram := p.Fns[c]; !inProgram {
+			if ExternalFacts(c)&want != 0 {
+				return []analysis.RelatedPos{{
+					Pos:     s.Pos,
+					Message: "calls " + callgraph.ShortName(c) + " (" + (ExternalFacts(c) & want).String() + ")",
+				}}
+			}
+			continue
+		}
+		if p.ReachableFacts(c, skip)&want == 0 {
+			continue
+		}
+		if rest := p.fnWitness(c, want, skip, visited); rest != nil {
+			step := analysis.RelatedPos{Pos: s.Pos, Message: "calls " + callgraph.ShortName(c)}
+			return append([]analysis.RelatedPos{step}, rest...)
+		}
+	}
+	return nil
+}
+
+// WitnessString renders a witness chain as one diagnostic-friendly
+// line: "f (a.go:3: calls g) -> g (b.go:7: make([]byte))".
+func (p *Program) WitnessString(chain []analysis.RelatedPos) string {
+	var b strings.Builder
+	for i, step := range chain {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		pos := p.Fset.Position(step.Pos)
+		b.WriteString(shortFile(pos.Filename))
+		b.WriteString(":")
+		b.WriteString(itoa(pos.Line))
+		b.WriteString(" ")
+		b.WriteString(step.Message)
+	}
+	return b.String()
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Annotated reports whether the function declaration carries the given
+// //lmp:<name> directive in its doc comment.
+func Annotated(decl *ast.FuncDecl, name string) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "lmp:"+name || strings.HasPrefix(text, "lmp:"+name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// scanFunc collects a function's fact sites and lock operations.
+func scanFunc(n *callgraph.Node) *FnInfo {
+	fi := &FnInfo{Node: n}
+	// Index the call graph's resolved sites by position.
+	calls := make(map[token.Pos]*callgraph.Site, len(n.Calls))
+	for i := range n.Calls {
+		calls[n.Calls[i].Pos] = &n.Calls[i]
+	}
+	s := &scanner{unit: n.Unit, calls: calls, fi: fi}
+	s.walk(n.Decl.Body, false)
+	sort.SliceStable(fi.Sites, func(i, j int) bool { return fi.Sites[i].Pos < fi.Sites[j].Pos })
+	sort.SliceStable(fi.Locks, func(i, j int) bool { return fi.Locks[i].Pos < fi.Locks[j].Pos })
+	return fi
+}
+
+type scanner struct {
+	unit  *analysis.Unit
+	calls map[token.Pos]*callgraph.Site
+	fi    *FnInfo
+}
+
+func (s *scanner) add(pos token.Pos, f Fact, what string) {
+	s.fi.Sites = append(s.fi.Sites, Site{Pos: pos, Local: f, What: what})
+}
+
+// walk descends n collecting fact sites; deferred tracks whether the
+// walk is lexically inside a defer statement (a deferred lock release
+// holds to function exit, not to its lexical position).
+func (s *scanner) walk(n ast.Node, deferred bool) {
+	if n == nil {
+		return
+	}
+	info := s.unit.Info
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch e := child.(type) {
+		case *ast.DeferStmt:
+			s.callExpr(e.Call, true)
+			return false
+		case *ast.GoStmt:
+			// The spawn allocates; the spawned body runs elsewhere, so
+			// its contents contribute nothing to the caller's facts. The
+			// call site itself is still in the graph (flagged Go).
+			s.add(e.Pos(), Allocs, "go statement (goroutine spawn)")
+			if site, ok := s.calls[e.Call.Pos()]; ok {
+				s.fi.Sites = append(s.fi.Sites, Site{Pos: e.Call.Pos(), Call: site})
+			}
+			return false
+		case *ast.FuncLit:
+			// A literal not invoked on the spot escapes as a value:
+			// closure allocation, body attributed here (it may run here).
+			s.add(e.Pos(), Allocs, "function literal (closure allocation)")
+			s.walk(e.Body, false)
+			return false
+		case *ast.SendStmt:
+			s.add(e.Pos(), BlocksChan, "channel send")
+		case *ast.SelectStmt:
+			s.add(e.Pos(), BlocksChan, "select")
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				s.add(e.Pos(), BlocksChan, "channel receive")
+			}
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					s.add(e.Pos(), Allocs, "address of composite literal")
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					s.add(e.Pos(), BlocksChan, "range over channel")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(e); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					s.add(e.Pos(), Allocs, "slice or map literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if t := info.TypeOf(e); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						s.add(e.Pos(), Allocs, "string concatenation")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t := info.TypeOf(ix.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							s.add(ix.Pos(), Allocs, "map assignment")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			s.callExpr(e, deferred)
+			return false
+		}
+		return true
+	})
+}
+
+// callExpr classifies one call expression and descends into fun/args.
+func (s *scanner) callExpr(call *ast.CallExpr, deferred bool) {
+	info := s.unit.Info
+	fun := ast.Unparen(call.Fun)
+	defer func() {
+		s.walk(call.Fun, deferred)
+		for _, a := range call.Args {
+			s.walk(a, deferred)
+		}
+	}()
+	// Immediately invoked literal: body is plain code, no closure value.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		s.walk(lit.Body, deferred)
+		return
+	}
+	// Conversions.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		s.conversion(call, tv.Type)
+		return
+	}
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				s.add(call.Pos(), Allocs, "make")
+			case "new":
+				s.add(call.Pos(), Allocs, "new")
+			case "append":
+				s.add(call.Pos(), Allocs, "append (may grow)")
+			}
+			return
+		}
+	}
+	// Lock operations on classified locks.
+	if op, ok := s.lockOp(call); ok {
+		op.Deferred = deferred
+		s.fi.Locks = append(s.fi.Locks, op)
+		if op.Acquire {
+			s.add(call.Pos(), BlocksMutex|op.Class.AcqFact(), "acquires the "+op.Class.String()+" lock")
+		}
+		return
+	}
+	// Resolved call site from the graph.
+	if site, ok := s.calls[call.Pos()]; ok {
+		st := Site{Pos: call.Pos(), Call: site}
+		if site.Unknown {
+			st.Local = Allocs | Unknown
+			st.What = "call through a function value (unresolvable)"
+		}
+		if isRPCPath(site.CalleePkg) {
+			st.Local |= CallsRPC
+			st.What = "call into package rpc"
+		}
+		s.fi.Sites = append(s.fi.Sites, st)
+	}
+}
+
+// conversion accounts allocating conversions: boxing into an interface
+// and string/byte-slice copies.
+func (s *scanner) conversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	from := s.unit.Info.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to) && !types.IsInterface(from) {
+		s.add(call.Pos(), Allocs, "interface conversion (boxing)")
+		return
+	}
+	tb, tok := to.Underlying().(*types.Basic)
+	fs, fromSlice := from.Underlying().(*types.Slice)
+	ts, toSlice := to.Underlying().(*types.Slice)
+	fb, fok := from.Underlying().(*types.Basic)
+	switch {
+	case tok && tb.Info()&types.IsString != 0 && fromSlice:
+		_ = fs
+		s.add(call.Pos(), Allocs, "[]byte-to-string conversion")
+	case toSlice && fok && fb.Info()&types.IsString != 0:
+		_ = ts
+		s.add(call.Pos(), Allocs, "string-to-slice conversion")
+	}
+}
+
+// lockOp classifies sel.Lock()/Unlock()-shaped calls against the lock
+// hierarchy: embedded stripe/shard mutexes by type name, the coherence
+// directory's mu, and the pool's structural mu.
+func (s *scanner) lockOp(call *ast.CallExpr) (LockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return LockOp{}, false
+	}
+	method := sel.Sel.Name
+	if method != "Lock" && method != "RLock" && method != "Unlock" && method != "RUnlock" {
+		return LockOp{}, false
+	}
+	t := s.unit.Info.TypeOf(sel.X)
+	if t == nil {
+		return LockOp{}, false
+	}
+	op := LockOp{
+		Pos:     call.Pos(),
+		Acquire: method == "Lock" || method == "RLock",
+		Write:   method == "Lock" || method == "Unlock",
+		Recv:    types.ExprString(sel.X),
+	}
+	switch {
+	case EmbedsMutexNamed(t, "stripe"):
+		op.Class = LockStripe
+	case EmbedsMutexNamed(t, "shard"):
+		op.Class = LockShard
+	case IsSyncMutex(t):
+		// x.mu.Lock(): classify by the mutex's owner type.
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != "mu" {
+			return LockOp{}, false
+		}
+		owner := s.unit.Info.TypeOf(inner.X)
+		switch {
+		case namedTypeContains(owner, "directory"):
+			op.Class = LockDirectory
+		case namedTypeIs(owner, "Pool"):
+			op.Class = LockStructural
+		default:
+			return LockOp{}, false
+		}
+		op.Recv = types.ExprString(inner.X)
+	default:
+		return LockOp{}, false
+	}
+	return op, true
+}
+
+// isRPCPath reports whether path names an rpc package.
+func isRPCPath(path string) bool {
+	return path == "rpc" || strings.HasSuffix(path, "/rpc")
+}
+
+// IsRPCSite reports whether the call site targets an rpc package.
+func IsRPCSite(s Site) bool { return s.Local&CallsRPC != 0 }
+
+// EmbedsMutexNamed reports whether t (or *t) is a named struct type
+// whose name contains substr (case-insensitive) and which embeds
+// sync.Mutex or sync.RWMutex.
+func EmbedsMutexNamed(t types.Type, substr string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !strings.Contains(strings.ToLower(named.Obj().Name()), substr) {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() && IsSyncMutex(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSyncMutex reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func IsSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func namedTypeContains(t types.Type, substr string) bool {
+	name, ok := namedTypeName(t)
+	return ok && strings.Contains(strings.ToLower(name), substr)
+}
+
+func namedTypeIs(t types.Type, name string) bool {
+	n, ok := namedTypeName(t)
+	return ok && n == name
+}
+
+func namedTypeName(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}

@@ -1,0 +1,167 @@
+package summary
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/analysis"
+)
+
+const factsSrc = `package q
+
+func leaf() *int { return new(int) }
+
+func mid() *int { return leaf() }
+
+func top() *int { return mid() }
+
+func recvs(ch chan int) int { return <-ch }
+
+func waiter(ch chan int) { <-ch }
+
+func spawns(ch chan int) { go waiter(ch) }
+
+func loopA() { loopB() }
+
+func loopB() { loopA(); _ = make([]byte, 1) }
+
+// lmp:hotpath
+func tagged() {}
+`
+
+func buildProgram(t *testing.T) *Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "q.go", factsSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	tpkg, err := (&types.Config{}).Check("q", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &analysis.Unit{PkgPath: "q", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	return Build([]*analysis.Unit{u})
+}
+
+func TestFixpoint(t *testing.T) {
+	p := buildProgram(t)
+	if f := p.Facts("q.top"); f&Allocs == 0 {
+		t.Errorf("top: facts %v, want Allocs (two calls deep)", f)
+	}
+	if f := p.Facts("q.recvs"); f&BlocksChan == 0 || f&Allocs != 0 {
+		t.Errorf("recvs: facts %v, want BlocksChan and no Allocs", f)
+	}
+	// go statements: the spawn allocates, but the spawned body's blocking
+	// runs on another goroutine and must not leak into the caller.
+	if f := p.Facts("q.spawns"); f&Allocs == 0 || f&BlocksChan != 0 {
+		t.Errorf("spawns: facts %v, want Allocs without BlocksChan", f)
+	}
+	// Mutual recursion converges and both members see the allocation.
+	if f := p.Facts("q.loopA"); f&Allocs == 0 {
+		t.Errorf("loopA: facts %v, want Allocs via recursion", f)
+	}
+}
+
+func TestExternalFallback(t *testing.T) {
+	p := buildProgram(t)
+	if f := p.Facts("strings.Repeat"); f != Allocs|Unknown {
+		t.Errorf("unknown external: facts %v, want Allocs|Unknown", f)
+	}
+}
+
+func TestWitness(t *testing.T) {
+	p := buildProgram(t)
+	chain := p.Witness("q.top", Allocs, nil)
+	if len(chain) != 3 {
+		t.Fatalf("witness length %d, want 3: %q", len(chain), p.WitnessString(chain))
+	}
+	wantMsgs := []string{"calls q.mid", "calls q.leaf", "new"}
+	for i, m := range wantMsgs {
+		if chain[i].Message != m {
+			t.Errorf("step %d: %q, want %q", i, chain[i].Message, m)
+		}
+	}
+	if s := p.WitnessString(chain); s == "" {
+		t.Error("WitnessString: empty render")
+	}
+	if chain := p.Witness("q.recvs", Allocs, nil); chain != nil {
+		t.Errorf("recvs carries no Allocs; witness = %q", p.WitnessString(chain))
+	}
+}
+
+func TestReachableFactsSkip(t *testing.T) {
+	p := buildProgram(t)
+	if f := p.ReachableFacts("q.top", nil); f&Allocs == 0 {
+		t.Errorf("top reachable: %v, want Allocs", f)
+	}
+	skip := func(id string) bool { return id == "q.leaf" }
+	if f := p.ReachableFacts("q.top", skip); f != 0 {
+		t.Errorf("top with leaf skipped: %v, want pure", f)
+	}
+}
+
+func TestAnnotated(t *testing.T) {
+	p := buildProgram(t)
+	n := p.Graph.Nodes["q.tagged"]
+	if n == nil {
+		t.Fatal("no node for q.tagged")
+	}
+	if !Annotated(n.Decl, "hotpath") {
+		t.Error("tagged: Annotated(hotpath) = false")
+	}
+	if Annotated(n.Decl, "coldpath") {
+		t.Error("tagged: Annotated(coldpath) = true")
+	}
+	if Annotated(p.Graph.Nodes["q.top"].Decl, "hotpath") {
+		t.Error("top: Annotated(hotpath) = true for undocumented func")
+	}
+}
+
+func TestExternalFacts(t *testing.T) {
+	cases := map[string]Fact{
+		"(*sync.Mutex).Lock":         BlocksMutex,
+		"(*sync.Mutex).Unlock":       0,
+		"(*sync.WaitGroup).Wait":     BlocksChan,
+		"sync/atomic.AddUint64":      0,
+		"math.Sqrt":                  0,
+		"time.Sleep":                 BlocksChan,
+		"errors.Is":                  0,
+		"fmt.Sprintf":                Allocs | Unknown,
+		"example.com/m/tel.procPin":  Pins,
+		"example.com/m/tel_procPin":  Pins,
+		"example.com/m/tel.nanotime": 0,
+	}
+	for id, want := range cases {
+		if got := ExternalFacts(id); got != want {
+			t.Errorf("ExternalFacts(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestExternalPkg(t *testing.T) {
+	cases := map[string]string{
+		"(*sync.Mutex).Lock":    "sync",
+		"(sync.Locker).Lock":    "sync",
+		"sync/atomic.AddUint64": "sync/atomic",
+		"time.Now":              "time",
+	}
+	for id, want := range cases {
+		if got := externalPkg(id); got != want {
+			t.Errorf("externalPkg(%q) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestFactString(t *testing.T) {
+	if got := Fact(0).String(); got != "pure" {
+		t.Errorf("Fact(0) = %q, want pure", got)
+	}
+	if got := (Allocs | BlocksChan).String(); got != "allocates, blocks" {
+		t.Errorf("Allocs|BlocksChan = %q", got)
+	}
+}

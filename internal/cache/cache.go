@@ -293,6 +293,8 @@ func (c *Cache) shardFor(page uint64) (*cacheShard, int) {
 // ReadAt copies len(dst) bytes at byte offset off of the cached page into
 // dst. It reports whether the page was resident. A miss records no state
 // beyond the miss counter; fills are the caller's job (Put).
+//
+//lmp:hotpath
 func (c *Cache) ReadAt(page uint64, dst []byte, off int) bool {
 	sh, lane := c.shardFor(page)
 	sh.Lock()
@@ -314,6 +316,8 @@ func (c *Cache) ReadAt(page uint64, dst []byte, off int) bool {
 // WriteAt updates a resident page in place (coherent write-through by a
 // node that already owns the page) and reports whether the page was
 // resident. It never admits a page: admission policy lives in Put.
+//
+//lmp:hotpath
 func (c *Cache) WriteAt(page uint64, src []byte, off int) bool {
 	sh, _ := c.shardFor(page)
 	sh.Lock()
