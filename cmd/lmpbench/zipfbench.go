@@ -62,6 +62,10 @@ type benchRecord struct {
 type benchFile struct {
 	Schema     int           `json:"schema"`
 	Benchmarks []benchRecord `json:"benchmarks"`
+	// RPC carries the transport throughput records (see rpcbench.go).
+	// Omitted by baselines older than the pipelined transport; -compare
+	// tolerates their absence.
+	RPC []rpcRecord `json:"rpc,omitempty"`
 }
 
 // compareTolerance is the soft regression budget: ns/op may drift this
@@ -221,6 +225,7 @@ func writeBenchJSON(path string) {
 			rec.ReadP50NS, rec.ReadP99NS, rec.ReadP999NS)
 		out.Benchmarks = append(out.Benchmarks, rec)
 	}
+	out.RPC = runRPCSection(false)
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmpbench: %v\n", err)
@@ -264,6 +269,39 @@ func compareBenchJSON(path string) {
 		}
 		fmt.Printf("%-32s baseline %10.2f ns/op  now %10.2f ns/op  %+6.1f%%  %s\n",
 			b.Name, b.NsPerOp, cur.NsPerOp, delta*100, verdict)
+	}
+	if len(base.RPC) == 0 {
+		fmt.Println("baseline predates the rpc throughput section; skipping rpc compare")
+	} else {
+		cur := runRPCSection(true)
+		for _, b := range base.RPC {
+			if b.Config != defaultRPCConfig {
+				fmt.Fprintf(os.Stderr, "lmpbench: %s: rpc baseline %q was recorded with a different workload config; regenerate with -json\n",
+					path, b.Name)
+				os.Exit(1)
+			}
+			if b.SpeedupVsSerial == 0 {
+				continue // the serialized record; its ops/s is the ratio's denominator
+			}
+			for _, c := range cur {
+				if c.Name != b.Name {
+					continue
+				}
+				// Absolute ops/s tracks the machine, not the code, so the
+				// regression gate is the pipelining speedup ratio — both
+				// variants jitter together and the ratio cancels it. Ratio
+				// noise still runs wider than ns/op noise on loaded boxes,
+				// hence the doubled tolerance.
+				delta := (b.SpeedupVsSerial - c.SpeedupVsSerial) / b.SpeedupVsSerial
+				verdict := "ok"
+				if delta > 2*compareTolerance {
+					verdict = "REGRESSION"
+					failed = true
+				}
+				fmt.Printf("%-32s baseline %9.2fx speedup  now %9.2fx  %+6.1f%%  %s\n",
+					b.Name, b.SpeedupVsSerial, c.SpeedupVsSerial, -delta*100, verdict)
+			}
+		}
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "lmpbench: ns/op regressed more than %.0f%% against %s\n",

@@ -6,6 +6,12 @@
 //     cache-shard lock is held may *transitively* reach an rpc package.
 //     The wire can block indefinitely and its completion path can
 //     re-enter the cache; PR 2's syntactic rule only saw direct calls.
+//  1b. The rpc pending-table lock (any named struct embedding a mutex
+//     with "pending" in its name) is the transport's innermost lock: a
+//     blocking channel operation or an rpc-reaching call under it —
+//     directly or through helpers — is reported. The legal shape is
+//     take-then-complete: withdraw the table entry under the lock and
+//     resolve it after release.
 //  2. Lock-graph cycles: every function contributes edges "holding
 //     class H, acquires class A" (directly or through any callee) to a
 //     global graph over the lock hierarchy — structural, stripe,
@@ -43,8 +49,9 @@ import (
 var ProgramAnalyzer = &summary.ProgramAnalyzer{
 	Name: "lockorder",
 	Doc: "whole-program lock discipline: no call under a stripe or cache-shard " +
-		"lock may transitively reach an rpc package, and the global lock graph " +
-		"over structural/stripe/shard/directory must be acyclic",
+		"lock may transitively reach an rpc package, nothing blocking or " +
+		"rpc-reaching may run under a pending-table lock, and the global lock " +
+		"graph over structural/stripe/shard/directory/pending must be acyclic",
 	Run: runProgram,
 }
 
@@ -71,12 +78,20 @@ func runProgram(p *summary.Program, report func(analysis.Diagnostic)) error {
 	return nil
 }
 
-// acqMask covers the four classified acquisition facts.
-const acqMask = summary.AcqStripe | summary.AcqShard | summary.AcqDirectory | summary.AcqStructural
+// acqMask covers the classified acquisition facts.
+const acqMask = summary.AcqStripe | summary.AcqShard | summary.AcqDirectory |
+	summary.AcqStructural | summary.AcqPending
 
 var lockClasses = []summary.LockClass{
-	summary.LockStructural, summary.LockStripe, summary.LockShard, summary.LockDirectory,
+	summary.LockStructural, summary.LockStripe, summary.LockShard,
+	summary.LockDirectory, summary.LockPending,
 }
+
+// pendingForbidden names the facts barred under a pending-table lock:
+// the table is the transport's innermost lock, so a send (a completion
+// channel lives on the other side) or any call that can re-enter the
+// rpc layer while holding it is a deadlock seed.
+const pendingForbidden = summary.BlocksChan | summary.CallsRPC
 
 // scanHeldRegions walks one function's sites in source order with the
 // lexically-held lock set, reporting transitive RPC reachability and
@@ -124,6 +139,23 @@ func scanHeldRegions(p *summary.Program, id string, report func(analysis.Diagnos
 				Pos: s.Pos,
 				Message: fmt.Sprintf("%s lock held across a call that transitively reaches package rpc: %s",
 					holder, p.WitnessString(chain)),
+				Related: chain,
+			})
+		}
+		// Rule 1b: the pending-table lock is innermost — nothing held
+		// under it may block on a channel or reach back into rpc.
+		if held[summary.LockPending] > 0 && facts&pendingForbidden != 0 {
+			bad := summary.CallsRPC
+			what := "a call that transitively reaches package rpc"
+			if facts&summary.BlocksChan != 0 {
+				bad = summary.BlocksChan
+				what = "a blocking channel operation"
+			}
+			chain := p.SiteWitness(s, bad, nil)
+			report(analysis.Diagnostic{
+				Pos: s.Pos,
+				Message: fmt.Sprintf("pending-table lock held across %s: %s",
+					what, p.WitnessString(chain)),
 				Related: chain,
 			})
 		}

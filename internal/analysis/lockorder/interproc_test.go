@@ -10,3 +10,7 @@ import (
 func TestInterprocedural(t *testing.T) {
 	analysistest.RunProgram(t, "testdata", lockorder.ProgramAnalyzer, "rpc", "interproc")
 }
+
+func TestPendingTableRule(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", lockorder.ProgramAnalyzer, "rpc", "pendinglock")
+}

@@ -1,0 +1,73 @@
+// Package pendinglock exercises the pending-table rule: the rpc tag
+// table's lock is the transport's innermost lock, so holding it across a
+// blocking channel send or any call that can reach back into an rpc
+// package is reported — including one helper call deep, where the
+// syntactic pass cannot see. The legal shape (take the entry under the
+// lock, complete it after release) stays silent.
+package pendinglock
+
+import (
+	"sync"
+
+	"rpc"
+)
+
+type future struct {
+	done chan struct{}
+}
+
+// pendingTable is the classified type: a named struct embedding
+// sync.Mutex whose name contains "pending".
+type pendingTable struct {
+	sync.Mutex
+	m map[uint64]*future
+}
+
+type client struct {
+	pt   pendingTable
+	c    *rpc.Client
+	wake chan struct{}
+}
+
+// completeLocked resolves a future while still holding the table lock —
+// the completion channel send can park with the transport's innermost
+// lock held.
+func (c *client) completeLocked(id uint64) {
+	c.pt.Lock()
+	defer c.pt.Unlock()
+	f := c.pt.m[id]
+	delete(c.pt.m, id)
+	f.done <- struct{}{} // want "pending-table lock held across a blocking channel operation"
+}
+
+// resendLocked reaches the wire two calls below the pending lock: only
+// the whole-program pass sees it.
+func (c *client) resendLocked(id uint64) {
+	c.pt.Lock()
+	defer c.pt.Unlock()
+	c.requeue(id) // want "pending-table lock held across a call that transitively reaches package rpc: .*requeue.*send.*rpc"
+}
+
+func (c *client) requeue(id uint64) { c.send() }
+
+func (c *client) send() { c.c.Call(0, nil) }
+
+// takeThenComplete is the legal shape: withdraw the entry under the
+// lock, release, then complete outside. No diagnostic.
+func (c *client) takeThenComplete(id uint64) {
+	c.pt.Lock()
+	f := c.pt.m[id]
+	delete(c.pt.m, id)
+	c.pt.Unlock()
+	if f != nil {
+		f.done <- struct{}{}
+	}
+}
+
+// doorbell is also legal: a non-blocking notify happens after release.
+func (c *client) doorbell(id uint64) {
+	c.pt.Lock()
+	c.pt.m[id] = &future{done: make(chan struct{}, 1)}
+	c.pt.Unlock()
+	c.wake <- struct{}{}
+}

@@ -62,6 +62,9 @@ const (
 	AcqShard
 	AcqDirectory
 	AcqStructural
+	// AcqPending: the function may acquire a pending-table lock (an
+	// rpc-layer tag table; innermost by contract).
+	AcqPending
 )
 
 // String renders the low fact bits for diagnostics.
@@ -75,6 +78,7 @@ func (f Fact) String() string {
 		{CallsRPC, "calls rpc"}, {Pins, "pins"}, {Unknown, "unknown behavior"},
 		{AcqStripe, "acquires a stripe lock"}, {AcqShard, "acquires a shard lock"},
 		{AcqDirectory, "acquires the directory lock"}, {AcqStructural, "acquires the structural lock"},
+		{AcqPending, "acquires the pending-table lock"},
 	} {
 		if f&e.bit != 0 {
 			parts = append(parts, e.name)
@@ -95,6 +99,7 @@ const (
 	LockStripe
 	LockShard
 	LockDirectory
+	LockPending
 )
 
 // String names the class as diagnostics print it.
@@ -108,6 +113,8 @@ func (c LockClass) String() string {
 		return "cache-shard"
 	case LockDirectory:
 		return "directory"
+	case LockPending:
+		return "pending-table"
 	}
 	return "none"
 }
@@ -123,6 +130,8 @@ func (c LockClass) AcqFact() Fact {
 		return AcqShard
 	case LockDirectory:
 		return AcqDirectory
+	case LockPending:
+		return AcqPending
 	}
 	return 0
 }
@@ -646,6 +655,8 @@ func (s *scanner) lockOp(call *ast.CallExpr) (LockOp, bool) {
 		op.Class = LockStripe
 	case EmbedsMutexNamed(t, "shard"):
 		op.Class = LockShard
+	case EmbedsMutexNamed(t, "pending"):
+		op.Class = LockPending
 	case IsSyncMutex(t):
 		// x.mu.Lock(): classify by the mutex's owner type.
 		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)

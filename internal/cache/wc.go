@@ -258,6 +258,39 @@ func (w *WriteCombiner) BeginFlush() []*Pending {
 	return out
 }
 
+// BeginFlushCoalesced is BeginFlush plus run coalescing: consecutive
+// batch entries from the same issuer whose byte ranges abut are merged
+// into one entry, so the flush applies fewer, larger vectored runs (and
+// the live transport packs fewer, larger frames). Batch entries are
+// disjoint by the Add contract, so abutting merges are order-free and
+// byte-exact. The returned entries are flush-only views backed by fresh
+// buffers where merged; the originals stay on the flushing list for
+// overlay visibility until EndFlush.
+func (w *WriteCombiner) BeginFlushCoalesced() []Pending {
+	batch := w.BeginFlush()
+	out := make([]Pending, 0, len(batch))
+	owned := false // whether the last entry's Data is a private merge buffer
+	for _, e := range batch {
+		if n := len(out); n > 0 {
+			prev := &out[n-1]
+			if prev.From == e.From && prev.Addr+uint64(len(prev.Data)) == e.Addr {
+				if !owned {
+					// First extension: copy out of the arena — appending in
+					// place could grow into a neighbouring entry's bytes.
+					buf := make([]byte, 0, len(prev.Data)+len(e.Data))
+					prev.Data = append(buf, prev.Data...)
+					owned = true
+				}
+				prev.Data = append(prev.Data, e.Data...)
+				continue
+			}
+		}
+		out = append(out, Pending{From: e.From, Addr: e.Addr, Data: e.Data, seq: e.seq})
+		owned = false
+	}
+	return out
+}
+
 // EndFlush retires the flushing batch: the writes are now in backing.
 func (w *WriteCombiner) EndFlush() {
 	w.mu.Lock()

@@ -120,6 +120,70 @@ func TestWCFlushLifecycle(t *testing.T) {
 	}
 }
 
+func TestWCCoalescedFlushMergesAbuttingRuns(t *testing.T) {
+	w := newWC()
+	w.Add(1, 100, []byte{1, 1})
+	w.Add(1, 102, []byte{2, 2}) // abuts previous, same node → merges
+	w.Add(1, 104, []byte{3})    // abuts again → extends the same run
+	w.Add(2, 105, []byte{4})    // abuts but different node → new run
+	w.Add(1, 200, []byte{5})    // gap → new run
+	batch := w.BeginFlushCoalesced()
+	if len(batch) != 3 {
+		t.Fatalf("coalesced batch has %d runs, want 3: %+v", len(batch), batch)
+	}
+	if batch[0].From != 1 || batch[0].Addr != 100 || !bytes.Equal(batch[0].Data, []byte{1, 1, 2, 2, 3}) {
+		t.Fatalf("merged run 0: %+v", batch[0])
+	}
+	if batch[1].From != 2 || batch[1].Addr != 105 || !bytes.Equal(batch[1].Data, []byte{4}) {
+		t.Fatalf("cross-node run 1 merged: %+v", batch[1])
+	}
+	if batch[2].Addr != 200 || !bytes.Equal(batch[2].Data, []byte{5}) {
+		t.Fatalf("gapped run 2 merged: %+v", batch[2])
+	}
+	// The originals stay on the flushing list for overlay visibility.
+	buf := make([]byte, 6)
+	w.OverlayRange(100, buf)
+	if !bytes.Equal(buf, []byte{1, 1, 2, 2, 3, 4}) {
+		t.Fatalf("overlay during coalesced flush: %v", buf)
+	}
+	w.EndFlush()
+	if w.PendingCount() != 0 {
+		t.Fatalf("pending %d after EndFlush", w.PendingCount())
+	}
+}
+
+// TestWCCoalescedFlushDoesNotClobberArena is the regression for the
+// copy-on-first-extension rule: merging a run by appending in place
+// would grow the first entry's arena slice into its neighbour's bytes.
+// The merged output and every unmerged entry must stay byte-exact.
+func TestWCCoalescedFlushDoesNotClobberArena(t *testing.T) {
+	w := newWC()
+	// Arena-adjacent entries: added back to back, so their backing bytes
+	// are contiguous in the same arena block.
+	w.Add(1, 100, []byte{0xA, 0xA, 0xA})
+	w.Add(1, 103, []byte{0xB, 0xB, 0xB})
+	w.Add(1, 106, []byte{0xC, 0xC, 0xC})
+	w.Add(1, 300, []byte{0xD, 0xD, 0xD}) // disjoint sentinel after the run
+	batch := w.BeginFlushCoalesced()
+	if len(batch) != 2 {
+		t.Fatalf("coalesced batch has %d runs, want 2", len(batch))
+	}
+	want := []byte{0xA, 0xA, 0xA, 0xB, 0xB, 0xB, 0xC, 0xC, 0xC}
+	if !bytes.Equal(batch[0].Data, want) {
+		t.Fatalf("merged run %v, want %v (in-place append clobbered the arena)", batch[0].Data, want)
+	}
+	if !bytes.Equal(batch[1].Data, []byte{0xD, 0xD, 0xD}) {
+		t.Fatalf("sentinel entry corrupted by the merge: %v", batch[1].Data)
+	}
+	// The arena originals behind the overlay are untouched too.
+	buf := make([]byte, 9)
+	w.OverlayRange(100, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("overlay after coalesced flush: %v", buf)
+	}
+	w.EndFlush()
+}
+
 func TestWCSecondFlushIncludesNewPending(t *testing.T) {
 	w := newWC()
 	w.Add(1, 10, []byte{1})

@@ -67,6 +67,48 @@ func (l *Link) CallCtx(ctx context.Context, method byte, payload []byte) ([]byte
 	return l.next.CallCtx(ctx, method, payload)
 }
 
+// CallAsyncCtx applies the injector's verdict per logical call, then
+// pipelines through the wrapped transport: the verdict is drawn before
+// the request is queued, so a batched wire carries exactly the faults
+// the seed dictates regardless of how frames coalesce. Injected
+// failures resolve immediately; a duplicated call re-delivers on the
+// waiting goroutine when the first delivery resolves.
+func (l *Link) CallAsyncCtx(ctx context.Context, method byte, payload []byte) *rpc.Future {
+	in := l.in
+	in.mu.Lock()
+	if in.crashed[l.server] {
+		in.record(FaultDead, l.server, fmt.Sprintf("method=%d", method))
+		in.mu.Unlock()
+		return rpc.ResolvedFuture(nil, fmt.Errorf("chaos: server %d is crashed: %w", l.server, rpc.ErrServerDead))
+	}
+	verdict := l.roll(method)
+	in.mu.Unlock()
+
+	switch verdict.kind {
+	case FaultDrop:
+		in.drops.Inc()
+		return rpc.ResolvedFuture(nil, fmt.Errorf("chaos: dropped method %d to server %d: %w", method, l.server, rpc.ErrTransient))
+	case FaultTimeout:
+		in.drops.Inc()
+		return rpc.ResolvedFuture(nil, fmt.Errorf("chaos: method %d to server %d timed out after %v: %w",
+			method, l.server, verdict.delay, rpc.ErrTransient))
+	case FaultDelay:
+		in.delays.Inc()
+	case FaultDup:
+		in.dups.Inc()
+		f := rpc.Async(l.next, ctx, method, payload)
+		return f.Then(func(resp []byte, err error) ([]byte, error) {
+			if err != nil {
+				return resp, err
+			}
+			// Duplicate delivery: the call reaches the server a second time.
+			_, _ = l.next.CallCtx(ctx, method, payload)
+			return resp, nil
+		})
+	}
+	return rpc.Async(l.next, ctx, method, payload)
+}
+
 type verdict struct {
 	kind  FaultKind
 	delay sim.Duration

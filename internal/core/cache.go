@@ -505,11 +505,13 @@ func (p *Pool) FlushWriteCombining() error {
 // write per issuing node. The flush mutex serializes flushes and orders
 // strictly before stripe locks (taken inside vectored); the batch stays
 // visible to readers until EndFlush, so there is no window where an
-// accepted write is in neither the combiner nor backing.
+// accepted write is in neither the combiner nor backing. The batch is
+// pre-coalesced: abutting buffered writes arrive as single runs, so the
+// vectored path sees the fewest, largest segments the buffer allows.
 func (p *Pool) flushWC() error {
 	p.flushMu.Lock()
 	defer p.flushMu.Unlock()
-	batch := p.wc.BeginFlush()
+	batch := p.wc.BeginFlushCoalesced()
 	if len(batch) == 0 {
 		return nil
 	}

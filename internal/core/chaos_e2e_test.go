@@ -221,6 +221,26 @@ func chaosRun(t *testing.T, seed int64, keep []int, corruptAt int) chaosResult {
 				for j := range data {
 					data[j] = byte(uint64(j) + op.a + op.b)
 				}
+				if op.a%4 == 0 && n >= 2 {
+					// Vectored variant: the same range split into two
+					// disjoint vecs, issued as one atomic WriteV. The
+					// model update is identical, so the oracle checks
+					// that WriteV and WriteAt are interchangeable under
+					// faults.
+					cut := n / 2
+					base := cb.buf.Addr() + addr.Logical(off)
+					vecs := []Vec{
+						{Addr: base, Data: data[:cut]},
+						{Addr: base + addr.Logical(cut), Data: data[cut:]},
+					}
+					if err := p.WriteV(liveServer(op.a), vecs); err != nil {
+						diverge("op %d: writev off=%d len=%d: %v", idx, off, n, err)
+						return
+					}
+					copy(cb.model[off:], data)
+					logf("op=%d writev off=%d len=%d", idx, off, n)
+					return
+				}
 				if err := cb.buf.WriteAt(liveServer(op.a), data, off); err != nil {
 					diverge("op %d: write off=%d len=%d: %v", idx, off, n, err)
 					return
@@ -238,6 +258,26 @@ func chaosRun(t *testing.T, seed int64, keep []int, corruptAt int) chaosResult {
 					n = int(int64(len(cb.model)) - off)
 				}
 				got := make([]byte, n)
+				if op.a%4 == 0 && n >= 2 {
+					// Vectored variant mirroring the write side: one
+					// ReadV over two disjoint halves of the range must
+					// see exactly what scalar reads would.
+					cut := n / 2
+					base := cb.buf.Addr() + addr.Logical(off)
+					vecs := []Vec{
+						{Addr: base, Data: got[:cut]},
+						{Addr: base + addr.Logical(cut), Data: got[cut:]},
+					}
+					if err := p.ReadV(liveServer(op.b), vecs); err != nil {
+						diverge("op %d: readv off=%d len=%d: %v", idx, off, n, err)
+						return
+					}
+					if !bytes.Equal(got, cb.model[off:off+int64(n)]) {
+						diverge("op %d: readv off=%d len=%d diverges from model", idx, off, n)
+					}
+					logf("op=%d readv off=%d len=%d", idx, off, n)
+					return
+				}
 				if err := cb.buf.ReadAt(liveServer(op.b), got, off); err != nil {
 					diverge("op %d: read off=%d len=%d: %v", idx, off, n, err)
 					return
@@ -577,5 +617,30 @@ func TestChaosRegressionSeed(t *testing.T) {
 	}
 	if res.repaired == 0 && res.recoveries == 0 {
 		t.Fatal("regression seed no longer exercises recovery; pick a new seed")
+	}
+}
+
+// TestChaosVectoredRegressionSeed pins a seed whose interleaving mixes
+// vectored writes/reads with crashes and repairs: WriteV/ReadV must stay
+// byte-equivalent to the scalar path while slices die, recover through
+// RS reconstruction, and re-home. The sentinel assertions keep the seed
+// honest — if a generator change stops it crashing servers or drawing
+// vectored ops, the seed must be re-picked, not the check deleted.
+func TestChaosVectoredRegressionSeed(t *testing.T) {
+	const vecSeed = 11
+	res := chaosRun(t, vecSeed, nil, -1)
+	if len(res.divergence) > 0 {
+		reportChaosFailure(t, vecSeed, res)
+	}
+	if res.crashes == 0 {
+		t.Fatal("vectored regression seed no longer crashes any server; pick a new seed")
+	}
+	if res.repaired == 0 && res.recoveries == 0 {
+		t.Fatal("vectored regression seed no longer exercises recovery; pick a new seed")
+	}
+	wv := strings.Count(res.log, " writev ")
+	rv := strings.Count(res.log, " readv ")
+	if wv == 0 || rv == 0 {
+		t.Fatalf("vectored regression seed drew writev=%d readv=%d ops; pick a new seed", wv, rv)
 	}
 }

@@ -398,9 +398,28 @@ func (c *Client) ReadCtx(ctx context.Context, off int64, n int) ([]byte, error) 
 	return c.c.CallCtx(ctx, MethodRead, req)
 }
 
+// ReadAsync issues a read without blocking for the response: the future
+// resolves to the raw bytes. Any number of async calls may be in flight
+// on one connection; the transport pipelines (and, for small requests,
+// batches) them.
+func (c *Client) ReadAsync(ctx context.Context, off int64, n int) *rpc.Future {
+	req := make([]byte, 12)
+	binary.BigEndian.PutUint64(req[0:8], uint64(off))
+	binary.BigEndian.PutUint32(req[8:12], uint32(n))
+	return rpc.Async(c.c, ctx, MethodRead, req)
+}
+
 // Write stores data at off.
 func (c *Client) Write(off int64, data []byte) error {
 	return c.WriteCtx(nil, off, data)
+}
+
+// WriteAsync issues a write without blocking for the acknowledgement.
+func (c *Client) WriteAsync(ctx context.Context, off int64, data []byte) *rpc.Future {
+	req := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(req[0:8], uint64(off))
+	copy(req[8:], data)
+	return rpc.Async(c.c, ctx, MethodWrite, req)
 }
 
 // WriteCtx is Write with cancellation, with ReadCtx's semantics. A
@@ -424,6 +443,15 @@ func (c *Client) Sum(off int64, n int) (float64, error) {
 		return 0, err
 	}
 	return math.Float64frombits(binary.BigEndian.Uint64(resp)), nil
+}
+
+// SumAsync ships the aggregation kernel without blocking; the future
+// resolves to the daemon's encoded partial sum.
+func (c *Client) SumAsync(ctx context.Context, off int64, n int) *rpc.Future {
+	req := make([]byte, 12)
+	binary.BigEndian.PutUint64(req[0:8], uint64(off))
+	binary.BigEndian.PutUint32(req[8:12], uint32(n))
+	return rpc.Async(c.c, ctx, MethodSum, req)
 }
 
 // HotPage is one entry of a daemon's access profile.

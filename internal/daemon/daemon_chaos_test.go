@@ -74,6 +74,172 @@ func TestDaemonSurvivesInjectedTransportFaults(t *testing.T) {
 	}
 }
 
+// runPipelinedChaosBurst drives bursts of pipelined, batched calls
+// through seeded fault injection — the full live stack with the async
+// path: typed async client → retrier → chaos link → batched multiplexed
+// TCP client → lmpd. Faults are drawn per logical call at issue time, so
+// drops and dups land between calls that share a wire batch. It returns
+// the injector's rendered fault trace.
+func runPipelinedChaosBurst(t *testing.T, seed int64) []string {
+	t.Helper()
+	s, err := NewServer("pipelined", 1<<22, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	raw, err := rpc.DialBatched(addr, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+
+	eng := sim.NewEngine()
+	in := chaos.New(eng, chaos.Config{Seed: seed, PDrop: 0.25, PDup: 0.15})
+	r := &rpc.Retrier{
+		T:      in.WrapTransport(0, raw),
+		Policy: rpc.RetryPolicy{MaxAttempts: 16, BaseBackoff: time.Microsecond, MaxBackoff: 8 * time.Microsecond},
+	}
+	c := WrapCaller(r)
+
+	const bursts, width, chunk = 6, 16, 64
+	off, err := c.Alloc(width * chunk)
+	if err != nil {
+		t.Fatalf("alloc through chaos: %v", err)
+	}
+	for round := 0; round < bursts; round++ {
+		// Issue the whole write burst before waiting on any reply: every
+		// call is in flight at once, and the doorbell window packs the
+		// survivors of the fault roll into shared batch frames.
+		want := make([][]byte, width)
+		writes := make([]*rpc.Future, width)
+		for i := 0; i < width; i++ {
+			data := bytes.Repeat([]byte{byte(round*31 + i)}, chunk)
+			want[i] = data
+			writes[i] = c.WriteAsync(nil, off+int64(i*chunk), data)
+		}
+		for i, f := range writes {
+			if _, err := f.Wait(); err != nil {
+				t.Fatalf("round %d write %d: %v", round, i, err)
+			}
+		}
+		reads := make([]*rpc.Future, width)
+		for i := 0; i < width; i++ {
+			reads[i] = c.ReadAsync(nil, off+int64(i*chunk), chunk)
+		}
+		for i, f := range reads {
+			got, err := f.Wait()
+			if err != nil {
+				t.Fatalf("round %d read %d: %v", round, i, err)
+			}
+			if !bytes.Equal(got, want[i]) {
+				t.Fatalf("round %d read %d: corrupted through batched chaos transport", round, i)
+			}
+		}
+	}
+	if st := raw.Stats(); st.BatchedCalls < 2 {
+		t.Fatalf("bursts produced no batched frames: %+v", st)
+	}
+	if r.Healed() == 0 {
+		t.Fatal("chaos layer injected no faults the retrier had to heal (inert test)")
+	}
+	var drops, dups int
+	trace := in.Trace()
+	out := make([]string, len(trace))
+	for i, ev := range trace {
+		out[i] = ev.String()
+		switch ev.Kind {
+		case chaos.FaultDrop:
+			drops++
+		case chaos.FaultDup:
+			dups++
+		}
+	}
+	if drops == 0 || dups == 0 {
+		t.Fatalf("seed %d drew drops=%d dups=%d; want both > 0 between batched calls", seed, drops, dups)
+	}
+	return out
+}
+
+// TestDaemonPipelinedChaosDeterministic is the pinned-seed regression
+// for the pipelined transport: seed 31337 must draw drops and dups
+// between batched in-flight calls, every logical call must heal, and
+// running the same seed twice must replay the identical fault trace.
+func TestDaemonPipelinedChaosDeterministic(t *testing.T) {
+	const pinnedSeed = 31337
+	first := runPipelinedChaosBurst(t, pinnedSeed)
+	second := runPipelinedChaosBurst(t, pinnedSeed)
+	if len(first) != len(second) {
+		t.Fatalf("run-twice divergence: %d events vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("run-twice divergence at event %d:\n  first:  %s\n  second: %s", i, first[i], second[i])
+		}
+	}
+}
+
+// TestDaemonPipelinedCrashFailsInflightBurst checks crash-stop against a
+// pipelined burst: a dead verdict drawn mid-burst fails that call (and
+// only that call) with rpc.ErrServerDead while its batch-mates complete.
+func TestDaemonPipelinedCrashFailsInflightBurst(t *testing.T) {
+	s, err := NewServer("crashy", 1<<22, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	raw, err := rpc.DialBatched(addr, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+
+	eng := sim.NewEngine()
+	in := chaos.New(eng, chaos.Config{Seed: 9})
+	link := in.WrapTransport(0, raw)
+	c := WrapCaller(link)
+
+	off, err := c.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 64)
+	// Half the burst issued healthy, then the crash verdict lands, then
+	// the rest of the burst is issued against the dead server.
+	healthy := make([]*rpc.Future, 8)
+	for i := range healthy {
+		healthy[i] = c.WriteAsync(nil, off+int64(i*64), data)
+	}
+	in.CrashAt(10, 0)
+	eng.RunUntil(10)
+	doomed := make([]*rpc.Future, 8)
+	for i := range doomed {
+		doomed[i] = c.WriteAsync(nil, off+int64((8+i)*64), data)
+	}
+	for i, f := range healthy {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("pre-crash write %d: %v", i, err)
+		}
+	}
+	for i, f := range doomed {
+		if _, err := f.Wait(); !errors.Is(err, rpc.ErrServerDead) {
+			t.Fatalf("post-crash write %d: %v, want ErrServerDead", i, err)
+		}
+	}
+	in.RestoreAt(20, 0)
+	eng.RunUntil(20)
+	if _, err := c.ReadAsync(nil, off, 64).Wait(); err != nil {
+		t.Fatalf("read after restore: %v", err)
+	}
+}
+
 // TestDaemonCrashStopFailsFast checks the dead-server path end to end: a
 // chaos crash makes every call fail with rpc.ErrServerDead without
 // touching the network, the retrier refuses to retry it, and a restore

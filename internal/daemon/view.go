@@ -2,8 +2,12 @@ package daemon
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
+
+	"github.com/lmp-project/lmp/internal/rpc"
 )
 
 // PoolView composes a set of daemons into one logical pool from a
@@ -144,18 +148,37 @@ func (b *ViewBuffer) locate(off, n int64, visit func(c ViewChunk, chunkOff, bufO
 	return nil
 }
 
+// chunkCall is one in-flight per-chunk RPC of a pipelined access.
+type chunkCall struct {
+	f              *rpc.Future
+	bufOff, length int64
+}
+
 // WriteAt stores data at buffer offset off.
 func (b *ViewBuffer) WriteAt(data []byte, off int64) error {
 	return b.WriteAtCtx(nil, data, off)
 }
 
-// WriteAtCtx is WriteAt with cancellation: the context is checked before
-// each chunk RPC and aborts the in-flight call, so cancelling a large
-// cross-daemon write does not wait for the slowest daemon.
+// WriteAtCtx is WriteAt with cancellation. The per-chunk RPCs are issued
+// as one pipelined burst — every chunk's write is in flight before the
+// first response is awaited, so a striped write costs one round trip,
+// not one per daemon — and the transport batches the small ones into
+// shared frames. The first chunk error wins, after every in-flight call
+// has resolved.
 func (b *ViewBuffer) WriteAtCtx(ctx context.Context, data []byte, off int64) error {
-	return b.locate(off, int64(len(data)), func(c ViewChunk, chunkOff, bufOff, length int64) error {
-		return b.view.clients[c.Daemon].WriteCtx(ctx, c.Offset+chunkOff, data[bufOff:bufOff+length])
+	var calls []chunkCall
+	err := b.locate(off, int64(len(data)), func(c ViewChunk, chunkOff, bufOff, length int64) error {
+		calls = append(calls, chunkCall{
+			f: b.view.clients[c.Daemon].WriteAsync(ctx, c.Offset+chunkOff, data[bufOff:bufOff+length]),
+		})
+		return nil
 	})
+	for _, cc := range calls {
+		if _, werr := cc.f.WaitCtx(ctx); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 // ReadAt fills p from buffer offset off.
@@ -163,16 +186,29 @@ func (b *ViewBuffer) ReadAt(p []byte, off int64) error {
 	return b.ReadAtCtx(nil, p, off)
 }
 
-// ReadAtCtx is ReadAt with cancellation, with WriteAtCtx's semantics.
+// ReadAtCtx is ReadAt with cancellation, with WriteAtCtx's pipelined
+// semantics: all chunk reads are in flight at once and the copies land
+// as the responses resolve.
 func (b *ViewBuffer) ReadAtCtx(ctx context.Context, p []byte, off int64) error {
-	return b.locate(off, int64(len(p)), func(c ViewChunk, chunkOff, bufOff, length int64) error {
-		got, err := b.view.clients[c.Daemon].ReadCtx(ctx, c.Offset+chunkOff, int(length))
-		if err != nil {
-			return err
-		}
-		copy(p[bufOff:bufOff+length], got)
+	var calls []chunkCall
+	err := b.locate(off, int64(len(p)), func(c ViewChunk, chunkOff, bufOff, length int64) error {
+		calls = append(calls, chunkCall{
+			f:      b.view.clients[c.Daemon].ReadAsync(ctx, c.Offset+chunkOff, int(length)),
+			bufOff: bufOff, length: length,
+		})
 		return nil
 	})
+	for _, cc := range calls {
+		got, rerr := cc.f.WaitCtx(ctx)
+		if rerr != nil {
+			if err == nil {
+				err = rerr
+			}
+			continue
+		}
+		copy(p[cc.bufOff:cc.bufOff+cc.length], got)
+	}
+	return err
 }
 
 // Migrate moves chunk index i of the buffer to another daemon: the live-
@@ -217,28 +253,34 @@ func (b *ViewBuffer) Migrate(i, toDaemon int) error {
 
 // ShippedSum computes the sum of the buffer's little-endian uint64 words
 // by shipping the kernel to every owning daemon in parallel — the §4.4
-// near-memory pattern in the live mode.
+// near-memory pattern in the live mode. The kernels are pipelined: every
+// daemon is summing before the first partial result returns.
 func (b *ViewBuffer) ShippedSum() (float64, error) {
-	type result struct {
-		v   float64
-		err error
-	}
 	chunks := b.Chunks()
-	results := make(chan result, len(chunks))
-	for _, c := range chunks {
-		c := c
-		go func() {
-			v, err := b.view.clients[c.Daemon].Sum(c.Offset, int(c.Size))
-			results <- result{v, err}
-		}()
+	futures := make([]*rpc.Future, len(chunks))
+	for i, c := range chunks {
+		futures[i] = b.view.clients[c.Daemon].SumAsync(nil, c.Offset, int(c.Size))
 	}
 	var sum float64
-	for range chunks {
-		r := <-results
-		if r.err != nil {
-			return 0, r.err
+	var firstErr error
+	for _, f := range futures {
+		resp, err := f.Wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
-		sum += r.v
+		if len(resp) < 8 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("daemon: short sum response")
+			}
+			continue
+		}
+		sum += math.Float64frombits(binary.BigEndian.Uint64(resp))
+	}
+	if firstErr != nil {
+		return 0, firstErr
 	}
 	return sum, nil
 }

@@ -1,0 +1,122 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+// encodeBatchEnvelope assembles a full batch frame (header + sub-frames)
+// the way the batcher does, for test use.
+func encodeBatchEnvelope(entries []sendEntry) []byte {
+	var body []byte
+	for i := range entries {
+		e := &entries[i]
+		body = appendSubFrame(body, e.kind, e.method, e.id, e.sc, e.payload)
+	}
+	buf := []byte{kindBatch, 0}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(entries)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	return append(buf, body...)
+}
+
+// FuzzBatchRoundTrip builds a batch from fuzz-shaped entries, encodes it
+// the way the batcher does, and checks the decoder returns every
+// sub-frame bit-identically and in order — including interleaved reply
+// kinds and traced requests carrying span prefixes.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(9), []byte("a"), []byte("bb"), true)
+	f.Add(uint64(7), uint64(7), []byte{}, []byte{0xFF}, false)       // duplicate ids, empty payload
+	f.Add(^uint64(0), uint64(0), []byte("x"), []byte("yyyy"), true)  // extreme ids
+	f.Fuzz(func(t *testing.T, id1, id2 uint64, p1, p2 []byte, traced bool) {
+		if len(p1) > batchEntryMax || len(p2) > batchEntryMax {
+			return
+		}
+		k1 := byte(kindResponse)
+		if traced {
+			k1 = kindTracedRequest
+		}
+		entries := []sendEntry{
+			{kind: k1, method: 1, id: id1, sc: telemetry.SpanContext{Trace: id2, Span: id1}, payload: p1},
+			{kind: kindError, method: 2, id: id2, payload: p2},
+			{kind: kindRequest, method: 3, id: id1 ^ id2, payload: p1},
+		}
+		frame := encodeBatchEnvelope(entries)
+		h, payload, err := readFrame(bytes.NewReader(frame))
+		if err != nil || h.kind != kindBatch {
+			t.Fatalf("envelope did not read back: %+v %v", h, err)
+		}
+		var got []sendEntry
+		err = decodeBatch(payload, h.id, func(sh frameHeader, sub []byte) error {
+			e := sendEntry{kind: sh.kind, method: sh.method, id: sh.id}
+			if sh.kind == kindTracedRequest {
+				if len(sub) < traceHeaderLen {
+					t.Fatalf("traced sub-frame shorter than its span prefix")
+				}
+				e.sc.Trace = binary.BigEndian.Uint64(sub[0:8])
+				e.sc.Span = binary.BigEndian.Uint64(sub[8:16])
+				sub = sub[traceHeaderLen:]
+			}
+			e.payload = append([]byte(nil), sub...)
+			got = append(got, e)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("decodeBatch rejected a legal batch: %v", err)
+		}
+		if len(got) != len(entries) {
+			t.Fatalf("decoded %d sub-frames, want %d", len(got), len(entries))
+		}
+		for i, e := range entries {
+			g := got[i]
+			if g.kind != e.kind || g.method != e.method || g.id != e.id {
+				t.Fatalf("sub-frame %d header %+v, want %+v", i, g, e)
+			}
+			if e.kind == kindTracedRequest && g.sc != e.sc {
+				t.Fatalf("sub-frame %d span %+v, want %+v", i, g.sc, e.sc)
+			}
+			if !bytes.Equal(g.payload, e.payload) {
+				t.Fatalf("sub-frame %d payload corrupted", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeBatch feeds arbitrary bytes and counts to the batch decoder:
+// it must never panic, and whatever it accepts must account for every
+// byte of the envelope with exactly the declared number of sub-frames.
+func FuzzDecodeBatch(f *testing.F) {
+	good := encodeBatchEnvelope([]sendEntry{
+		{kind: kindResponse, method: 1, id: 1, payload: []byte("ok")},
+		{kind: kindError, method: 2, id: 2, payload: []byte{errCodeTransient, 'x'}},
+	})
+	f.Add(good[frameHeaderLen:], uint64(2))
+	f.Add(good[frameHeaderLen:len(good)-1], uint64(2)) // truncated final sub-frame
+	f.Add(good[frameHeaderLen:], uint64(3))            // count mismatch
+	f.Add([]byte{kindBatch, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0}, uint64(2)) // nested batch tag
+	f.Add([]byte{0xEE, 0, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0}, uint64(2))      // unknown sub tag decodes; kinds are the receiver's business
+	f.Add([]byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, payload []byte, count uint64) {
+		var subs int
+		var consumed int
+		err := decodeBatch(payload, count, func(h frameHeader, sub []byte) error {
+			subs++
+			consumed += frameHeaderLen + len(sub)
+			if uint32(len(sub)) != h.length {
+				t.Fatalf("visited sub-frame length %d with %d payload bytes", h.length, len(sub))
+			}
+			return nil
+		})
+		if err != nil {
+			return // rejected input is fine; not panicking is the property
+		}
+		if uint64(subs) != count {
+			t.Fatalf("accepted batch with %d sub-frames but declared count %d", subs, count)
+		}
+		if consumed != len(payload) {
+			t.Fatalf("accepted batch consumed %d of %d payload bytes", consumed, len(payload))
+		}
+	})
+}

@@ -1,0 +1,238 @@
+// The per-connection send batcher. Both sides of the wire write through
+// one: the client's request path and the server's reply path each queue
+// frames on it, and a single flusher goroutine drains the queue. While a
+// conn.Write is in flight every newly queued frame accumulates, so
+// batching is opportunistic ("natural"): an idle connection sends a lone
+// frame immediately, a busy one coalesces everything that queued during
+// the last write into one vectored batch frame — one syscall, one TCP
+// segment — and the receiver fans the sub-frames back out. An optional
+// doorbell window adds a fixed wait after the first frame of a quiet
+// period, trading a bounded latency bump for fuller batches.
+package rpc
+
+import (
+	"encoding/binary"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+const (
+	// batchEntryMax bounds the payload size eligible for batching; larger
+	// frames go out bare through writeFrame's two-write large path, which
+	// beats copying them into the assembly buffer.
+	batchEntryMax = 16 << 10
+	// maxBatchFrames bounds the sub-frame count of one batch.
+	maxBatchFrames = 128
+	// maxBatchBytes bounds the assembled size of one batch frame.
+	maxBatchBytes = 256 << 10
+)
+
+// sendEntry is one queued frame awaiting flush.
+type sendEntry struct {
+	kind    byte
+	method  byte
+	id      uint64
+	sc      telemetry.SpanContext
+	payload []byte
+}
+
+// encodedLen is the entry's on-wire size inside a batch.
+func (e *sendEntry) encodedLen() int {
+	n := frameHeaderLen + len(e.payload)
+	if e.kind == kindTracedRequest {
+		n += traceHeaderLen
+	}
+	return n
+}
+
+// batcher serializes frame writes to w through one flusher goroutine.
+// enqueue never blocks on the network: it appends under the queue lock
+// and rings the doorbell. The zero value is not usable; see newBatcher.
+type batcher struct {
+	w      io.Writer
+	window time.Duration
+	// onErr observes the first write failure (the connection is hosed
+	// from that point; queued and future frames are dropped). May be nil.
+	onErr func(error)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []sendEntry
+	closed bool
+	failed bool
+
+	exited chan struct{}
+
+	// flusher-owned scratch, reused across flushes so the steady-state
+	// send path does not allocate.
+	local []sendEntry
+	buf   []byte
+
+	framesSent   atomic.Uint64 // top-level frames written (batches count once)
+	batchesSent  atomic.Uint64 // batch frames among framesSent
+	batchedSends atomic.Uint64 // sub-frames that rode inside a batch
+	maxBatch     atomic.Uint64 // largest sub-frame count of any one batch
+}
+
+// newBatcher starts the flusher goroutine; the caller must eventually
+// close() the batcher to stop it. window > 0 enables the doorbell wait.
+func newBatcher(w io.Writer, window time.Duration, onErr func(error)) *batcher {
+	b := &batcher{w: w, window: window, onErr: onErr, exited: make(chan struct{})}
+	b.cond = sync.NewCond(&b.mu)
+	go b.flushLoop()
+	return b
+}
+
+// enqueue queues one frame for sending. It returns ErrClosed after
+// close() and the first write error after a send failure; in both cases
+// the frame is dropped and the caller owns the failure path.
+func (b *batcher) enqueue(e sendEntry) error {
+	b.mu.Lock()
+	if b.closed || b.failed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.q = append(b.q, e)
+	if len(b.q) == 1 {
+		b.cond.Signal()
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// close stops the flusher after the current flush; still-queued frames
+// are dropped (the owning client/server fails their calls). Idempotent.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.cond.Signal()
+	b.mu.Unlock()
+	<-b.exited
+}
+
+func (b *batcher) flushLoop() {
+	defer close(b.exited)
+	for {
+		b.mu.Lock()
+		for len(b.q) == 0 && !b.closed {
+			b.cond.Wait()
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		if b.window > 0 {
+			// Doorbell window: let a quiet period's first frame wait a
+			// beat so its contemporaries can join the batch.
+			b.mu.Unlock()
+			time.Sleep(b.window)
+			b.mu.Lock()
+		} else {
+			// Yield passes: give runnable peers a chance to enqueue before
+			// this flush commits. On a saturated machine a blocked caller
+			// hands the CPU straight to the flusher, so the queue would
+			// otherwise never hold more than one frame; a Gosched is far
+			// cheaper than a timer and costs a lone caller almost nothing.
+			// Keep yielding while the queue is still filling, bounded so a
+			// firehose of producers cannot stall the flush indefinitely.
+			for i, last := 0, 0; i < 4 && len(b.q) > last; i++ {
+				last = len(b.q)
+				b.mu.Unlock()
+				runtime.Gosched()
+				b.mu.Lock()
+			}
+		}
+		b.q, b.local = b.local[:0], b.q
+		failed := b.failed
+		b.mu.Unlock()
+		if failed {
+			continue // drain and drop; the connection is gone
+		}
+		if err := b.writeBatch(b.local); err != nil {
+			b.mu.Lock()
+			first := !b.failed
+			b.failed = true
+			b.mu.Unlock()
+			if first && b.onErr != nil {
+				b.onErr(err)
+			}
+		}
+	}
+}
+
+// writeBatch writes the drained entries: runs of small frames coalesce
+// into batch envelopes, large frames go out bare, and a lone frame is
+// sent in the pre-batch wire format.
+func (b *batcher) writeBatch(entries []sendEntry) error {
+	for start := 0; start < len(entries); {
+		e := &entries[start]
+		if len(e.payload) > batchEntryMax {
+			if err := b.writeOne(e); err != nil {
+				return err
+			}
+			start++
+			continue
+		}
+		// Grow a run of batchable frames within the count/byte budgets.
+		end := start + 1
+		run := e.encodedLen()
+		for end < len(entries) && end-start < maxBatchFrames {
+			n := &entries[end]
+			if len(n.payload) > batchEntryMax || run+n.encodedLen() > maxBatchBytes {
+				break
+			}
+			run += n.encodedLen()
+			end++
+		}
+		if end-start == 1 {
+			if err := b.writeOne(e); err != nil {
+				return err
+			}
+			start = end
+			continue
+		}
+		buf := b.buf[:0]
+		buf = append(buf, kindBatch, 0)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(end-start))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(run))
+		for i := start; i < end; i++ {
+			s := &entries[i]
+			buf = appendSubFrame(buf, s.kind, s.method, s.id, s.sc, s.payload)
+		}
+		b.buf = buf[:0] // retain capacity for the next flush
+		if _, err := b.w.Write(buf); err != nil {
+			return err
+		}
+		b.framesSent.Add(1)
+		b.batchesSent.Add(1)
+		b.batchedSends.Add(uint64(end - start))
+		if n := uint64(end - start); n > b.maxBatch.Load() {
+			b.maxBatch.Store(n) // flusher-only writer; no CAS needed
+		}
+		start = end
+	}
+	return nil
+}
+
+// writeOne sends a single entry in the pre-batch wire format.
+func (b *batcher) writeOne(e *sendEntry) error {
+	var err error
+	if e.kind == kindTracedRequest {
+		err = writeTracedFrame(b.w, e.method, e.id, e.sc, e.payload)
+	} else {
+		err = writeFrame(b.w, e.kind, e.method, e.id, e.payload)
+	}
+	if err == nil {
+		b.framesSent.Add(1)
+	}
+	return err
+}

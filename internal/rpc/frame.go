@@ -1,0 +1,209 @@
+// Frame codec: the length-prefixed wire format shared by client and
+// server, including the batch envelope that lets a doorbell window's
+// worth of small frames ride one conn.Write / one TCP segment.
+//
+// Wire format (big endian):
+//
+//	frame  = kind(1) method(1) id(8) len(4) payload(len)
+//	kind   = 1 request | 2 response | 3 error | 4 traced request | 5 batch
+//	error payload = code(1) message(len-1)
+//	traced request payload = trace(8) span(8) request-payload(len-16)
+//	batch payload = sub-frame* where sub-frame = kind(1) method(1) id(8) len(4) payload(len)
+//
+// A batch frame's id field carries the sub-frame count, so a decoder can
+// cross-check the envelope against its contents; batches never nest, and
+// a batch carries at least two sub-frames (a single queued frame is sent
+// bare for wire compatibility with pre-batch peers).
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+const (
+	kindRequest       = 1
+	kindResponse      = 2
+	kindError         = 3
+	kindTracedRequest = 4
+	kindBatch         = 5
+)
+
+// frameHeaderLen is the fixed kind/method/id/len prefix of every frame,
+// top-level or batched.
+const frameHeaderLen = 14
+
+// traceHeaderLen is the trace(8) span(8) prefix of a traced request.
+const traceHeaderLen = 16
+
+// MaxPayload bounds a frame payload (16 MiB), protecting against corrupt
+// length prefixes.
+const MaxPayload = 16 << 20
+
+type frameHeader struct {
+	kind   byte
+	method byte
+	id     uint64
+	length uint32
+}
+
+// framePool recycles frame assembly buffers so the per-call frame write
+// is allocation-free. Buffers stay small: payloads past frameCoalesceMax
+// are written header-then-payload instead of being copied.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4<<10)
+	return &b
+}}
+
+// frameCoalesceMax bounds the payload size assembled into one buffer
+// (one conn.Write, so a frame is one TCP segment in the common case).
+// Larger payloads skip the copy: two writes cost less than moving the
+// bytes twice.
+const frameCoalesceMax = 64 << 10
+
+func writeFrame(w io.Writer, kind, method byte, id uint64, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("rpc: payload %d exceeds max %d", len(payload), MaxPayload)
+	}
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], kind, method)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	if len(payload) > frameCoalesceMax {
+		// Large payload: header-then-payload; two writes cost less than
+		// copying the bytes into the frame buffer.
+		if _, err := w.Write(buf); err != nil {
+			*bp = buf[:0]
+			framePool.Put(bp)
+			return err
+		}
+		_, err := w.Write(payload)
+		*bp = buf[:0]
+		framePool.Put(bp)
+		return err
+	}
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
+	return err
+}
+
+// writeTracedFrame writes a kindTracedRequest frame: the caller's span
+// identity rides as a 16-byte prefix of the payload.
+func writeTracedFrame(w io.Writer, method byte, id uint64, sc telemetry.SpanContext, payload []byte) error {
+	if len(payload)+traceHeaderLen > MaxPayload {
+		return fmt.Errorf("rpc: payload %d exceeds max %d", len(payload), MaxPayload-traceHeaderLen)
+	}
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], kindTracedRequest, method)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(traceHeaderLen+len(payload)))
+	buf = binary.BigEndian.AppendUint64(buf, sc.Trace)
+	buf = binary.BigEndian.AppendUint64(buf, sc.Span)
+	if len(payload) > frameCoalesceMax {
+		if _, err := w.Write(buf); err != nil {
+			*bp = buf[:0]
+			framePool.Put(bp)
+			return err
+		}
+		_, err := w.Write(payload)
+		*bp = buf[:0]
+		framePool.Put(bp)
+		return err
+	}
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
+	return err
+}
+
+func readFrame(r io.Reader) (frameHeader, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frameHeader{}, nil, err
+	}
+	h := frameHeader{
+		kind:   hdr[0],
+		method: hdr[1],
+		id:     binary.BigEndian.Uint64(hdr[2:10]),
+		length: binary.BigEndian.Uint32(hdr[10:14]),
+	}
+	if h.length > MaxPayload {
+		return frameHeader{}, nil, fmt.Errorf("rpc: frame length %d exceeds max", h.length)
+	}
+	payload := make([]byte, h.length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frameHeader{}, nil, err
+	}
+	return h, payload, nil
+}
+
+// appendSubFrame encodes one sub-frame into a batch assembly buffer. A
+// traced sub-frame carries the span identity exactly like a top-level
+// kindTracedRequest would: as a 16-byte payload prefix.
+func appendSubFrame(buf []byte, kind, method byte, id uint64, sc telemetry.SpanContext, payload []byte) []byte {
+	length := len(payload)
+	if kind == kindTracedRequest {
+		length += traceHeaderLen
+	}
+	buf = append(buf, kind, method)
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(length))
+	if kind == kindTracedRequest {
+		buf = binary.BigEndian.AppendUint64(buf, sc.Trace)
+		buf = binary.BigEndian.AppendUint64(buf, sc.Span)
+	}
+	return append(buf, payload...)
+}
+
+// decodeBatch walks a kindBatch payload, calling visit once per sub-frame
+// with the sub-frame's header and payload. The payload slice aliases the
+// envelope buffer (zero copy); visitors that retain it must copy. count
+// is the envelope's declared sub-frame count (the batch frame's id
+// field); a mismatch, a truncated sub-frame, trailing garbage, a nested
+// batch, or an oversized sub-length all fail decoding.
+func decodeBatch(payload []byte, count uint64, visit func(frameHeader, []byte) error) error {
+	if count < 2 {
+		return fmt.Errorf("rpc: batch declares %d sub-frames; minimum is 2", count)
+	}
+	var seen uint64
+	for len(payload) > 0 {
+		if len(payload) < frameHeaderLen {
+			return fmt.Errorf("rpc: truncated batch sub-frame header (%d bytes left)", len(payload))
+		}
+		h := frameHeader{
+			kind:   payload[0],
+			method: payload[1],
+			id:     binary.BigEndian.Uint64(payload[2:10]),
+			length: binary.BigEndian.Uint32(payload[10:14]),
+		}
+		if h.kind == kindBatch {
+			return fmt.Errorf("rpc: nested batch frame")
+		}
+		if h.length > MaxPayload {
+			return fmt.Errorf("rpc: batch sub-frame length %d exceeds max", h.length)
+		}
+		rest := payload[frameHeaderLen:]
+		if uint32(len(rest)) < h.length {
+			return fmt.Errorf("rpc: truncated batch sub-frame payload (want %d, have %d)", h.length, len(rest))
+		}
+		seen++
+		if seen > count {
+			return fmt.Errorf("rpc: batch carries more than the declared %d sub-frames", count)
+		}
+		if err := visit(h, rest[:h.length]); err != nil {
+			return err
+		}
+		payload = rest[h.length:]
+	}
+	if seen != count {
+		return fmt.Errorf("rpc: batch declared %d sub-frames, carried %d", count, seen)
+	}
+	return nil
+}

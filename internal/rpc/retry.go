@@ -104,20 +104,36 @@ func (r *Retrier) Call(method byte, payload []byte) ([]byte, error) {
 // CallCtx is Caller.CallCtx with retry. Cancellation is honoured between
 // attempts as well as within them.
 func (r *Retrier) CallCtx(ctx context.Context, method byte, payload []byte) ([]byte, error) {
+	resp, err := r.T.CallCtx(ctx, method, payload)
+	if err == nil {
+		return resp, nil
+	}
+	return r.retryTail(ctx, method, payload, err)
+}
+
+// CallAsyncCtx pipelines the first attempt through the wrapped caller's
+// async path; a failure falls back to blocking retries in the waiting
+// goroutine (via the future's then-hook), so retry stays a per-logical-
+// call decision no matter how the attempts were batched on the wire.
+func (r *Retrier) CallAsyncCtx(ctx context.Context, method byte, payload []byte) *Future {
+	f := Async(r.T, ctx, method, payload)
+	return f.Then(func(p []byte, err error) ([]byte, error) {
+		if err == nil {
+			return p, nil
+		}
+		return r.retryTail(ctx, method, payload, err)
+	})
+}
+
+// retryTail heals a failed first attempt: while err is transient and the
+// attempt budget allows, back off and re-issue the call synchronously.
+// attempt counts attempts already made (the caller made the first).
+func (r *Retrier) retryTail(ctx context.Context, method byte, payload []byte, err error) ([]byte, error) {
 	max := r.Policy.MaxAttempts
 	if max < 1 {
 		max = 1
 	}
-	var err error
 	for attempt := 1; ; attempt++ {
-		var resp []byte
-		resp, err = r.T.CallCtx(ctx, method, payload)
-		if err == nil {
-			if attempt > 1 {
-				r.healed.Add(1)
-			}
-			return resp, nil
-		}
 		if !errors.Is(err, ErrTransient) || attempt >= max {
 			break
 		}
@@ -135,6 +151,13 @@ func (r *Retrier) CallCtx(ctx context.Context, method byte, payload []byte) ([]b
 				time.Sleep(d)
 			}
 		}
+		var resp []byte
+		var rerr error
+		if resp, rerr = r.T.CallCtx(ctx, method, payload); rerr == nil {
+			r.healed.Add(1)
+			return resp, nil
+		}
+		err = rerr
 	}
 	return nil, fmt.Errorf("rpc: call not healed after retries: %w", err)
 }

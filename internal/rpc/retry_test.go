@@ -137,13 +137,7 @@ func TestMarkDeadFailsInflightCalls(t *testing.T) {
 		done <- err
 	}()
 	// Wait until the call is pending, then declare the peer dead.
-	for {
-		c.mu.Lock()
-		n := len(c.pending)
-		c.mu.Unlock()
-		if n > 0 {
-			break
-		}
+	for c.Stats().Pending == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	c.MarkDead()

@@ -1,26 +1,24 @@
 // Package rpc is a minimal binary RPC layer over TCP used by the live
 // (multi-process) LMP mode: lmpd servers expose shared-memory operations
 // (read, write, migrate, ship) and peers call them through a multiplexed
-// client. Frames are length-prefixed; concurrent calls on one connection
-// are matched by request id, so a single connection models a server's
-// fabric adapter.
+// client. The transport is asynchronous: every call gets a tag (request
+// id) in a per-connection pending-call table, so any number of calls
+// share one TCP connection concurrently — CallAsync returns a Future,
+// and the blocking Call is a shim that waits on one. Small frames queued
+// while a write is in flight coalesce into one batch frame (see
+// batcher.go); the receiver fans the sub-frames back out by tag.
 //
-// Wire format (big endian):
-//
-//	frame  = kind(1) method(1) id(8) len(4) payload(len)
-//	kind   = 1 request | 2 response | 3 error | 4 traced request
-//	error payload = code(1) message(len-1)
-//	traced request payload = trace(8) span(8) request-payload(len-16)
-//
-// The error code byte names the sentinel the handler error wrapped
-// (ErrServerDead, ErrTransient), so errors.Is classification survives the
-// wire instead of degrading to a raw string.
+// Wire format: see frame.go. Error payloads carry a code byte naming the
+// sentinel the handler error wrapped (ErrServerDead, ErrTransient), so
+// errors.Is classification survives the wire instead of degrading to a
+// raw string.
 //
 // A traced request carries the caller's span identity: when the caller's
 // context holds a telemetry.SpanContext (see telemetry.ContextWithSpan),
-// the client sends kind 4 and the server — if it has a tracer — records
-// its handler span as a child of the caller's span, so one trace ID
-// follows an operation across the process boundary.
+// the client sends kind 4 (bare or batched) and the server — if it has a
+// tracer — records its handler span as a child of the caller's span, so
+// one trace ID follows a logical operation across the process boundary
+// no matter how its frames were packed.
 package rpc
 
 import (
@@ -28,27 +26,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/lmp-project/lmp/internal/telemetry"
 )
-
-const (
-	kindRequest       = 1
-	kindResponse      = 2
-	kindError         = 3
-	kindTracedRequest = 4
-)
-
-// traceHeaderLen is the trace(8) span(8) prefix of a traced request.
-const traceHeaderLen = 16
-
-// MaxPayload bounds a frame payload (16 MiB), protecting against corrupt
-// length prefixes.
-const MaxPayload = 16 << 20
 
 // ErrClosed reports use of a closed client or server.
 var ErrClosed = errors.New("rpc: closed")
@@ -57,106 +41,6 @@ var ErrClosed = errors.New("rpc: closed")
 // the response payload. A returned error is delivered to the caller as a
 // string.
 type Handler func(payload []byte) ([]byte, error)
-
-type frameHeader struct {
-	kind   byte
-	method byte
-	id     uint64
-	length uint32
-}
-
-// framePool recycles frame assembly buffers so the per-call frame write
-// is allocation-free. Buffers stay small: payloads past frameCoalesceMax
-// are written header-then-payload instead of being copied.
-var framePool = sync.Pool{New: func() any {
-	b := make([]byte, 0, 4<<10)
-	return &b
-}}
-
-// frameCoalesceMax bounds the payload size assembled into one buffer
-// (one conn.Write, so a frame is one TCP segment in the common case).
-// Larger payloads skip the copy: two writes cost less than moving the
-// bytes twice.
-const frameCoalesceMax = 64 << 10
-
-func writeFrame(w io.Writer, kind, method byte, id uint64, payload []byte) error {
-	if len(payload) > MaxPayload {
-		return fmt.Errorf("rpc: payload %d exceeds max %d", len(payload), MaxPayload)
-	}
-	bp := framePool.Get().(*[]byte)
-	buf := append((*bp)[:0], kind, method)
-	buf = binary.BigEndian.AppendUint64(buf, id)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
-	if len(payload) > frameCoalesceMax {
-		// Large payload: header-then-payload; two writes cost less than
-		// copying the bytes into the frame buffer.
-		if _, err := w.Write(buf); err != nil {
-			*bp = buf[:0]
-			framePool.Put(bp)
-			return err
-		}
-		_, err := w.Write(payload)
-		*bp = buf[:0]
-		framePool.Put(bp)
-		return err
-	}
-	buf = append(buf, payload...)
-	_, err := w.Write(buf)
-	*bp = buf[:0]
-	framePool.Put(bp)
-	return err
-}
-
-// writeTracedFrame writes a kindTracedRequest frame: the caller's span
-// identity rides as a 16-byte prefix of the payload.
-func writeTracedFrame(w io.Writer, method byte, id uint64, sc telemetry.SpanContext, payload []byte) error {
-	if len(payload)+traceHeaderLen > MaxPayload {
-		return fmt.Errorf("rpc: payload %d exceeds max %d", len(payload), MaxPayload-traceHeaderLen)
-	}
-	bp := framePool.Get().(*[]byte)
-	buf := append((*bp)[:0], kindTracedRequest, method)
-	buf = binary.BigEndian.AppendUint64(buf, id)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(traceHeaderLen+len(payload)))
-	buf = binary.BigEndian.AppendUint64(buf, sc.Trace)
-	buf = binary.BigEndian.AppendUint64(buf, sc.Span)
-	if len(payload) > frameCoalesceMax {
-		if _, err := w.Write(buf); err != nil {
-			*bp = buf[:0]
-			framePool.Put(bp)
-			return err
-		}
-		_, err := w.Write(payload)
-		*bp = buf[:0]
-		framePool.Put(bp)
-		return err
-	}
-	buf = append(buf, payload...)
-	_, err := w.Write(buf)
-	*bp = buf[:0]
-	framePool.Put(bp)
-	return err
-}
-
-func readFrame(r io.Reader) (frameHeader, []byte, error) {
-	var hdr [14]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return frameHeader{}, nil, err
-	}
-	h := frameHeader{
-		kind:   hdr[0],
-		method: hdr[1],
-		id:     binary.BigEndian.Uint64(hdr[2:10]),
-		length: binary.BigEndian.Uint32(hdr[10:14]),
-	}
-	if h.length > MaxPayload {
-		return frameHeader{}, nil, fmt.Errorf("rpc: frame length %d exceeds max", h.length)
-	}
-	payload := make([]byte, h.length)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return frameHeader{}, nil, err
-	}
-	return h, payload, nil
-}
 
 // Server dispatches incoming requests to registered handlers.
 type Server struct {
@@ -171,8 +55,9 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	calls [256]atomic.Uint64
-	errs  [256]atomic.Uint64
+	calls   [256]atomic.Uint64
+	errs    [256]atomic.Uint64
+	batches atomic.Uint64 // batch frames received
 }
 
 // NewServer returns a server with no handlers.
@@ -242,6 +127,10 @@ func (s *Server) Stats() []MethodStats {
 	return out
 }
 
+// BatchesReceived reports how many batch frames this server has unpacked
+// across all connections.
+func (s *Server) BatchesReceived() uint64 { return s.batches.Load() }
+
 // Listen starts accepting on addr ("host:port"; ":0" picks a free port)
 // and returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -284,82 +173,117 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	// Replies from handler goroutines queue on a per-connection batcher:
+	// one flusher goroutine writes them, coalescing replies that complete
+	// close together into one batch frame. A reply-write failure closes
+	// the connection (the read side below then winds the handler down).
+	out := newBatcher(conn, 0, func(error) { conn.Close() })
 	defer func() {
 		conn.Close()
+		out.close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	var wmu sync.Mutex // serializes response writes from handler goroutines
 	for {
 		h, payload, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		var sc telemetry.SpanContext
 		switch h.kind {
-		case kindRequest:
-		case kindTracedRequest:
-			if len(payload) < traceHeaderLen {
+		case kindRequest, kindTracedRequest:
+			if !s.dispatch(h, payload, true, out) {
+				return
+			}
+		case kindBatch:
+			s.batches.Add(1)
+			err := decodeBatch(payload, h.id, func(sh frameHeader, sub []byte) error {
+				if !s.dispatch(sh, sub, false, out) {
+					return fmt.Errorf("rpc: bad sub-frame kind %d", sh.kind)
+				}
+				return nil
+			})
+			if err != nil {
 				return // protocol violation
 			}
-			sc.Trace = binary.BigEndian.Uint64(payload[0:8])
-			sc.Span = binary.BigEndian.Uint64(payload[8:16])
-			payload = payload[traceHeaderLen:]
 		default:
 			return // protocol violation
 		}
-		s.mu.Lock()
-		handler := s.handlers[h.method]
-		name := s.names[h.method]
-		tracer := s.tracer
-		reqCount, errCount := s.reqCount, s.errCount
-		s.mu.Unlock()
-		s.calls[h.method].Add(1)
-		if reqCount != nil {
-			reqCount.Inc()
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			var sp telemetry.Span
-			if tracer != nil {
-				if name == "" {
-					name = "rpc.request"
-				}
-				sp = tracer.Begin(sc, name)
-			}
-			var kind byte
-			var resp []byte
-			var herr error
-			if handler == nil {
-				herr = fmt.Errorf("rpc: no handler for method %d", h.method)
-				kind = kindError
-				resp = encodeErrorPayload(herr)
-			} else if out, err := handler(payload); err != nil {
-				herr = err
-				kind = kindError
-				resp = encodeErrorPayload(err)
-			} else {
-				kind = kindResponse
-				resp = out
-			}
-			if herr != nil {
-				s.errs[h.method].Add(1)
-				if errCount != nil {
-					errCount.Inc()
-				}
-			}
-			if tracer != nil {
-				sp.Bytes = len(resp)
-				sp.Err = herr != nil
-				tracer.End(&sp)
-			}
-			wmu.Lock()
-			defer wmu.Unlock()
-			_ = writeFrame(conn, kind, h.method, h.id, resp)
-		}()
 	}
+}
+
+// dispatch validates one request frame (bare or batched) and runs its
+// handler in a goroutine, queueing the reply on out. It returns false on
+// a protocol violation (non-request kind, short traced payload). owned
+// says the payload buffer belongs to this frame; a batched sub-frame's
+// payload aliases the envelope buffer and must be copied before the
+// handler goroutine outlives the read loop's iteration.
+func (s *Server) dispatch(h frameHeader, payload []byte, owned bool, out *batcher) bool {
+	var sc telemetry.SpanContext
+	switch h.kind {
+	case kindRequest:
+	case kindTracedRequest:
+		if len(payload) < traceHeaderLen {
+			return false
+		}
+		sc.Trace = binary.BigEndian.Uint64(payload[0:8])
+		sc.Span = binary.BigEndian.Uint64(payload[8:16])
+		payload = payload[traceHeaderLen:]
+	default:
+		return false
+	}
+	s.mu.Lock()
+	handler := s.handlers[h.method]
+	name := s.names[h.method]
+	tracer := s.tracer
+	reqCount, errCount := s.reqCount, s.errCount
+	s.mu.Unlock()
+	s.calls[h.method].Add(1)
+	if reqCount != nil {
+		reqCount.Inc()
+	}
+	if !owned {
+		payload = append([]byte(nil), payload...)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		var sp telemetry.Span
+		if tracer != nil {
+			if name == "" {
+				name = "rpc.request"
+			}
+			sp = tracer.Begin(sc, name)
+		}
+		var kind byte
+		var resp []byte
+		var herr error
+		if handler == nil {
+			herr = fmt.Errorf("rpc: no handler for method %d", h.method)
+			kind = kindError
+			resp = encodeErrorPayload(herr)
+		} else if out, err := handler(payload); err != nil {
+			herr = err
+			kind = kindError
+			resp = encodeErrorPayload(err)
+		} else {
+			kind = kindResponse
+			resp = out
+		}
+		if herr != nil {
+			s.errs[h.method].Add(1)
+			if errCount != nil {
+				errCount.Inc()
+			}
+		}
+		if tracer != nil {
+			sp.Bytes = len(resp)
+			sp.Err = herr != nil
+			tracer.End(&sp)
+		}
+		_ = out.enqueue(sendEntry{kind: kind, method: h.method, id: h.id, payload: resp})
+	}()
+	return true
 }
 
 // Close stops the listener and all connections, waiting for in-flight
@@ -383,39 +307,68 @@ func (s *Server) Close() error {
 	return nil
 }
 
-type pendingCall struct {
-	ch chan callResult
+// pendingTable is the per-connection tag table: request id -> future.
+// Its mutex is the innermost lock of the transport — nothing may block
+// or call back into the rpc layer while it is held (futures taken from
+// the table are completed after release; the lmplint lockorder rule
+// enforces the discipline).
+type pendingTable struct {
+	sync.Mutex
+	m       map[uint64]*Future
+	nextID  uint64
+	started uint64
+	taken   uint64
+	term    error // terminal send/receive failure; new calls fail fast
+	closed  bool
+	dead    bool
 }
 
-type callResult struct {
-	payload []byte
-	err     error
+// ClientStats is a point-in-time snapshot of one client's transport
+// counters — the leak check surface for the stress suite: after every
+// issued call resolves, Pending is zero and Completed equals Started.
+type ClientStats struct {
+	Pending      int    `json:"pending"`
+	Started      uint64 `json:"calls_started"`
+	Completed    uint64 `json:"calls_completed"`
+	FramesSent   uint64 `json:"frames_sent"`
+	BatchesSent  uint64 `json:"batches_sent"`
+	BatchedCalls uint64 `json:"batched_calls"`
+	MaxBatch     uint64 `json:"max_batch"`
 }
 
 // Client is a multiplexing RPC client over one TCP connection. It is safe
-// for concurrent use.
+// for concurrent use; any number of calls may be in flight at once.
 type Client struct {
 	conn net.Conn
-
-	wmu sync.Mutex // serializes frame writes
-
-	mu      sync.Mutex
-	pending map[uint64]*pendingCall
-	nextID  uint64
-	closed  bool
-	dead    bool
-	readErr error
+	b    *batcher
+	pt   pendingTable
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
+// DialBatched connects like Dial but arms the send batcher's doorbell
+// window: the first frame of a quiet period waits up to window for
+// company before flushing. window 0 is plain Dial (opportunistic
+// batching only).
+func DialBatched(addr string, window time.Duration) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, pending: make(map[uint64]*pendingCall)}
+	c := &Client{conn: conn}
+	c.pt.m = make(map[uint64]*Future)
+	c.b = newBatcher(conn, window, c.sendFailed)
 	go c.readLoop()
 	return c, nil
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	return DialBatched(addr, 0)
+}
+
+// sendFailed is the batcher's write-failure callback: the connection is
+// unusable, so in-flight and future calls fail.
+func (c *Client) sendFailed(err error) {
+	c.failAll(fmt.Errorf("rpc: send failed: %w", err))
 }
 
 func (c *Client) readLoop() {
@@ -425,33 +378,95 @@ func (c *Client) readLoop() {
 			c.failAll(fmt.Errorf("rpc: connection lost: %w", err))
 			return
 		}
-		c.mu.Lock()
-		pc := c.pending[h.id]
-		delete(c.pending, h.id)
-		c.mu.Unlock()
-		if pc == nil {
-			continue // stale or duplicate response
-		}
 		switch h.kind {
-		case kindResponse:
-			pc.ch <- callResult{payload: payload}
-		case kindError:
-			pc.ch <- callResult{err: decodeRemoteError(h.method, payload)}
+		case kindResponse, kindError:
+			c.deliver(h, payload)
+		case kindBatch:
+			err := decodeBatch(payload, h.id, func(sh frameHeader, sub []byte) error {
+				switch sh.kind {
+				case kindResponse, kindError:
+					c.deliver(sh, sub)
+					return nil
+				default:
+					return fmt.Errorf("rpc: bad batched reply kind %d", sh.kind)
+				}
+			})
+			if err != nil {
+				c.failAll(fmt.Errorf("rpc: bad batch frame: %w", err))
+				c.conn.Close()
+				return
+			}
 		default:
-			pc.ch <- callResult{err: fmt.Errorf("rpc: bad frame kind %d", h.kind)}
+			// Unknown top-level kind: fail the addressed call (if any);
+			// the stream itself is still framed, so keep reading.
+			if f := c.takePending(h.id); f != nil {
+				f.complete(nil, fmt.Errorf("rpc: bad frame kind %d", h.kind))
+			}
 		}
 	}
 }
 
-func (c *Client) failAll(err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.readErr = err
-	for id, pc := range c.pending {
-		pc.ch <- callResult{err: err}
-		delete(c.pending, id)
+// deliver resolves the future registered under h.id, if it is still
+// pending (a cancelled or failed call leaves a stale id behind; its late
+// reply is dropped here). Response payloads may alias a batch envelope
+// buffer owned by the read loop until the next readFrame; waiters get
+// the bytes before that, because complete happens-before Wait returns,
+// and the buffer is not recycled.
+func (c *Client) deliver(h frameHeader, payload []byte) {
+	f := c.takePending(h.id)
+	if f == nil {
+		return // stale or duplicate reply
+	}
+	if h.kind == kindResponse {
+		f.complete(payload, nil)
+	} else {
+		f.complete(nil, decodeRemoteError(h.method, payload))
 	}
 }
+
+// takePending removes and returns the future registered under id, or nil
+// if the id is unknown (already taken, cancelled, or never registered).
+// Whoever takes the future completes it — that linearizes resolution.
+func (c *Client) takePending(id uint64) *Future {
+	c.pt.Lock()
+	f := c.pt.m[id]
+	if f != nil {
+		delete(c.pt.m, id)
+		c.pt.taken++
+	}
+	c.pt.Unlock()
+	return f
+}
+
+// failAll resolves every pending call with err and makes future calls
+// fail fast. When the client was explicitly closed, pending calls fail
+// with the ErrClosed-wrapping error instead, whatever triggered the
+// teardown first — the contract is that Close fails waiters with an
+// error satisfying errors.Is(err, ErrClosed).
+func (c *Client) failAll(err error) {
+	c.pt.Lock()
+	if c.pt.closed {
+		err = errClientClosed
+	}
+	if c.pt.term == nil {
+		c.pt.term = err
+	}
+	fs := make([]*Future, 0, len(c.pt.m))
+	for id, f := range c.pt.m {
+		fs = append(fs, f)
+		delete(c.pt.m, id)
+		c.pt.taken++
+	}
+	c.pt.Unlock()
+	// Complete outside the table lock: complete sends on the future's
+	// channel, and the pending lock is the transport's innermost lock.
+	for _, f := range fs {
+		f.complete(nil, err)
+	}
+}
+
+// errClientClosed is the error pending calls fail with on Close.
+var errClientClosed = fmt.Errorf("rpc: client closed with call in flight: %w", ErrClosed)
 
 // RemoteError is an error returned by a server handler. When the handler
 // error wrapped a transport sentinel (ErrServerDead, ErrTransient), the
@@ -481,102 +496,149 @@ func (c *Client) Call(method byte, payload []byte) ([]byte, error) {
 // entry is dropped, and the response — if it ever arrives — is
 // discarded by the read loop as stale. A nil context never cancels.
 func (c *Client) CallCtx(ctx context.Context, method byte, payload []byte) ([]byte, error) {
+	f := getFuture(c)
+	c.startCall(ctx, method, payload, f)
+	p, err := f.WaitCtx(ctx)
+	putFuture(f)
+	return p, err
+}
+
+// CallAsync issues a call without blocking and returns its future.
+func (c *Client) CallAsync(method byte, payload []byte) *Future {
+	return c.CallAsyncCtx(nil, method, payload)
+}
+
+// CallAsyncCtx is CallAsync with a context: the span identity (if any)
+// rides with the request, and the returned future's WaitCtx honours the
+// same context. The future is owned by the caller and must be waited on
+// by exactly one goroutine.
+func (c *Client) CallAsyncCtx(ctx context.Context, method byte, payload []byte) *Future {
+	f := newFuture(c)
+	c.startCall(ctx, method, payload, f)
+	return f
+}
+
+// startCall registers f in the pending table and queues the request
+// frame. Fast-fail paths (cancelled context, closed/dead/failed client)
+// complete f directly without touching the table.
+func (c *Client) startCall(ctx context.Context, method byte, payload []byte, f *Future) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("rpc: call cancelled: %w", err)
+			f.complete(nil, fmt.Errorf("rpc: call cancelled: %w", err))
+			return
 		}
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
+	c.pt.Lock()
+	if c.pt.closed {
+		c.pt.Unlock()
+		f.complete(nil, ErrClosed)
+		return
 	}
-	if c.dead {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: peer marked dead: %w", ErrServerDead)
+	if c.pt.dead {
+		c.pt.Unlock()
+		f.complete(nil, errPeerDead)
+		return
 	}
-	if c.readErr != nil {
-		err := c.readErr
-		c.mu.Unlock()
-		return nil, err
+	if err := c.pt.term; err != nil {
+		c.pt.Unlock()
+		f.complete(nil, err)
+		return
 	}
-	c.nextID++
-	id := c.nextID
-	pc := &pendingCall{ch: make(chan callResult, 1)}
-	c.pending[id] = pc
-	c.mu.Unlock()
+	c.pt.nextID++
+	id := c.pt.nextID
+	f.id = id
+	c.pt.m[id] = f
+	c.pt.started++
+	c.pt.Unlock()
 
 	// A context carrying a span identity upgrades the frame to a traced
 	// request, extending the caller's trace across the wire.
+	kind := byte(kindRequest)
 	sc := telemetry.SpanFromContext(ctx)
-	c.wmu.Lock()
-	var err error
 	if sc.Traced() {
-		err = writeTracedFrame(c.conn, method, id, sc, payload)
-	} else {
-		err = writeFrame(c.conn, kindRequest, method, id, payload)
+		kind = kindTracedRequest
 	}
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, err
-	}
-	var done <-chan struct{}
-	if ctx != nil {
-		done = ctx.Done()
-	}
-	select {
-	case res := <-pc.ch:
-		return res.payload, res.err
-	case <-done:
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("rpc: call cancelled: %w", ctx.Err())
+	if err := c.b.enqueue(sendEntry{kind: kind, method: method, id: id, sc: sc, payload: payload}); err != nil {
+		// The batcher is closed or the connection already failed; whoever
+		// still owns the pending entry fails this call.
+		if g := c.takePending(id); g != nil {
+			c.pt.Lock()
+			term := c.pt.term
+			c.pt.Unlock()
+			if term == nil {
+				term = ErrClosed
+			}
+			g.complete(nil, term)
+		}
 	}
 }
+
+// errPeerDead is the fail-fast error for calls against a dead-marked peer.
+var errPeerDead = fmt.Errorf("rpc: peer marked dead: %w", ErrServerDead)
 
 // MarkDead records a failure-detector verdict: the peer is crash-stopped.
 // Every subsequent call fails fast with an error wrapping ErrServerDead
 // without touching the network; in-flight calls fail the same way. The
 // connection itself stays open (a misdetected peer can be UnmarkDead'd).
 func (c *Client) MarkDead() {
-	c.mu.Lock()
-	c.dead = true
-	deadErr := fmt.Errorf("rpc: peer marked dead: %w", ErrServerDead)
-	for id, pc := range c.pending {
-		pc.ch <- callResult{err: deadErr}
-		delete(c.pending, id)
+	c.pt.Lock()
+	c.pt.dead = true
+	fs := make([]*Future, 0, len(c.pt.m))
+	for id, f := range c.pt.m {
+		fs = append(fs, f)
+		delete(c.pt.m, id)
+		c.pt.taken++
 	}
-	c.mu.Unlock()
+	c.pt.Unlock()
+	for _, f := range fs {
+		f.complete(nil, errPeerDead)
+	}
 }
 
 // UnmarkDead clears a MarkDead verdict.
 func (c *Client) UnmarkDead() {
-	c.mu.Lock()
-	c.dead = false
-	c.mu.Unlock()
+	c.pt.Lock()
+	c.pt.dead = false
+	c.pt.Unlock()
 }
 
 // Dead reports whether the peer is currently marked dead.
 func (c *Client) Dead() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dead
+	c.pt.Lock()
+	defer c.pt.Unlock()
+	return c.pt.dead
 }
 
-// Close tears down the connection; pending calls fail.
+// Stats snapshots the client's transport counters.
+func (c *Client) Stats() ClientStats {
+	c.pt.Lock()
+	st := ClientStats{
+		Pending:   len(c.pt.m),
+		Started:   c.pt.started,
+		Completed: c.pt.taken,
+	}
+	c.pt.Unlock()
+	st.FramesSent = c.b.framesSent.Load()
+	st.BatchesSent = c.b.batchesSent.Load()
+	st.BatchedCalls = c.b.batchedSends.Load()
+	st.MaxBatch = c.b.maxBatch.Load()
+	return st
+}
+
+// Close tears down the connection; every pending call fails with an
+// error wrapping ErrClosed, and every future call fails fast the same
+// way. Close is idempotent and safe to race with in-flight calls: each
+// future still resolves exactly once.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	c.pt.Lock()
+	if c.pt.closed {
+		c.pt.Unlock()
 		return nil
 	}
-	c.closed = true
-	c.mu.Unlock()
-	err := c.conn.Close()
-	c.failAll(ErrClosed)
+	c.pt.closed = true
+	c.pt.Unlock()
+	err := c.conn.Close() // unblocks the read loop and any in-flight write
+	c.b.close()
+	c.failAll(errClientClosed)
 	return err
 }
