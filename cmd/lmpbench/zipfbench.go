@@ -66,6 +66,10 @@ type benchFile struct {
 	// Omitted by baselines older than the pipelined transport; -compare
 	// tolerates their absence.
 	RPC []rpcRecord `json:"rpc,omitempty"`
+	// Repair carries the recovery/migration engine records (see
+	// repairbench.go). Omitted by baselines older than the parallel
+	// engine; -compare tolerates their absence.
+	Repair []repairRecord `json:"repair,omitempty"`
 }
 
 // compareTolerance is the soft regression budget: ns/op may drift this
@@ -226,6 +230,7 @@ func writeBenchJSON(path string) {
 		out.Benchmarks = append(out.Benchmarks, rec)
 	}
 	out.RPC = runRPCSection(false)
+	out.Repair = runRepairSection(false)
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmpbench: %v\n", err)
@@ -300,6 +305,42 @@ func compareBenchJSON(path string) {
 				}
 				fmt.Printf("%-32s baseline %9.2fx speedup  now %9.2fx  %+6.1f%%  %s\n",
 					b.Name, b.SpeedupVsSerial, c.SpeedupVsSerial, -delta*100, verdict)
+			}
+		}
+	}
+	if len(base.Repair) == 0 {
+		fmt.Println("baseline predates the repair/migration section; skipping repair compare")
+	} else {
+		cur := runRepairSection(true)
+		for _, b := range base.Repair {
+			if b.Config != defaultRepairBenchConfig {
+				fmt.Fprintf(os.Stderr, "lmpbench: %s: repair baseline %q was recorded with a different workload config; regenerate with -json\n",
+					path, b.Name)
+				os.Exit(1)
+			}
+			// Only the ratio records gate: absolute MB/s and raw p99 track
+			// the machine, while the worker-scaling and serialized-vs-
+			// pipelined ratios cancel shared jitter (same posture and
+			// doubled tolerance as the rpc speedup).
+			if b.SpeedupVs1W == 0 && b.ImprovementX == 0 {
+				continue
+			}
+			for _, c := range cur {
+				if c.Name != b.Name {
+					continue
+				}
+				ratioB, ratioC := b.SpeedupVs1W, c.SpeedupVs1W
+				if b.ImprovementX != 0 {
+					ratioB, ratioC = b.ImprovementX, c.ImprovementX
+				}
+				delta := (ratioB - ratioC) / ratioB
+				verdict := "ok"
+				if delta > 2*compareTolerance {
+					verdict = "REGRESSION"
+					failed = true
+				}
+				fmt.Printf("%-32s baseline %9.2fx ratio  now %9.2fx  %+6.1f%%  %s\n",
+					b.Name, ratioB, ratioC, -delta*100, verdict)
 			}
 		}
 	}

@@ -6,20 +6,28 @@
 //     cache-shard lock is held may *transitively* reach an rpc package.
 //     The wire can block indefinitely and its completion path can
 //     re-enter the cache; PR 2's syntactic rule only saw direct calls.
-//  1b. The rpc pending-table lock (any named struct embedding a mutex
+//     1b. The rpc pending-table lock (any named struct embedding a mutex
 //     with "pending" in its name) is the transport's innermost lock: a
 //     blocking channel operation or an rpc-reaching call under it —
 //     directly or through helpers — is reported. The legal shape is
 //     take-then-complete: withdraw the table entry under the lock and
 //     resolve it after release.
+//     1c. Slice-size work under a hot lock: the recovery/migration engine's
+//     contract is that bulk bytes move outside the structural and stripe
+//     locks, which are only reacquired for short commit windows. A
+//     slice-size staging allocation (make sized by SliceSize) or a
+//     Reed-Solomon encode/reconstruct reached — directly or through
+//     helpers — while either lock is held is reported; the commit-window
+//     lock (a named struct embedding a mutex with "commit" in its name)
+//     is where that work belongs.
 //  2. Lock-graph cycles: every function contributes edges "holding
 //     class H, acquires class A" (directly or through any callee) to a
-//     global graph over the lock hierarchy — structural, stripe,
-//     cache-shard, directory. Any cycle is a potential deadlock and is
-//     reported with the witness path for each edge. Self-edges are not
-//     cycles: multi-stripe acquisition is legal because the vectored
-//     path sorts stripe indices first (the syntactic rule enforces the
-//     sort).
+//     global graph over the lock hierarchy — commit-window, structural,
+//     stripe, cache-shard, directory. Any cycle is a potential deadlock
+//     and is reported with the witness path for each edge. Self-edges
+//     are not cycles: multi-stripe acquisition is legal because the
+//     vectored path sorts stripe indices first (the syntactic rule
+//     enforces the sort).
 //
 // Held regions are lexical, like the syntactic rules: a lock is held
 // from its acquire to the first matching inline release, or to the end
@@ -50,8 +58,10 @@ var ProgramAnalyzer = &summary.ProgramAnalyzer{
 	Name: "lockorder",
 	Doc: "whole-program lock discipline: no call under a stripe or cache-shard " +
 		"lock may transitively reach an rpc package, nothing blocking or " +
-		"rpc-reaching may run under a pending-table lock, and the global lock " +
-		"graph over structural/stripe/shard/directory/pending must be acyclic",
+		"rpc-reaching may run under a pending-table lock, no slice-size copy " +
+		"or Reed-Solomon coding may run under the structural or a stripe lock, " +
+		"and the global lock graph over " +
+		"commit/structural/stripe/shard/directory/pending must be acyclic",
 	Run: runProgram,
 }
 
@@ -80,11 +90,11 @@ func runProgram(p *summary.Program, report func(analysis.Diagnostic)) error {
 
 // acqMask covers the classified acquisition facts.
 const acqMask = summary.AcqStripe | summary.AcqShard | summary.AcqDirectory |
-	summary.AcqStructural | summary.AcqPending
+	summary.AcqStructural | summary.AcqPending | summary.AcqCommit
 
 var lockClasses = []summary.LockClass{
-	summary.LockStructural, summary.LockStripe, summary.LockShard,
-	summary.LockDirectory, summary.LockPending,
+	summary.LockCommit, summary.LockStructural, summary.LockStripe,
+	summary.LockShard, summary.LockDirectory, summary.LockPending,
 }
 
 // pendingForbidden names the facts barred under a pending-table lock:
@@ -156,6 +166,23 @@ func scanHeldRegions(p *summary.Program, id string, report func(analysis.Diagnos
 				Pos: s.Pos,
 				Message: fmt.Sprintf("pending-table lock held across %s: %s",
 					what, p.WitnessString(chain)),
+				Related: chain,
+			})
+		}
+		// Rule 1c: slice-size staging allocations and Reed-Solomon coding
+		// stay out of the structural and stripe hold windows — bulk bytes
+		// move under the commit-window lock alone, and the inner locks are
+		// reacquired only to validate and swap pointers.
+		if facts&summary.HeavyOp != 0 && (held[summary.LockStructural] > 0 || held[summary.LockStripe] > 0) {
+			holder := summary.LockStructural
+			if held[summary.LockStructural] == 0 {
+				holder = summary.LockStripe
+			}
+			chain := p.SiteWitness(s, summary.HeavyOp, nil)
+			report(analysis.Diagnostic{
+				Pos: s.Pos,
+				Message: fmt.Sprintf("%s lock held across a slice-size copy or reconstruction: %s",
+					holder, p.WitnessString(chain)),
 				Related: chain,
 			})
 		}

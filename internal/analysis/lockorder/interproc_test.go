@@ -14,3 +14,7 @@ func TestInterprocedural(t *testing.T) {
 func TestPendingTableRule(t *testing.T) {
 	analysistest.RunProgram(t, "testdata", lockorder.ProgramAnalyzer, "rpc", "pendinglock")
 }
+
+func TestCommitWindowRules(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", lockorder.ProgramAnalyzer, "commitlock")
+}

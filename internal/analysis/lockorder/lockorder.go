@@ -15,6 +15,15 @@
 // intentionally syntactic (per function, no interprocedural flow); a
 // justified exception carries a //lint:ignore lockorder directive.
 //
+// Functions declared with an //lmp:commitwindow doc directive are the
+// recovery/migration engine's movers: they reacquire stripe locks for
+// deliberately short validate-and-swap windows (and barrier drains), so
+// inline lock/unlock pairs are their correct shape and the
+// single-deferred-unlock rule is waived for them. Every other rule —
+// sorted multi-acquisition, structural-before-stripe, no rpc under a
+// shard lock, and the whole-program checks — still applies inside a
+// commit window.
+//
 // The analyzer additionally tracks cache shard locks — named struct
 // types whose name contains "shard" embedding a sync mutex — and
 // enforces the PR-4 flush protocol: a shard lock is never held across a
@@ -32,6 +41,7 @@ import (
 	"strings"
 
 	"github.com/lmp-project/lmp/internal/analysis"
+	"github.com/lmp-project/lmp/internal/analysis/summary"
 )
 
 // Analyzer is the lockorder analyzer.
@@ -49,11 +59,11 @@ var Analyzer = &analysis.Analyzer{
 // acquire) found in a function body.
 type lockOp struct {
 	pos     token.Pos
-	recv    string          // receiver expression, as written
-	acquire bool            // Lock/RLock vs Unlock/RUnlock
-	write   bool            // Lock/Unlock vs RLock/RUnlock
-	forBody *ast.BlockStmt  // innermost enclosing for/range body, if any
-	inDefer bool            // lexically inside a defer statement
+	recv    string         // receiver expression, as written
+	acquire bool           // Lock/RLock vs Unlock/RUnlock
+	write   bool           // Lock/Unlock vs RLock/RUnlock
+	forBody *ast.BlockStmt // innermost enclosing for/range body, if any
+	inDefer bool           // lexically inside a defer statement
 }
 
 // funcLocks is everything the per-function rules need.
@@ -74,7 +84,7 @@ func run(pass *analysis.Pass) error {
 			}
 			fl := &funcLocks{}
 			collect(pass, fn.Body, fl, nil, false)
-			report(pass, fl)
+			report(pass, fl, summary.Annotated(fn, "commitwindow"))
 		}
 	}
 	return nil
@@ -171,12 +181,36 @@ func classify(pass *analysis.Pass, call *ast.CallExpr, fl *funcLocks, forBody *a
 		fl.shards = append(fl.shards, op)
 		return
 	}
-	if method == "Lock" && finalField(sel.X) == "mu" && isSyncMutex(t) {
+	if method == "Lock" && finalField(sel.X) == "mu" && isSyncMutex(t) && muOwnerIsPool(pass.TypesInfo, sel.X) {
 		fl.mus = append(fl.mus, lockOp{pos: call.Pos(), forBody: forBody, inDefer: inDefer})
 	}
 }
 
-func report(pass *analysis.Pass, fl *funcLocks) {
+// muOwnerIsPool reports whether the `.mu` receiver chain ends in a
+// pool-typed owner — the structural lock's shape. Other bare `.mu`
+// fields (the EC stripe lock, the coherence directory) have their own
+// place in the hierarchy and are ordered by the whole-program lock
+// graph, not by this syntactic rule.
+func muOwnerIsPool(info *types.Info, e ast.Expr) bool {
+	inner, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(inner.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return strings.Contains(strings.ToLower(named.Obj().Name()), "pool")
+}
+
+func report(pass *analysis.Pass, fl *funcLocks, commitWindow bool) {
 	var acquires, releases []lockOp
 	for _, op := range fl.ops {
 		if op.acquire {
@@ -186,9 +220,15 @@ func report(pass *analysis.Pass, fl *funcLocks) {
 		}
 	}
 	// Inline releases are legal only when paired with an acquisition in
-	// the same loop iteration (the lock is never held across iterations).
+	// the same loop iteration (the lock is never held across iterations)
+	// — or anywhere in a function declared //lmp:commitwindow, whose
+	// short inline lock/unlock pairs ARE the recovery engine's commit
+	// windows and barriers. The whole-program half still checks those
+	// regions for rpc calls, heavy slice-size work, and lock-graph
+	// ordering; the directive waives only the single-deferred-unlock
+	// shape.
 	for _, r := range releases {
-		if r.inDefer {
+		if r.inDefer || commitWindow {
 			continue
 		}
 		paired := false

@@ -1,0 +1,98 @@
+// Package commitlock exercises the commit-window rules of the
+// whole-program lockorder pass: slice-size work (staging allocations
+// sized by SliceSize, Reed-Solomon coding) reached under the structural
+// or a stripe lock is reported — even through helpers — while the same
+// work under a commit-window lock alone is the engine's legal shape.
+// A seeded structural/commit-window ordering cycle checks that the
+// commit class participates in the global lock graph.
+package commitlock
+
+import "sync"
+
+const SliceSize = 1 << 21
+
+type stripeLock struct{ sync.Mutex }
+
+// commitWindow is the per-slice mover lock: name contains "commit" and
+// embeds a mutex, which is how the analysis classifies it.
+type commitWindow struct{ sync.Mutex }
+
+// RS stands in for the failure package's codec; the analysis keys on
+// the receiver type name and the coding method names.
+type RS struct{}
+
+func (r *RS) Encode(data [][]byte) ([][]byte, error)        { return nil, nil }
+func (r *RS) EncodeInto(data, parity [][]byte) error        { return nil }
+func (r *RS) Reconstruct(shards [][]byte) ([][]byte, error) { return nil, nil }
+func (r *RS) ReconstructInto(shards, out [][]byte) error    { return nil }
+
+type Pool struct {
+	mu      sync.Mutex
+	stripes [4]stripeLock
+	commits [4]commitWindow
+	rs      *RS
+}
+
+// scratch allocates a slice-size staging buffer one call below the
+// locked regions, so only the interprocedural pass can see it.
+func (p *Pool) scratch() []byte { return make([]byte, SliceSize) }
+
+// rebuild reaches Reed-Solomon reconstruction through a helper.
+func (p *Pool) rebuild(shards [][]byte) {
+	out := make([][]byte, 2)
+	_ = p.rs.ReconstructInto(shards, out)
+}
+
+// badAllocUnderStructural stages a slice-size buffer while holding the
+// structural lock: the old control plane's shape, now forbidden.
+func (p *Pool) badAllocUnderStructural() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.scratch() // want "structural lock held across a slice-size copy or reconstruction: .*make sized by SliceSize"
+}
+
+// badCodingUnderStripe runs reconstruction while holding a stripe lock:
+// O(K×SliceSize) of GF math inside a reader/writer hold window.
+func (p *Pool) badCodingUnderStripe(i int, shards [][]byte) {
+	p.stripes[i].Lock()
+	defer p.stripes[i].Unlock()
+	p.rebuild(shards) // want "stripe lock held across a slice-size copy or reconstruction: .*Reed-Solomon"
+}
+
+// goodCommitWindow is the engine's legal shape: the commit-window lock
+// alone is held across the staging allocation and the coding; the inner
+// locks would be reacquired only to validate and swap. No diagnostic.
+func (p *Pool) goodCommitWindow(i int, shards [][]byte) {
+	p.commits[i].Lock()
+	defer p.commits[i].Unlock()
+	buf := p.scratch()
+	p.rebuild(shards)
+	_ = buf
+}
+
+// takeStructural contributes the commit-window -> structural edge (the
+// canonical order: every mover takes p.mu inside its commit hold).
+func (p *Pool) takeStructural(i int) {
+	p.commits[i].Lock()
+	defer p.commits[i].Unlock()
+	p.planMove()
+}
+
+func (p *Pool) planMove() {
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// badCommitUnderStructural closes the seeded cycle: acquiring a
+// commit-window lock while holding the structural lock inverts the
+// documented order.
+func (p *Pool) badCommitUnderStructural(i int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.grabCommit(i) // want "lock-order cycle structural -> commit-window -> structural"
+}
+
+func (p *Pool) grabCommit(i int) {
+	p.commits[i].Lock()
+	p.commits[i].Unlock()
+}

@@ -65,6 +65,14 @@ const (
 	// AcqPending: the function may acquire a pending-table lock (an
 	// rpc-layer tag table; innermost by contract).
 	AcqPending
+	// AcqCommit: the function may acquire a commit-window lock (the
+	// per-slice mover lock; outermost of the pool hierarchy).
+	AcqCommit
+	// HeavyOp: the function may perform a slice-size operation — a
+	// slice-size buffer allocation (make sized by SliceSize) or a
+	// Reed-Solomon encode/reconstruct — that the control-plane rules
+	// forbid under the structural or a stripe lock.
+	HeavyOp
 )
 
 // String renders the low fact bits for diagnostics.
@@ -79,6 +87,8 @@ func (f Fact) String() string {
 		{AcqStripe, "acquires a stripe lock"}, {AcqShard, "acquires a shard lock"},
 		{AcqDirectory, "acquires the directory lock"}, {AcqStructural, "acquires the structural lock"},
 		{AcqPending, "acquires the pending-table lock"},
+		{AcqCommit, "acquires a commit-window lock"},
+		{HeavyOp, "performs a slice-size copy or reconstruction"},
 	} {
 		if f&e.bit != 0 {
 			parts = append(parts, e.name)
@@ -100,6 +110,7 @@ const (
 	LockShard
 	LockDirectory
 	LockPending
+	LockCommit
 )
 
 // String names the class as diagnostics print it.
@@ -115,6 +126,8 @@ func (c LockClass) String() string {
 		return "directory"
 	case LockPending:
 		return "pending-table"
+	case LockCommit:
+		return "commit-window"
 	}
 	return "none"
 }
@@ -132,6 +145,8 @@ func (c LockClass) AcqFact() Fact {
 		return AcqDirectory
 	case LockPending:
 		return AcqPending
+	case LockCommit:
+		return AcqCommit
 	}
 	return 0
 }
@@ -567,6 +582,10 @@ func (s *scanner) callExpr(call *ast.CallExpr, deferred bool) {
 		if b, ok := info.Uses[id].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
+				if sizedBySliceSize(call) {
+					s.add(call.Pos(), Allocs|HeavyOp, "make sized by SliceSize (slice-size allocation)")
+					return
+				}
 				s.add(call.Pos(), Allocs, "make")
 			case "new":
 				s.add(call.Pos(), Allocs, "new")
@@ -596,8 +615,49 @@ func (s *scanner) callExpr(call *ast.CallExpr, deferred bool) {
 			st.Local |= CallsRPC
 			st.What = "call into package rpc"
 		}
+		if isRSCodingCall(info, call) {
+			st.Local |= HeavyOp
+			st.What = "Reed-Solomon encode/reconstruct (slice-size compute)"
+		}
 		s.fi.Sites = append(s.fi.Sites, st)
 	}
+}
+
+// sizedBySliceSize reports whether a make call sizes its result with the
+// SliceSize constant (directly or behind a selector like core.SliceSize):
+// the signature of a slice-size staging allocation, which belongs in the
+// engine's buffer pool, never under the structural or a stripe lock.
+func sizedBySliceSize(call *ast.CallExpr) bool {
+	for _, a := range call.Args[1:] {
+		found := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "SliceSize" {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isRSCodingCall reports whether call invokes a Reed-Solomon coding
+// method (Encode/EncodeInto/Reconstruct/ReconstructInto) on an RS codec:
+// O(K×SliceSize) of GF(256) arithmetic, forbidden under the structural
+// or a stripe lock.
+func isRSCodingCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Encode", "EncodeInto", "Reconstruct", "ReconstructInto":
+	default:
+		return false
+	}
+	return namedTypeIs(info.TypeOf(sel.X), "RS")
 }
 
 // conversion accounts allocating conversions: boxing into an interface
@@ -651,6 +711,8 @@ func (s *scanner) lockOp(call *ast.CallExpr) (LockOp, bool) {
 		Recv:    types.ExprString(sel.X),
 	}
 	switch {
+	case EmbedsMutexNamed(t, "commit"):
+		op.Class = LockCommit
 	case EmbedsMutexNamed(t, "stripe"):
 		op.Class = LockStripe
 	case EmbedsMutexNamed(t, "shard"):

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/alloc"
 	"github.com/lmp-project/lmp/internal/migrate"
 	"github.com/lmp-project/lmp/internal/sizing"
 	"github.com/lmp-project/lmp/internal/telemetry"
@@ -11,9 +13,27 @@ import (
 
 // BalanceReport summarizes one locality-balancing round.
 type BalanceReport struct {
+	// Planned is the number of moves the policy ranked for this round
+	// (before the per-round budget is applied).
 	Planned  int
 	Migrated int
-	Skipped  int
+	// Skipped is the total of the per-reason counts below.
+	Skipped int
+	// SkippedDead counts moves whose source or target server was dead.
+	// SkippedCollocated counts moves refused because the target holds
+	// the slice's protection state; SkippedAllocFail moves the target
+	// region had no room for. Attempted moves — these two — consume the
+	// round's budget like a successful migration.
+	SkippedDead       int
+	SkippedCollocated int
+	SkippedAllocFail  int
+	// SkippedBusy counts slices another mover (a repair worker, a
+	// concurrent MigrateSlice) held the commit-window lock for, and
+	// SkippedStale slices freed or re-homed between planning and the
+	// move. Neither consumes the budget: they were never this round's
+	// work.
+	SkippedBusy  int
+	SkippedStale int
 }
 
 // BalanceOnce runs one round of the locality balancer (§5 "Locality
@@ -29,112 +49,107 @@ func (p *Pool) BalanceOnce() (BalanceReport, error) {
 	if traced {
 		sp = p.obs.tracer.Begin(telemetry.SpanContext{}, "pool.balance")
 	}
-	rep, err := p.balanceOnce()
+	rep, err := p.balanceOnce(sp.Context())
 	if traced {
 		p.endChild(&sp, rep.Migrated*int(SliceSize), err)
 	}
 	return rep, err
 }
 
-func (p *Pool) balanceOnce() (BalanceReport, error) {
+// balanceOnce plans against the full ranked move list and enforces the
+// policy's per-round budget itself, so a skip whose slice was
+// concurrently repaired or freed does not eat a budget slot a viable
+// move further down the list could have used. The structural lock is
+// taken per move inside the engine, never across the whole list, and
+// a slice another mover holds is skipped with TryLock rather than
+// stalling the round behind a repair.
+func (p *Pool) balanceOnce(sc telemetry.SpanContext) (BalanceReport, error) {
 	p.harvestAccessCounts()
-	moves, err := migrate.Plan(p.matrix, p.global, p.cfg.Migration)
+	pol := p.cfg.Migration
+	budget := pol.MaxMoves
+	pol.MaxMoves = 0 // rank everything; the budget is enforced below
+	moves, err := migrate.Plan(p.matrix, p.global, pol)
 	if err != nil {
 		return BalanceReport{}, err
 	}
 	rep := BalanceReport{Planned: len(moves)}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	used := 0
 	for _, mv := range moves {
+		if budget > 0 && used >= budget {
+			break
+		}
 		if p.isDead(mv.To) || p.isDead(mv.From) {
-			rep.Skipped++
+			rep.SkippedDead++
 			continue
 		}
-		if err := p.migrateSliceLocked(mv.Slice, mv.To); err != nil {
-			rep.Skipped++
+		back := p.lookupSlice(mv.Slice)
+		if back == nil {
+			rep.SkippedStale++ // freed since planning
 			continue
 		}
-		rep.Migrated++
+		if !back.commit.TryLock() {
+			rep.SkippedBusy++
+			continue
+		}
+		err := p.moveOneCommitted(sc, mv.Slice, back, mv.To)
+		back.commit.Unlock()
+		switch {
+		case err == nil:
+			rep.Migrated++
+			used++
+		case errors.Is(err, errCollocate):
+			rep.SkippedCollocated++
+			used++ // attempted: charge the budget
+		case errors.Is(err, alloc.ErrNoSpace):
+			rep.SkippedAllocFail++
+			used++ // attempted: charge the budget
+		case errors.Is(err, ErrServerDead):
+			rep.SkippedDead++
+		default: // errMoveStale and friends: concurrent repair or free
+			rep.SkippedStale++
+		}
 	}
+	rep.Skipped = rep.SkippedDead + rep.SkippedCollocated + rep.SkippedAllocFail +
+		rep.SkippedBusy + rep.SkippedStale
 	p.matrix.Decay()
 	p.metrics.Counter("pool.migrations").Add(uint64(rep.Migrated))
+	p.metrics.Counter("pool.migrations.skipped.dead").Add(uint64(rep.SkippedDead))
+	p.metrics.Counter("pool.migrations.skipped.collocated").Add(uint64(rep.SkippedCollocated))
+	p.metrics.Counter("pool.migrations.skipped.alloc_fail").Add(uint64(rep.SkippedAllocFail))
+	p.metrics.Counter("pool.migrations.skipped.busy").Add(uint64(rep.SkippedBusy))
+	p.metrics.Counter("pool.migrations.skipped.stale").Add(uint64(rep.SkippedStale))
 	return rep, nil
 }
 
-// migrateSliceLocked moves one slice's backing to server to. The logical
-// address does not change: only the coarse map binding and the two local
-// maps do. Migration refuses to collocate a slice with its own replicas
-// or its stripe's other shards — that would silently void the protection.
-//
-// The caller holds p.mu; the copy and rebind run under the slice's
-// stripe lock in write mode, so a migration is atomic with respect to
-// concurrent Read/Write traffic on the slice: an access lands entirely
-// on the old backing or entirely on the new one.
-func (p *Pool) migrateSliceLocked(s uint64, to addr.ServerID) error {
-	back := p.lookupSlice(s)
-	if back == nil {
-		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
-	}
-	if back.server == to {
-		return nil
-	}
-	if back.buf != nil {
-		if avoid := p.protectionServersLocked(back.buf, s-back.buf.firstSlice()); avoid[to] {
-			return fmt.Errorf("core: migrating slice %d to server %d would collocate with its protection", s, to)
-		}
-	}
-	newOff, err := p.regions[to].Alloc(SliceSize)
-	if err != nil {
-		return fmt.Errorf("core: migrate slice %d to %d: %w", s, to, err)
-	}
-	st := p.stripeFor(s)
-	st.Lock()
-	defer st.Unlock()
-	buf := make([]byte, SliceSize)
-	if err := p.nodes[back.server].ReadAt(buf, back.offset); err != nil {
-		_ = p.regions[to].Free(newOff)
-		return err
-	}
-	if err := p.nodes[to].WriteAt(buf, newOff); err != nil {
-		_ = p.regions[to].Free(newOff)
-		return err
-	}
-	from := back.server
-	oldOff := back.offset
-	p.locals[to].MapSlice(s, newOff)
-	if err := p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, to); err != nil {
-		p.locals[to].UnmapSlice(s)
-		_ = p.regions[to].Free(newOff)
-		return err
-	}
-	p.locals[from].UnmapSlice(s)
-	_ = p.regions[from].Free(oldOff)
-	p.nodes[from].DropRange(oldOff, SliceSize) // contents were copied; free the backing pages
-	back.server = to
-	back.offset = newOff
-	if p.caches != nil {
-		// The slice is local to its new owner now; drop the owner's cached
-		// copies so its reads hit backing DRAM directly (local pages are
-		// never cached). Other nodes' copies stay valid — the bytes did
-		// not change, only their home.
-		base := uint64(addr.SliceBase(s))
-		p.caches[to].InvalidateRange(base>>p.pageShift, uint64(SliceSize)>>p.pageShift)
-	}
-	return nil
-}
-
 // MigrateSlice forces one slice's backing onto a specific server (the
-// mechanism underneath both the balancer and administrative moves).
+// mechanism underneath both the balancer and administrative moves). The
+// logical address does not change: only the coarse map binding and the
+// two local maps do. Migration refuses to collocate a slice with its
+// own replicas or its stripe's other shards — that would silently void
+// the protection. Unlike the balancer, it blocks on the slice's
+// commit-window lock, so a concurrent repair or balance round delays a
+// forced move instead of failing it.
 func (p *Pool) MigrateSlice(s uint64, to addr.ServerID) error {
 	if int(to) < 0 || int(to) >= len(p.nodes) {
 		return fmt.Errorf("core: no server %d", to)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.isDead(to) {
 		return fmt.Errorf("%w: server %d", ErrServerDead, to)
 	}
-	return p.migrateSliceLocked(s, to)
+	for attempt := 0; attempt < maxRecoverAttempts; attempt++ {
+		back := p.lookupSlice(s)
+		if back == nil {
+			return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
+		}
+		back.commit.Lock()
+		err := p.moveOneCommitted(telemetry.SpanContext{}, s, back, to)
+		back.commit.Unlock()
+		if errors.Is(err, errMoveStale) {
+			continue // released or re-homed while we waited; re-resolve
+		}
+		return err
+	}
+	return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
 }
 
 // AccessProfile exposes the balancer's access matrix (for tests and

@@ -149,6 +149,13 @@ func (p *Pool) relocateSliceLocked(sl uint64, back *sliceBacking, s addr.ServerI
 				_ = p.regions[s].Free(newOff)
 				return false, false, err
 			}
+			// EC reconstruction reads backing fields and extents under
+			// ec.mu alone, so the rebind-and-free must be ordered against
+			// it (stripe lock → ec.mu, same as the write path).
+			if back.buf != nil && back.buf.ec != nil {
+				back.buf.ec.mu.Lock()
+				defer back.buf.ec.mu.Unlock()
+			}
 			p.locals[s].MapSlice(sl, newOff)
 			p.freeBackingLocked(s, back.offset)
 			back.offset = newOff
@@ -172,6 +179,12 @@ func (p *Pool) relocateSliceLocked(sl uint64, back *sliceBacking, s addr.ServerI
 	if err := p.copySliceBackingLocked(s, back.offset, dst, newOff); err != nil {
 		_ = p.regions[dst].Free(newOff)
 		return false, false, err
+	}
+	// Same ec.mu ordering as the local branch: reconstruction must never
+	// observe a half-updated (server, offset) pair or a freed extent.
+	if back.buf != nil && back.buf.ec != nil {
+		back.buf.ec.mu.Lock()
+		defer back.buf.ec.mu.Unlock()
 	}
 	p.locals[dst].MapSlice(sl, newOff)
 	if err := p.global.Bind(addr.Range{Start: addr.SliceBase(sl), Size: SliceSize}, dst); err != nil {
@@ -223,8 +236,13 @@ func (p *Pool) relocateBlockLocked(b *Buffer, s addr.ServerID, oldOff, target in
 }
 
 // copySliceBackingLocked copies one slice of bytes between node offsets.
+// The staging buffer comes from the engine's pool: this runs with the
+// structural and stripe locks held, where a 2 MiB make is exactly the
+// allocation-under-lock pattern the linter forbids.
 func (p *Pool) copySliceBackingLocked(fromSrv addr.ServerID, fromOff int64, toSrv addr.ServerID, toOff int64) error {
-	buf := make([]byte, SliceSize)
+	bp := getSliceBuf()
+	defer putSliceBuf(bp)
+	buf := *bp
 	if err := p.nodes[fromSrv].ReadAt(buf, fromOff); err != nil {
 		return err
 	}

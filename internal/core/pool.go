@@ -29,9 +29,17 @@
 // compaction, release) additionally take that slice's stripe lock in
 // write mode, so they linearize with in-flight accesses: an access
 // observes the slice either entirely before or entirely after the move,
-// never mid-copy. Lock order is always structural lock → stripe lock →
-// erasure-coding stripe lock; the data path classifies failures only
-// after dropping its stripe lock, so the order is never inverted.
+// never mid-copy.
+//
+// Slice movers (repair workers, migrations, foreground crash recovery)
+// additionally serialize per slice on a commit-window lock
+// (sliceBacking.commit) held for the whole move, while the heavy copy
+// runs outside the structural and stripe locks and only a short commit
+// window re-acquires them (see repair.go). Lock order is always
+// commit-window lock → structural lock → stripe lock → erasure-coding
+// stripe lock; the data path classifies failures only after dropping
+// its stripe lock, so the order is never inverted, and nothing acquires
+// a commit-window lock while holding any of the inner three.
 package core
 
 import (
@@ -93,6 +101,9 @@ type Config struct {
 	// Trace configures per-op tracing (see obs.go). The zero value
 	// enables sampled tracing with the defaults.
 	Trace TraceConfig
+	// Repair tunes the parallel repair/migration engine (see repair.go
+	// and WithRepairParallelism).
+	Repair RepairConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -119,6 +130,59 @@ type sliceBacking struct {
 	// path with a single atomic add; the locality balancer harvests them
 	// into its access matrix (see Pool.harvestAccessCounts).
 	counts []atomic.Uint64
+
+	// commit is the slice's commit-window (mover) lock: repair workers,
+	// migrations, and foreground crash recovery hold it for the whole
+	// move, so at most one mover re-homes the slice at a time and a
+	// holder may read the fields above before re-acquiring the inner
+	// locks. Never acquired while holding p.mu or a stripe lock.
+	commit commitWindow
+
+	// tracking/dirtyLo/dirtyHi form the live-migration dirty interval:
+	// while a mover's pre-copy runs, writers record the byte range they
+	// touched and the commit window re-copies only that delta. All three
+	// are guarded by the slice's stripe lock in write mode.
+	tracking bool
+	dirtyLo  int64
+	dirtyHi  int64
+}
+
+// startTrackingLocked arms the dirty interval for a two-phase move;
+// stopTrackingLocked disarms it. Callers hold the slice's stripe lock
+// in write mode.
+func (b *sliceBacking) startTrackingLocked() {
+	b.dirtyLo, b.dirtyHi = SliceSize, 0
+	b.tracking = true
+}
+
+func (b *sliceBacking) stopTrackingLocked() { b.tracking = false }
+
+// dirtyRangeLocked reports the written interval since arming, clamped
+// to the slice; empty when hi <= lo.
+func (b *sliceBacking) dirtyRangeLocked() (lo, hi int64) {
+	lo, hi = b.dirtyLo, b.dirtyHi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > SliceSize {
+		hi = SliceSize
+	}
+	return lo, hi
+}
+
+// markDirtyLocked records a write of n bytes at slice offset off.
+// Called by every backing-write path under the stripe write lock; a
+// single compare makes the untracked (no mover active) case free.
+func (b *sliceBacking) markDirtyLocked(off, n int64) {
+	if !b.tracking {
+		return
+	}
+	if off < b.dirtyLo {
+		b.dirtyLo = off
+	}
+	if off+n > b.dirtyHi {
+		b.dirtyHi = off + n
+	}
 }
 
 // sliceTable is the atomically published slice index → backing table.
@@ -576,12 +640,20 @@ func (b *Buffer) Release() error {
 			continue
 		}
 		// The stripe lock drains in-flight accesses to the slice before
-		// its backing disappears.
+		// its backing disappears; for erasure-coded buffers the EC lock
+		// additionally orders the free against a reconstruction snapshot,
+		// which reads sibling backings under ec.mu alone.
 		st := p.stripeFor(s)
 		st.Lock()
+		if b.ec != nil {
+			b.ec.mu.Lock()
+		}
 		p.deleteSlice(s)
 		p.locals[back.server].UnmapSlice(s)
 		p.freeBackingLocked(back.server, back.offset)
+		if b.ec != nil {
+			b.ec.mu.Unlock()
+		}
 		_ = p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, addr.NoServer)
 		if p.caches != nil {
 			// The logical range is dying and may be reallocated: cached
@@ -596,11 +668,15 @@ func (b *Buffer) Release() error {
 		}
 	}
 	if b.ec != nil {
+		// Parity extents are read under ec.mu by reconstruction and the
+		// parity-delta path; free them under the same lock.
+		b.ec.mu.Lock()
 		for _, st := range b.ec.stripes {
 			for _, pb := range st.parity {
 				p.freeBackingLocked(pb.server, pb.offset)
 			}
 		}
+		b.ec.mu.Unlock()
 	}
 	delete(p.buffers, b.rng.Start)
 	p.freeRuns = append(p.freeRuns, b.rng)
@@ -788,6 +864,7 @@ func (p *Pool) accessSliceOnce(sc telemetry.SpanContext, from addr.ServerID, s u
 // writeSliceLocked applies a write to the primary backing and its
 // protection state. Caller holds the slice's stripe lock in write mode.
 func (p *Pool) writeSliceLocked(back *sliceBacking, node *memnode.Node, s uint64, sliceOff, offset int64, part []byte) error {
+	back.markDirtyLocked(sliceOff, int64(len(part)))
 	buf := back.buf
 	if buf != nil && buf.prot.Scheme == failure.ErasureCode {
 		// Erasure-coded writes delta the parity from the old bytes; the
@@ -865,16 +942,34 @@ func (p *Pool) recoverSlice(sc telemetry.SpanContext, s uint64) error {
 }
 
 func (p *Pool) recoverSliceInner(s uint64) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	back := p.lookupSlice(s)
-	if back == nil {
-		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
+	for attempt := 0; attempt < maxRecoverAttempts; attempt++ {
+		back := p.lookupSlice(s)
+		if back == nil {
+			return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
+		}
+		// back.server is mutated by rebindLocked under the stripe write
+		// lock; a brief read hold synchronizes this pre-check with a
+		// concurrent mover's commit (we hold no stripe lock here).
+		lock := p.stripeFor(s)
+		lock.RLock()
+		owner := back.server
+		lock.RUnlock()
+		if !p.isDead(owner) {
+			return nil // another mover already recovered it
+		}
+		// Serialize with other movers on the commit-window lock. A repair
+		// worker holding it finishes the rebuild for us; the re-lookup
+		// below catches a release-and-remap that happened while we waited.
+		back.commit.Lock()
+		if p.lookupSlice(s) != back {
+			back.commit.Unlock()
+			continue
+		}
+		err := p.repairSliceCommitted(s, back)
+		back.commit.Unlock()
+		return err
 	}
-	if !p.isDead(back.server) {
-		return nil // another goroutine already recovered it
-	}
-	return p.recoverSliceLocked(s)
+	return fmt.Errorf("%w: slice %d not recoverable", ErrServerDead, s)
 }
 
 // recordAccessMetrics bumps the cached op and byte counters: the

@@ -8,7 +8,6 @@ import (
 	"github.com/lmp-project/lmp/internal/alloc"
 	"github.com/lmp-project/lmp/internal/coherence"
 	"github.com/lmp-project/lmp/internal/failure"
-	"github.com/lmp-project/lmp/internal/telemetry"
 )
 
 // ecState holds a buffer's erasure-coding metadata: its slices are grouped
@@ -30,6 +29,11 @@ type ecStripe struct {
 	// where trailing missing slices are implicit zero shards.
 	firstIdx uint64
 	parity   []parityBlock
+	// version counts stripe mutations (data-shard writes and their
+	// parity deltas), guarded by ec.mu. The parity-rebuild path
+	// snapshots it so an optimistic recompute detects a concurrent
+	// write and retries instead of swapping in a stale row.
+	version uint64
 }
 
 type parityBlock struct {
@@ -178,7 +182,8 @@ func (p *Pool) writeParityDelta(b *Buffer, idx uint64, sliceOff int64, oldData, 
 	if stripeIdx >= uint64(len(b.ec.stripes)) {
 		return fmt.Errorf("core: stripe %d out of range", stripeIdx)
 	}
-	st := b.ec.stripes[stripeIdx]
+	st := &b.ec.stripes[stripeIdx]
+	st.version++
 	shard := int(idx - st.firstIdx)
 	delta := make([]byte, len(newData))
 	for i := range delta {
@@ -259,319 +264,3 @@ func (p *Pool) Crash(s addr.ServerID) error {
 
 // Dead reports whether server s has crashed.
 func (p *Pool) Dead(s addr.ServerID) bool { return p.isDead(s) }
-
-// recoverSliceLocked rebuilds slice s (whose owner is dead) onto a live
-// server, using a replica or erasure-coded reconstruction. The caller
-// holds p.mu; the rebind itself additionally takes the slice's stripe
-// lock so it linearizes with in-flight accesses.
-func (p *Pool) recoverSliceLocked(s uint64) error {
-	back := p.lookupSlice(s)
-	if back == nil {
-		return fmt.Errorf("%w: slice %d", addr.ErrUnmapped, s)
-	}
-	b := back.buf
-	deadServer := back.server
-	if b == nil || b.prot.Scheme == failure.None {
-		return &failure.MemoryException{Addr: addr.SliceBase(s), Server: deadServer}
-	}
-	idx := s - b.firstSlice()
-	data := make([]byte, SliceSize)
-	switch b.prot.Scheme {
-	case failure.Replicate:
-		found := false
-		for _, cp := range b.copies {
-			c := cp[idx]
-			if p.isDead(c.Server) {
-				continue
-			}
-			if err := p.nodes[c.Server].ReadAt(data, c.Offset); err != nil {
-				return err
-			}
-			found = true
-			break
-		}
-		if !found {
-			return &failure.MemoryException{Addr: addr.SliceBase(s), Server: deadServer}
-		}
-	case failure.ErasureCode:
-		if err := p.reconstructECLocked(b, idx, data); err != nil {
-			return err
-		}
-	}
-	// Re-home onto a live server, avoiding the buffer's protection
-	// servers so the tolerated failure count is preserved.
-	srv, off, err := p.allocAvoiding(p.protectionServersLocked(b, idx))
-	if err != nil {
-		return err
-	}
-	if err := p.nodes[srv].WriteAt(data, off); err != nil {
-		return err
-	}
-	st := p.stripeFor(s)
-	st.Lock()
-	defer st.Unlock()
-	p.locals[deadServer].UnmapSlice(s)
-	p.locals[srv].MapSlice(s, off)
-	if err := p.global.Bind(addr.Range{Start: addr.SliceBase(s), Size: SliceSize}, srv); err != nil {
-		return err
-	}
-	back.server = srv
-	back.offset = off
-	if p.caches != nil {
-		// The slice is local to its recovery target now; drop that node's
-		// cached copies so its reads hit backing DRAM directly (local pages
-		// are never cached). Other nodes' copies stay valid — recovery
-		// restored the same bytes, only their home changed.
-		base := uint64(addr.SliceBase(s))
-		p.caches[srv].InvalidateRange(base>>p.pageShift, uint64(SliceSize)>>p.pageShift)
-	}
-	p.metrics.Counter("pool.recoveries").Inc()
-	return nil
-}
-
-// reconstructECLocked rebuilds buffer slice idx from its stripe's
-// survivors into out (len SliceSize).
-func (p *Pool) reconstructECLocked(b *Buffer, idx uint64, out []byte) error {
-	k := uint64(b.prot.K)
-	stripeIdx := idx / k
-	st := b.ec.stripes[stripeIdx]
-	shards := make([][]byte, b.prot.K+b.prot.M)
-	first := b.firstSlice()
-	nSlices := b.sliceCount()
-	for j := 0; j < b.prot.K; j++ {
-		slIdx := st.firstIdx + uint64(j)
-		if slIdx >= nSlices {
-			// Virtual zero shard beyond the buffer's end.
-			shards[j] = make([]byte, SliceSize)
-			continue
-		}
-		back := p.lookupSlice(first + slIdx)
-		if back == nil || p.isDead(back.server) {
-			continue // erased
-		}
-		buf := make([]byte, SliceSize)
-		if err := p.nodes[back.server].ReadAt(buf, back.offset); err != nil {
-			return err
-		}
-		shards[j] = buf
-	}
-	for m, pb := range st.parity {
-		if p.isDead(pb.server) {
-			continue
-		}
-		buf := make([]byte, SliceSize)
-		if err := p.nodes[pb.server].ReadAt(buf, pb.offset); err != nil {
-			return err
-		}
-		shards[b.prot.K+m] = buf
-	}
-	dataShards, err := b.ec.rs.Reconstruct(shards)
-	if err != nil {
-		return fmt.Errorf("core: reconstruct slice %d: %w", idx, err)
-	}
-	copy(out, dataShards[idx-st.firstIdx])
-	return nil
-}
-
-// RepairServer proactively rebuilds every slice owned by the crashed
-// server s, then re-homes the protection state (replica chunks, parity
-// blocks) the dead server hosted for other buffers, restoring the full
-// tolerated-failure count. It reports how many slices were recovered and
-// returns the first unrecoverable error (if any) after attempting all
-// slices and protection blocks.
-func (p *Pool) RepairServer(s addr.ServerID) (recovered int, firstErr error) {
-	// Repair is a root trace: it walks the whole slice table under the
-	// structural lock, so its duration bounds how long allocations and
-	// other structural work stalled.
-	var sp telemetry.Span
-	traced := p.obs != nil
-	if traced {
-		sp = p.obs.tracer.Begin(telemetry.SpanContext{}, "pool.repair")
-		sp.Server = int(s)
-	}
-	recovered, firstErr = p.repairServer(s)
-	if traced {
-		p.endChild(&sp, recovered*int(SliceSize), firstErr)
-	}
-	return recovered, firstErr
-}
-
-func (p *Pool) repairServer(s addr.ServerID) (recovered int, firstErr error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.isDead(s) {
-		return 0, fmt.Errorf("core: server %d is alive", s)
-	}
-	t := p.table.Load()
-	for sl := range t.entries {
-		back := t.entries[sl].Load()
-		if back == nil || back.server != s {
-			continue
-		}
-		if err := p.recoverSliceLocked(uint64(sl)); err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		recovered++
-	}
-	// Primaries first, protection second: parity rebuild reads the data
-	// shards, so every data slice must already live on a live server.
-	moved, protErr := p.repairProtectionLocked(s)
-	if protErr != nil && firstErr == nil {
-		firstErr = protErr
-	}
-	p.metrics.Counter("pool.repair.protection_blocks").Add(uint64(moved))
-	return recovered, firstErr
-}
-
-// repairProtectionLocked re-homes protection state hosted on the dead
-// server s: replica chunks are re-copied from a surviving copy and
-// parity blocks are recomputed from their stripe's data shards onto live
-// servers. Without this pass a buffer silently runs with degraded
-// tolerance after a crash even when every primary slice survived.
-// Caller holds p.mu.
-func (p *Pool) repairProtectionLocked(s addr.ServerID) (moved int, firstErr error) {
-	record := func(err error) {
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	for _, b := range p.buffers {
-		for c := range b.copies {
-			for i := range b.copies[c] {
-				if b.copies[c][i].Server != s {
-					continue
-				}
-				if err := p.rehomeReplicaLocked(b, c, uint64(i)); err != nil {
-					record(err)
-					continue
-				}
-				moved++
-			}
-		}
-		if b.ec == nil {
-			continue
-		}
-		for si := range b.ec.stripes {
-			for m := range b.ec.stripes[si].parity {
-				if b.ec.stripes[si].parity[m].server != s {
-					continue
-				}
-				if err := p.rebuildParityLocked(b, si, m); err != nil {
-					record(err)
-					continue
-				}
-				moved++
-			}
-		}
-	}
-	return moved, firstErr
-}
-
-// rehomeReplicaLocked rebuilds replica copy c of buffer slice idx (whose
-// holder crashed) on a live server. Caller holds p.mu.
-func (p *Pool) rehomeReplicaLocked(b *Buffer, c int, idx uint64) error {
-	sl := b.firstSlice() + idx
-	avoid := p.protectionServersLocked(b, idx)
-	if primary := p.lookupSlice(sl); primary != nil {
-		avoid[primary.server] = true
-	}
-	srv, off, err := p.allocAvoiding(avoid)
-	if err != nil {
-		return err
-	}
-	data := make([]byte, SliceSize)
-	// The stripe lock orders the copy against in-flight writers, which
-	// update the primary and its replicas together under the same lock.
-	st := p.stripeFor(sl)
-	st.Lock()
-	defer st.Unlock()
-	src := p.lookupSlice(sl)
-	if src != nil && !p.isDead(src.server) {
-		if err := p.nodes[src.server].ReadAt(data, src.offset); err != nil {
-			p.freeBackingLocked(srv, off)
-			return err
-		}
-	} else {
-		// Primary is gone too: source from any surviving sibling copy.
-		found := false
-		for c2, cp := range b.copies {
-			if c2 == c || p.isDead(cp[idx].Server) {
-				continue
-			}
-			if err := p.nodes[cp[idx].Server].ReadAt(data, cp[idx].Offset); err != nil {
-				p.freeBackingLocked(srv, off)
-				return err
-			}
-			found = true
-			break
-		}
-		if !found {
-			p.freeBackingLocked(srv, off)
-			return &failure.MemoryException{Addr: addr.SliceBase(sl), Server: b.copies[c][idx].Server}
-		}
-	}
-	if err := p.nodes[srv].WriteAt(data, off); err != nil {
-		p.freeBackingLocked(srv, off)
-		return err
-	}
-	b.copies[c][idx] = alloc.Chunk{Server: srv, Offset: off, Size: SliceSize}
-	return nil
-}
-
-// rebuildParityLocked recomputes parity row m of EC stripe si (whose
-// block's holder crashed) onto a live server, from the stripe's data
-// shards. Caller holds p.mu.
-func (p *Pool) rebuildParityLocked(b *Buffer, si, m int) error {
-	st := &b.ec.stripes[si]
-	first := b.firstSlice()
-	k := b.prot.K
-	avoid := make(map[addr.ServerID]bool)
-	for j := 0; j < k; j++ {
-		slIdx := st.firstIdx + uint64(j)
-		if slIdx >= b.sliceCount() {
-			continue
-		}
-		if back := p.lookupSlice(first + slIdx); back != nil {
-			avoid[back.server] = true
-		}
-	}
-	for _, pb := range st.parity {
-		avoid[pb.server] = true
-	}
-	srv, off, err := p.allocAvoiding(avoid)
-	if err != nil {
-		return err
-	}
-	// ec.mu freezes the stripe: EC data writes mutate shard bytes and
-	// parity together under it, so the shards read here are a consistent
-	// snapshot and the swapped-in block is immediately delta-consistent.
-	b.ec.mu.Lock()
-	defer b.ec.mu.Unlock()
-	row := make([]byte, SliceSize)
-	for j := 0; j < k; j++ {
-		slIdx := st.firstIdx + uint64(j)
-		if slIdx >= b.sliceCount() {
-			continue // virtual zero shard contributes nothing
-		}
-		back := p.lookupSlice(first + slIdx)
-		if back == nil || p.isDead(back.server) {
-			p.freeBackingLocked(srv, off)
-			return fmt.Errorf("%w: parity rebuild needs data slice %d", ErrServerDead, slIdx)
-		}
-		shard := make([]byte, SliceSize)
-		if err := p.nodes[back.server].ReadAt(shard, back.offset); err != nil {
-			p.freeBackingLocked(srv, off)
-			return err
-		}
-		failure.AddScaled(row, shard, b.ec.rs.Coefficient(m, j))
-	}
-	if err := p.nodes[srv].WriteAt(row, off); err != nil {
-		p.freeBackingLocked(srv, off)
-		return err
-	}
-	st.parity[m] = parityBlock{server: srv, offset: off}
-	return nil
-}

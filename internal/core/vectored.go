@@ -345,6 +345,12 @@ func (p *Pool) vectoredOnce(ctx context.Context, sc telemetry.SpanContext, from 
 		}
 		var err error
 		if write {
+			// Raw coalesced writes bypass writeSliceLocked, so any move in
+			// its pre-copy phase must learn about them here: the dirty
+			// interval is per-slice, and this run may span several.
+			for k := i; k < j; k++ {
+				backs[k].markDirtyLocked(segs[k].sliceOff, int64(len(segs[k].data)))
+			}
 			err = node.WriteAt(data, offset)
 		} else {
 			err = node.ReadAt(data, offset)

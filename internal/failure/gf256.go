@@ -9,6 +9,14 @@ const gfPoly = 0x11d
 var (
 	gfExp [512]byte // doubled so mul can skip a mod
 	gfLog [256]byte
+
+	// Split multiply tables for the bulk kernel: c*x factors as
+	// c*(x_lo ^ x_hi<<4) = c*x_lo ^ c*(x_hi<<4) because the field has
+	// characteristic 2, so two 16-entry lookups replace the exp/log
+	// chain per byte. 8 KiB total, hot lines stay in L1 for a whole
+	// slice pass.
+	gfMulLo [256][16]byte
+	gfMulHi [256][16]byte
 )
 
 func init() {
@@ -23,6 +31,12 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		gfExp[i] = gfExp[i-255]
+	}
+	for c := 1; c < 256; c++ {
+		for n := 0; n < 16; n++ {
+			gfMulLo[c][n] = gfMul(byte(c), byte(n))
+			gfMulHi[c][n] = gfMul(byte(c), byte(n<<4))
+		}
 	}
 }
 
@@ -48,16 +62,53 @@ func gfDiv(a, b byte) byte {
 // gfInv returns the multiplicative inverse; a must be non-zero.
 func gfInv(a byte) byte { return gfDiv(1, a) }
 
-// gfMulSlice adds c*src into dst (dst[i] ^= c*src[i]).
+// gfMulSlice adds c*src into dst (dst[i] ^= c*src[i]). This is the
+// reconstruction inner loop: split low/high nibble tables and an
+// unrolled 8-byte body instead of the exp/log chain per byte, with a
+// plain-XOR fast path for c==1 (the identity rows of the decode
+// matrix and the systematic shards).
 func gfMulSlice(c byte, src, dst []byte) {
 	if c == 0 {
 		return
 	}
-	logC := int(gfLog[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= gfExp[logC+int(gfLog[s])]
+	if len(dst) < len(src) {
+		src = src[:len(dst)]
+	}
+	n := len(src) &^ 7
+	if c == 1 {
+		for i := 0; i < n; i += 8 {
+			s := src[i : i+8 : i+8]
+			d := dst[i : i+8 : i+8]
+			d[0] ^= s[0]
+			d[1] ^= s[1]
+			d[2] ^= s[2]
+			d[3] ^= s[3]
+			d[4] ^= s[4]
+			d[5] ^= s[5]
+			d[6] ^= s[6]
+			d[7] ^= s[7]
 		}
+		for i := n; i < len(src); i++ {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	lo, hi := &gfMulLo[c], &gfMulHi[c]
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] ^= lo[s[0]&0x0f] ^ hi[s[0]>>4]
+		d[1] ^= lo[s[1]&0x0f] ^ hi[s[1]>>4]
+		d[2] ^= lo[s[2]&0x0f] ^ hi[s[2]>>4]
+		d[3] ^= lo[s[3]&0x0f] ^ hi[s[3]>>4]
+		d[4] ^= lo[s[4]&0x0f] ^ hi[s[4]>>4]
+		d[5] ^= lo[s[5]&0x0f] ^ hi[s[5]>>4]
+		d[6] ^= lo[s[6]&0x0f] ^ hi[s[6]>>4]
+		d[7] ^= lo[s[7]&0x0f] ^ hi[s[7]>>4]
+	}
+	for i := n; i < len(src); i++ {
+		s := src[i]
+		dst[i] ^= lo[s&0x0f] ^ hi[s>>4]
 	}
 }
 

@@ -67,19 +67,50 @@ func (r *RS) Encode(data [][]byte) ([][]byte, error) {
 		return nil, fmt.Errorf("%w: empty shards", ErrShardSize)
 	}
 	size := len(data[0])
-	for i, d := range data {
-		if len(d) != size {
-			return nil, fmt.Errorf("%w: shard %d is %d bytes, want %d", ErrShardSize, i, len(d), size)
-		}
-	}
 	parity := make([][]byte, r.M)
 	for i := 0; i < r.M; i++ {
 		parity[i] = make([]byte, size)
+	}
+	if err := r.EncodeInto(data, parity); err != nil {
+		return nil, err
+	}
+	return parity, nil
+}
+
+// EncodeInto computes the parity shards into caller-supplied buffers,
+// allocating nothing. parity must hold M shards of the data shard size;
+// entries are overwritten, not accumulated. A nil parity entry skips
+// that row, so a repair path rebuilding a single lost parity block pays
+// for one row only.
+func (r *RS) EncodeInto(data, parity [][]byte) error {
+	if len(data) != r.K {
+		return fmt.Errorf("failure: %d data shards, want %d", len(data), r.K)
+	}
+	if len(parity) != r.M {
+		return fmt.Errorf("failure: %d parity shards, want %d", len(parity), r.M)
+	}
+	if r.K > 0 && len(data[0]) == 0 {
+		return fmt.Errorf("%w: empty shards", ErrShardSize)
+	}
+	size := len(data[0])
+	for i, d := range data {
+		if len(d) != size {
+			return fmt.Errorf("%w: shard %d is %d bytes, want %d", ErrShardSize, i, len(d), size)
+		}
+	}
+	for i := 0; i < r.M; i++ {
+		if parity[i] == nil {
+			continue
+		}
+		if len(parity[i]) != size {
+			return fmt.Errorf("%w: parity shard %d is %d bytes, want %d", ErrShardSize, i, len(parity[i]), size)
+		}
+		clear(parity[i])
 		for j := 0; j < r.K; j++ {
 			gfMulSlice(r.parity[i][j], data[j], parity[i])
 		}
 	}
-	return parity, nil
+	return nil
 }
 
 // Reconstruct rebuilds the original K data shards from any K survivors.
@@ -104,7 +135,47 @@ func (r *RS) Reconstruct(shards [][]byte) ([][]byte, error) {
 		copy(out, shards[:r.K])
 		return out, nil
 	}
+	if size < 0 {
+		for i := r.K; i < r.K+r.M; i++ {
+			if shards[i] != nil {
+				size = len(shards[i])
+				break
+			}
+		}
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("%w: have 0, need %d", ErrTooFewShards, r.K)
+	}
+	out := make([][]byte, r.K)
+	for i := 0; i < r.K; i++ {
+		if shards[i] != nil {
+			out[i] = shards[i]
+		} else {
+			out[i] = make([]byte, size)
+		}
+	}
+	if err := r.ReconstructInto(shards, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReconstructInto rebuilds missing data shards into caller-supplied
+// buffers: out holds K entries, one per data shard. A nil out entry
+// skips that shard — the pooled repair path reconstructs only the slice
+// it lost. An out entry aliasing a surviving shards entry is copied
+// through unchanged. Only the decode-matrix bookkeeping allocates
+// (O(K^2) bytes, independent of shard size); the shard-size work all
+// lands in the supplied buffers.
+func (r *RS) ReconstructInto(shards, out [][]byte) error {
+	if len(shards) != r.K+r.M {
+		return fmt.Errorf("failure: %d shards, want %d", len(shards), r.K+r.M)
+	}
+	if len(out) != r.K {
+		return fmt.Errorf("failure: %d output shards, want %d", len(out), r.K)
+	}
 	// Gather K survivors and the matching rows of [I; parity].
+	size := -1
 	var rows [][]byte
 	var data [][]byte
 	for i := 0; i < r.K+r.M && len(rows) < r.K; i++ {
@@ -115,7 +186,7 @@ func (r *RS) Reconstruct(shards [][]byte) ([][]byte, error) {
 			size = len(shards[i])
 		}
 		if len(shards[i]) != size {
-			return nil, fmt.Errorf("%w: shard %d", ErrShardSize, i)
+			return fmt.Errorf("%w: shard %d", ErrShardSize, i)
 		}
 		row := make([]byte, r.K)
 		if i < r.K {
@@ -127,19 +198,32 @@ func (r *RS) Reconstruct(shards [][]byte) ([][]byte, error) {
 		data = append(data, shards[i])
 	}
 	if len(rows) < r.K {
-		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(rows), r.K)
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(rows), r.K)
 	}
 	if !matInvert(rows) {
-		return nil, errors.New("failure: decode matrix not invertible (corrupt code)")
+		return errors.New("failure: decode matrix not invertible (corrupt code)")
 	}
-	out := make([][]byte, r.K)
 	for i := 0; i < r.K; i++ {
-		out[i] = make([]byte, size)
+		if out[i] == nil {
+			continue
+		}
+		if len(out[i]) != size {
+			return fmt.Errorf("%w: output shard %d is %d bytes, want %d", ErrShardSize, i, len(out[i]), size)
+		}
+		if shards[i] != nil {
+			// Survivor: the decode row is a unit vector onto itself, but an
+			// aliased destination makes accumulate-in-place unsafe, so copy.
+			if &out[i][0] != &shards[i][0] {
+				copy(out[i], shards[i])
+			}
+			continue
+		}
+		clear(out[i])
 		for j := 0; j < r.K; j++ {
 			gfMulSlice(rows[i][j], data[j], out[i])
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // SplitInto slices buf into k shards, zero-padding the last one. The

@@ -110,6 +110,11 @@ type (
 	// CacheStats aggregates hot-page cache and write-combiner traffic
 	// (Pool.CacheStats).
 	CacheStats = core.CacheStats
+	// RepairConfig tunes the recovery/migration engine (Config.Repair):
+	// worker parallelism for RepairServer, the serialized compatibility
+	// mode, and the injectable fabric-delay hook benchmarks use to model
+	// remote-copy latency. See WithRepairParallelism.
+	RepairConfig = core.RepairConfig
 )
 
 // Observability types (Pool.Stats, Pool.TraceSpans, WithTracing,

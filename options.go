@@ -60,6 +60,26 @@ func WithLocalCache(cc CacheConfig) Option {
 	}
 }
 
+// WithRepairParallelism bounds the worker pool RepairServer fans slice
+// reconstruction across. n <= 1 keeps recovery serial (the default):
+// slices are rebuilt one at a time in deterministic table order, which
+// chaos tests rely on. Larger n overlaps the fabric transfers of up to n
+// independent rebuilds; each worker still commits its rebind under the
+// ordinary locks, so foreground reads and writes interleave freely with
+// an in-flight repair either way.
+func WithRepairParallelism(n int) Option {
+	return func(c *Config) { c.Repair.Parallelism = n }
+}
+
+// WithRepairConfig replaces the whole recovery/migration engine
+// configuration: parallelism, the serialized compatibility mode (every
+// move copies under the global structural lock, the pre-engine
+// behaviour), and the fabric-delay hook benchmarks use to model
+// remote-copy latency.
+func WithRepairConfig(rc RepairConfig) Option {
+	return func(c *Config) { c.Repair = rc }
+}
+
 // WithTracing configures per-op tracing: the span ring size, the
 // sampling period, the slow-op threshold, and the clock. Tracing is on
 // by default (sampling one op in 64 per issuing server); pass
