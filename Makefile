@@ -43,21 +43,23 @@ lint-fixtures:
 
 # The concurrency gate: the static invariants plus the full suite
 # (including the reader/writer/migration stress test) under the race
-# detector, then a widened chaos sweep (which includes the cache-
-# coherence property test, so the page cache and write combiner run
-# under -race on every gate). Perf is gated separately: run
-# `make bench-compare` alongside this before merging hot-path changes.
+# detector — shuffled, so order-dependent tests cannot hide — then a
+# widened chaos sweep (which includes the cache-coherence property
+# test, so the page cache and write combiner run under -race on every
+# gate). Perf is gated separately: run `make bench-compare` alongside
+# this before merging hot-path changes.
 race: lint lint-fixtures
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 	$(MAKE) chaos
 	$(MAKE) obs-smoke
 
-# Seeded chaos/property sweep over the pool: every seed runs the random
-# Map/Write/Read/Release/crash interleaving twice and must produce an
-# identical trace and zero divergence from the sequential model. Replay a
-# failure with CHAOS_SEED=<n> (the failure report prints the command).
+# Seeded chaos/property sweep over the pool and the transport: every
+# seed runs its random interleaving (Map/Write/Read/Release/crash for
+# the pool, hedged calls over a lossy link for rpc) twice and must
+# produce an identical trace and zero divergence from the model. Replay
+# a failure with CHAOS_SEED=<n> (the failure report prints the command).
 chaos:
-	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run 'TestChaos' ./internal/core/
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run 'TestChaos' ./internal/core/ ./internal/rpc/
 
 # Short fuzz pass over every native fuzz target (GF(256) algebra, RS
 # round-trip/reconstruction, RPC wire codec). The seed corpora already run

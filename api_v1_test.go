@@ -9,7 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	lmp "github.com/lmp-project/lmp"
 )
@@ -242,6 +245,105 @@ func TestVectoredProtectedWrite(t *testing.T) {
 		if !bytes.Equal(got, data) {
 			t.Fatalf("%v data lost after crash", prot.Scheme)
 		}
+	}
+}
+
+func TestTailOptionsAndSentinels(t *testing.T) {
+	pool := newTestPool(t, 2, 4,
+		lmp.WithDeadlineBudget(time.Hour),
+		lmp.WithAdmissionLimit(1),
+		lmp.WithBreaker(lmp.BreakerPolicy{
+			Window: 16, MinSamples: 4, FailureRatio: 0.5,
+			OpenFor: time.Hour, HalfOpenProbes: 1,
+			// High enough that no genuine in-process access ever
+			// classifies as slow; only the injected reports below do.
+			SlowCallNS: int64(time.Second),
+		}),
+	)
+	b, err := pool.Alloc(2*lmp.SliceSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy path is unchanged with every tail feature armed.
+	if err := pool.Write(0, b.Addr(), []byte("steady state")); err != nil {
+		t.Fatal(err)
+	}
+
+	// An expired caller deadline classifies as the lmp sentinel and as
+	// the stdlib sentinel, so callers written against either work.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	<-ctx.Done()
+	err = pool.ReadCtx(ctx, 0, b.Addr(), make([]byte, 8))
+	if !errors.Is(err, lmp.ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline: %v, want errors.Is ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v, want errors.Is context.DeadlineExceeded too", err)
+	}
+
+	// With the admission limit at 1, concurrent full-buffer reads must
+	// collide; every shed classifies as ErrOverloaded. Workers retry
+	// until one collision is seen so the test doesn't depend on any
+	// particular interleaving.
+	var sheds atomic.Int64
+	var badShed atomic.Value
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 2*lmp.SliceSize)
+			<-start
+			for i := 0; i < 500 && sheds.Load() == 0; i++ {
+				if err := pool.Read(1, b.Addr(), buf); err != nil {
+					if errors.Is(err, lmp.ErrOverloaded) {
+						sheds.Add(1)
+					} else {
+						badShed.Store(err)
+					}
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if err := badShed.Load(); err != nil {
+		t.Fatalf("admission shed did not classify as ErrOverloaded: %v", err)
+	}
+	if sheds.Load() == 0 {
+		t.Fatal("8 workers against admission limit 1 never collided")
+	}
+	if got := pool.Inflight(); got != 0 {
+		t.Fatalf("inflight %d after quiesce, want 0", got)
+	}
+
+	// Feed the owner's breaker slow calls (over SlowCallNS, the way a
+	// degraded-but-responsive server looks) until it trips: unprotected
+	// reads fail fast with ErrServerDegraded (not ErrServerDead — the
+	// server is slow, not gone) and writes still reach the primary.
+	owner, err := pool.OwnerOf(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough reports to outvote the successful samples the admission
+	// hammer above left in the sliding window.
+	for i := 0; i < 32; i++ {
+		pool.ReportAccess(owner, 2*time.Second, nil)
+	}
+	if pool.BreakerCounters(owner).Trips == 0 {
+		t.Fatal("breaker did not trip on sustained failures")
+	}
+	err = pool.Read(0, b.Addr(), make([]byte, 8))
+	if !errors.Is(err, lmp.ErrServerDegraded) {
+		t.Fatalf("read from degraded owner: %v, want errors.Is ErrServerDegraded", err)
+	}
+	if errors.Is(err, lmp.ErrServerDead) {
+		t.Fatal("degraded must not classify as dead")
+	}
+	if err := pool.Write(0, b.Addr(), []byte("writes pass through")); err != nil {
+		t.Fatalf("write during degradation: %v", err)
 	}
 }
 

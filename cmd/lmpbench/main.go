@@ -30,7 +30,7 @@ import (
 
 var (
 	experiment = flag.String("experiment", "all",
-		"experiment to run: table1, table2, fig2, fig3, fig4, fig5, latency, nearmem, all")
+		"experiment to run: table1, table2, fig2, fig3, fig4, fig5, latency, nearmem, tail, all")
 	reps  = flag.Int("reps", 10, "vector-sum repetitions")
 	cores = flag.Int("sweep-cores", 14, "max cores for the table2 load sweep")
 
@@ -61,8 +61,9 @@ func main() {
 		"nearmem":   nearmem,
 		"software":  software,
 		"ablations": ablations,
+		"tail":      func() { runTailSection(false) },
 	}
-	order := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "latency", "nearmem", "software", "ablations"}
+	order := []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "latency", "nearmem", "software", "ablations", "tail"}
 	names := strings.Split(*experiment, ",")
 	for _, name := range names {
 		name = strings.TrimSpace(name)

@@ -70,6 +70,10 @@ type benchFile struct {
 	// repairbench.go). Omitted by baselines older than the parallel
 	// engine; -compare tolerates their absence.
 	Repair []repairRecord `json:"repair,omitempty"`
+	// Tail carries the hedged-read latency records (see tailbench.go).
+	// Omitted by baselines older than the tail-tolerant request path;
+	// -compare tolerates their absence.
+	Tail []tailRecord `json:"tail,omitempty"`
 }
 
 // compareTolerance is the soft regression budget: ns/op may drift this
@@ -231,6 +235,7 @@ func writeBenchJSON(path string) {
 	}
 	out.RPC = runRPCSection(false)
 	out.Repair = runRepairSection(false)
+	out.Tail = runTailSection(false)
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lmpbench: %v\n", err)
@@ -341,6 +346,37 @@ func compareBenchJSON(path string) {
 				}
 				fmt.Printf("%-32s baseline %9.2fx ratio  now %9.2fx  %+6.1f%%  %s\n",
 					b.Name, ratioB, ratioC, -delta*100, verdict)
+			}
+		}
+	}
+	if len(base.Tail) == 0 {
+		fmt.Println("baseline predates the tail latency section; skipping tail compare")
+	} else {
+		cur := runTailSection(true)
+		for _, b := range base.Tail {
+			if b.Config != defaultTailConfig {
+				fmt.Fprintf(os.Stderr, "lmpbench: %s: tail baseline %q was recorded with a different workload config; regenerate with -json\n",
+					path, b.Name)
+				os.Exit(1)
+			}
+			// Only the hedged record's improvement ratio gates: raw
+			// percentiles track the machine, the ratio cancels shared
+			// jitter (same posture and doubled tolerance as rpc/repair).
+			if b.P99ImprovementX == 0 {
+				continue
+			}
+			for _, c := range cur {
+				if c.Name != b.Name {
+					continue
+				}
+				delta := (b.P99ImprovementX - c.P99ImprovementX) / b.P99ImprovementX
+				verdict := "ok"
+				if delta > 2*compareTolerance {
+					verdict = "REGRESSION"
+					failed = true
+				}
+				fmt.Printf("%-32s baseline %9.2fx ratio  now %9.2fx  %+6.1f%%  %s\n",
+					b.Name, b.P99ImprovementX, c.P99ImprovementX, -delta*100, verdict)
 			}
 		}
 	}

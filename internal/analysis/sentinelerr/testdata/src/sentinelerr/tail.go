@@ -1,0 +1,38 @@
+// Tail-tolerance sentinels ride the same contract as every other Err*
+// value: deadline budgets, admission sheds, and degraded-server fast
+// fails are classified with errors.Is, never identity or message text —
+// the transport wraps each of them with per-hop context on the way up.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrDeadlineExceeded = errors.New("deadline budget exceeded")
+	ErrOverloaded       = errors.New("overloaded")
+	ErrServerDegraded   = errors.New("server degraded")
+)
+
+func wrapTail() error { return fmt.Errorf("read: %w", ErrServerDegraded) }
+
+func badTailEq(err error) bool {
+	return err == ErrOverloaded // want "comparing against sentinel ErrOverloaded with =="
+}
+
+func badTailSwitch(err error) string {
+	switch err {
+	case ErrDeadlineExceeded: // want "switch case compares sentinel ErrDeadlineExceeded by identity"
+		return "deadline"
+	case ErrServerDegraded: // want "switch case compares sentinel ErrServerDegraded by identity"
+		return "degraded"
+	}
+	return ""
+}
+
+// Compliant classification: a shed and a deadline are different retry
+// decisions, so both matches happen through errors.Is.
+func okTail(err error) (shed, deadline bool) {
+	return errors.Is(err, ErrOverloaded), errors.Is(err, ErrDeadlineExceeded)
+}

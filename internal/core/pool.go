@@ -104,6 +104,11 @@ type Config struct {
 	// Repair tunes the parallel repair/migration engine (see repair.go
 	// and WithRepairParallelism).
 	Repair RepairConfig
+	// Tail tunes tail tolerance: deadline budgets, admission control,
+	// per-server circuit breakers, hedged replica reads (see tail.go and
+	// the WithDeadlineBudget / WithAdmissionLimit / WithBreaker /
+	// WithHedging options). The zero value disables all of it.
+	Tail TailConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -291,6 +296,11 @@ type Pool struct {
 	cacheWCWrites     *telemetry.Counter
 	cacheInvals       *telemetry.Counter
 	wcFlushBytesHist  *telemetry.Histogram
+
+	// tail is the tail-tolerance state (admission budget, deadline
+	// budget, per-server breakers); zero-valued unless Config.Tail
+	// enables a feature. See tail.go.
+	tail tailState
 }
 
 // New builds a pool from the configuration.
@@ -364,6 +374,7 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p.trans = &addr.Translator{Global: p.global, Locals: locals}
 	p.initObs()
+	p.initTail()
 	if cfg.Cache.Enabled {
 		if err := p.initCache(); err != nil {
 			return nil, err
@@ -711,6 +722,12 @@ func eachSegment(la addr.Logical, n int, visit func(s uint64, sliceOff int64, bu
 // Release), and with a failure.MemoryException when an unprotected owner
 // has crashed.
 func (p *Pool) Read(from addr.ServerID, la addr.Logical, buf []byte) error {
+	if p.tail.limit != 0 {
+		if !p.admit() {
+			return errPoolOverloaded
+		}
+		defer p.release()
+	}
 	// Context-less entry: the parent is always the zero SpanContext, so
 	// the trace decision is just the sampler — kept inline (one call)
 	// rather than going through shouldTrace, which would cost an extra
@@ -748,6 +765,12 @@ func (p *Pool) read(ctx context.Context, sc telemetry.SpanContext, from addr.Ser
 // server from, updating replicas and parity. Its error contract matches
 // Read's.
 func (p *Pool) Write(from addr.ServerID, la addr.Logical, data []byte) error {
+	if p.tail.limit != 0 {
+		if !p.admit() {
+			return errPoolOverloaded
+		}
+		defer p.release()
+	}
 	// See Read for why the trace decision is inlined here.
 	if o := p.obs; o != nil && o.sampler.Hit() {
 		return p.tracedWrite(nil, telemetry.SpanContext{}, from, la, data)
@@ -791,10 +814,15 @@ const maxRecoverAttempts = 3
 // accessSlice performs one intra-slice access, retrying through crash
 // recovery when the owner is dead. Failure classification happens only
 // after the stripe lock is dropped, keeping the structural → stripe lock
-// order acyclic.
+// order acyclic; the breaker feed (an rpc-side leaf mutex) also happens
+// here, after the unlock, so no rpc-reaching call runs under a stripe.
 func (p *Pool) accessSlice(sc telemetry.SpanContext, from addr.ServerID, s uint64, sliceOff int64, part []byte, write bool) error {
 	for attempt := 0; ; attempt++ {
-		status, err := p.accessSliceOnce(sc, from, s, sliceOff, part, write)
+		var ta tailAccess
+		status, err := p.accessSliceOnce(sc, from, s, sliceOff, part, write, &ta)
+		if ta.armed {
+			p.recordTailAccess(ta.owner, ta.startNS, ta.err)
+		}
 		switch status {
 		case accessOK:
 			return nil
@@ -816,7 +844,7 @@ func (p *Pool) accessSlice(sc telemetry.SpanContext, from addr.ServerID, s uint6
 // accessSliceOnce is the locked body of one access attempt. It acquires
 // exactly one stripe lock and releases it on every path through a single
 // deferred unlock, so no branch can leak or double-release the lock.
-func (p *Pool) accessSliceOnce(sc telemetry.SpanContext, from addr.ServerID, s uint64, sliceOff int64, part []byte, write bool) (accessStatus, error) {
+func (p *Pool) accessSliceOnce(sc telemetry.SpanContext, from addr.ServerID, s uint64, sliceOff int64, part []byte, write bool, ta *tailAccess) (accessStatus, error) {
 	lock := p.stripeFor(s)
 	if write {
 		lock.Lock()
@@ -835,8 +863,24 @@ func (p *Pool) accessSliceOnce(sc telemetry.SpanContext, from addr.ServerID, s u
 	node := p.nodes[back.server]
 	offset := back.offset + sliceOff
 	remote := back.server != from
+	// Degraded-owner shed: a read whose owner's breaker is open is served
+	// from a live replica instead (coherence-safe under the stripe read
+	// lock; see readDegradedLocked). Writes always go to the primary — the
+	// protection path is what keeps replicas coherent. The breaker calls
+	// inside are in-memory leaf-mutex state, not transport calls, and the
+	// shed decision cannot move outside the stripe: it must see the same
+	// owner the access would use.
+	//lint:ignore lockorder breaker State() is leaf in-memory state (no transport call); the shed decision must run under the stripe lock it protects
+	if !write && p.tail.breakers != nil && p.breakerOpen(back.server) {
+		//lint:ignore lockorder replica shed reads under the stripe read lock by design (replica bytes are frozen by stripe-write-locked writes); its breaker probes are leaf in-memory state
+		return p.readDegradedLocked(sc, from, back, s, sliceOff, part)
+	}
+	if p.tail.breakers != nil {
+		ta.armed, ta.owner, ta.startNS = true, back.server, p.tail.now()
+	}
 	if write {
 		if err := p.writeSliceLocked(back, node, s, sliceOff, offset, part); err != nil {
+			ta.err = err
 			return accessFailed, err
 		}
 		if p.caches != nil {
@@ -844,6 +888,7 @@ func (p *Pool) accessSliceOnce(sc telemetry.SpanContext, from addr.ServerID, s u
 		}
 	} else {
 		if err := node.ReadAt(part, offset); err != nil {
+			ta.err = err
 			return accessFailed, err
 		}
 		// Direct reads on a write-combining pool compose the authoritative

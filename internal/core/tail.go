@@ -1,0 +1,280 @@
+// Tail tolerance for the in-process data path: per-op deadline budgets,
+// a bounded foreground admission budget, and per-server circuit breakers
+// that shed replica-protected reads away from degraded (slow-but-alive)
+// owners. The state machines live in internal/rpc (tail.go there) so the
+// live daemon transport and the in-process pool share one breaker and
+// one error contract; this file wires them into the pool's entry points
+// and the locked access path.
+//
+// Lock order note: a breaker's mutex is a leaf — the read path consults
+// it while holding a stripe lock (accessSliceOnce), and the breaker
+// never calls back into the pool or blocks, so the existing
+// commit-window → p.mu → stripe → ec.mu order is unchanged with breaker
+// mutexes strictly innermost.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/lmp-project/lmp/internal/addr"
+	"github.com/lmp-project/lmp/internal/failure"
+	"github.com/lmp-project/lmp/internal/rpc"
+	"github.com/lmp-project/lmp/internal/telemetry"
+)
+
+// Tail sentinels, shared with the transport so one errors.Is contract
+// covers both the in-process and the live mode.
+var (
+	// ErrDeadlineExceeded reports an operation whose deadline budget ran
+	// out (context deadline or Config.Tail.OpBudget).
+	ErrDeadlineExceeded = rpc.ErrDeadlineExceeded
+	// ErrOverloaded reports an operation shed by admission control
+	// (Config.Tail.AdmissionLimit).
+	ErrOverloaded = rpc.ErrOverloaded
+	// ErrServerDegraded reports a read that could not be served because
+	// the owner's circuit breaker is open and no live replica could
+	// absorb it.
+	ErrServerDegraded = rpc.ErrServerDegraded
+)
+
+// HedgeConfig tunes hedged replica reads for the live transport stack
+// (see daemon.TailCaller and rpc.Hedger): the adaptive hedge delay is
+// the tracked per-server latency quantile times Multiplier, clamped to
+// [MinDelay, MaxDelay]. In-process, reads are synchronous memory copies
+// with no wait to hedge against; there the breaker sheds whole reads to
+// replicas instead (see readDegradedLocked), driven by the same
+// latency-quantile machinery.
+type HedgeConfig struct {
+	// Enabled turns hedging on (WithHedging sets it).
+	Enabled bool
+	// Quantile of primary latency the hedge delay adapts to. Default 0.95.
+	Quantile float64
+	// Multiplier scales the quantile estimate. Default 2.
+	Multiplier float64
+	// MinDelay floors the hedge delay. Default 100µs.
+	MinDelay time.Duration
+	// MaxDelay caps the hedge delay (and is the cold-start delay).
+	// Default 100ms.
+	MaxDelay time.Duration
+}
+
+// Policy renders the config as the transport-level hedge policy.
+func (h HedgeConfig) Policy() rpc.HedgePolicy {
+	return rpc.HedgePolicy{
+		Quantile:   h.Quantile,
+		Multiplier: h.Multiplier,
+		MinDelay:   h.MinDelay,
+		MaxDelay:   h.MaxDelay,
+	}
+}
+
+// TailConfig is the tail-tolerance knob block (Config.Tail). The zero
+// value disables everything, leaving the data path exactly as fast as
+// before: no admission check, no budget materialization, no breakers.
+type TailConfig struct {
+	// OpBudget is the default per-op deadline budget applied by the
+	// ...Ctx entry points when the caller's context carries no deadline
+	// of its own (a caller deadline always wins). Ops over budget fail
+	// with an error wrapping ErrDeadlineExceeded, checked between slice
+	// segments. 0 disables.
+	OpBudget time.Duration
+	// AdmissionLimit bounds concurrent foreground accesses (Read/Write
+	// and vectored variants); excess ops fail fast with an error
+	// wrapping ErrOverloaded instead of queueing. 0 disables.
+	AdmissionLimit int
+	// Breaker enables per-server circuit breakers (the zero policy
+	// disables them). Breakers are fed by access latencies and failures;
+	// an open breaker sheds replica-protected reads to a live copy and
+	// fails unprotected reads fast with ErrServerDegraded.
+	Breaker rpc.BreakerPolicy
+	// Hedge configures hedged replica reads for the live transport
+	// stack; see HedgeConfig.
+	Hedge HedgeConfig
+	// NowNS is the clock feeding budgets and breakers; nil means the
+	// wall clock. Deterministic tests inject the sim clock.
+	NowNS func() int64
+}
+
+// enabled reports whether any tail feature is on.
+func (t *TailConfig) enabled() bool {
+	return t.OpBudget > 0 || t.AdmissionLimit > 0 || t.Breaker.Enabled() || t.Hedge.Enabled
+}
+
+// tailState is the pool's runtime tail-tolerance state. All fields are
+// written once in initTail; only inflight mutates afterwards.
+type tailState struct {
+	inflight atomic.Int64
+	limit    int64
+	budgetNS int64
+	now      func() int64
+	// breakers[s] guards server s; nil when breakers are disabled.
+	breakers []*rpc.Breaker
+
+	sheds         *telemetry.Counter
+	replicaSheds  *telemetry.Counter
+	degradedFails *telemetry.Counter
+}
+
+// initTail wires the tail-tolerance state from Config.Tail. Called once
+// from New, before the pool is shared.
+func (p *Pool) initTail() {
+	t := &p.cfg.Tail
+	if !t.enabled() {
+		return
+	}
+	now := t.NowNS
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	p.tail.now = now
+	p.tail.limit = int64(t.AdmissionLimit)
+	p.tail.budgetNS = int64(t.OpBudget)
+	p.tail.sheds = p.metrics.Counter("pool.sheds")
+	if t.Breaker.Enabled() {
+		p.tail.replicaSheds = p.metrics.Counter("pool.reads.replica_shed")
+		p.tail.degradedFails = p.metrics.Counter("pool.reads.degraded_fail")
+		p.tail.breakers = make([]*rpc.Breaker, len(p.cfg.Servers))
+		for i := range p.tail.breakers {
+			p.tail.breakers[i] = rpc.NewBreaker(t.Breaker, now)
+		}
+	}
+}
+
+// errPoolOverloaded is the preallocated admission rejection: shedding
+// happens exactly when the pool is saturated, so rejecting must not add
+// allocation pressure.
+var errPoolOverloaded = fmt.Errorf("core: admission limit reached: %w", rpc.ErrOverloaded)
+
+// errDegradedRead is the fast-fail for reads whose owner's breaker is
+// open with no live replica to shed to.
+var errDegradedRead = fmt.Errorf("core: owner degraded and no replica available: %w", rpc.ErrServerDegraded)
+
+// admit reserves one foreground-op slot. Callers check p.tail.limit != 0
+// first so the disabled case costs one predictable branch.
+func (p *Pool) admit() bool {
+	if p.tail.inflight.Add(1) > p.tail.limit {
+		p.tail.inflight.Add(-1)
+		p.tail.sheds.Inc()
+		return false
+	}
+	return true
+}
+
+// release returns a foreground-op slot taken by admit.
+func (p *Pool) release() { p.tail.inflight.Add(-1) }
+
+// Inflight reports the current admitted foreground-op count (0 when
+// admission control is off).
+func (p *Pool) Inflight() int64 { return p.tail.inflight.Load() }
+
+// withBudget applies the configured default op budget to ctx: when a
+// budget is set and the caller brought no deadline of their own, the
+// returned context carries one. The cancel func is non-nil exactly when
+// a deadline was added. Budget errors surface through ctxErr, which
+// classifies a passed deadline as ErrDeadlineExceeded.
+func (p *Pool) withBudget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.tail.budgetNS == 0 {
+		return ctx, nil
+	}
+	if ctx == nil {
+		//lint:ignore ctxflow nil means never-cancels by the rpc contract; WithTimeout needs a non-nil parent to carry the budget
+		ctx = context.Background()
+	} else if _, ok := ctx.Deadline(); ok {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, time.Duration(p.tail.budgetNS))
+}
+
+// breakerFor returns server s's breaker, or nil when breakers are off.
+func (p *Pool) breakerFor(s addr.ServerID) *rpc.Breaker {
+	if bs := p.tail.breakers; bs != nil && int(s) < len(bs) {
+		return bs[int(s)]
+	}
+	return nil
+}
+
+// breakerOpen reports whether server s's breaker is currently open. The
+// breaker mutex is a leaf lock; see the package comment in this file.
+func (p *Pool) breakerOpen(s addr.ServerID) bool {
+	b := p.breakerFor(s)
+	return b != nil && b.State() == rpc.BreakerOpen
+}
+
+// BreakerCounters snapshots server s's breaker totals (zero when
+// breakers are disabled).
+func (p *Pool) BreakerCounters(s addr.ServerID) rpc.BreakerCounters {
+	if b := p.breakerFor(s); b != nil {
+		return b.Counters()
+	}
+	return rpc.BreakerCounters{}
+}
+
+// ReportAccess feeds one externally observed access outcome against
+// server s into its breaker — the hook for transport glue and tests;
+// the locked access path feeds itself via recordTailAccess.
+func (p *Pool) ReportAccess(s addr.ServerID, d time.Duration, err error) {
+	if b := p.breakerFor(s); b != nil {
+		b.RecordLatency(int64(d), err)
+	}
+}
+
+// tailAccess carries one locked access's breaker-feed data out of the
+// stripe-locked body (accessSliceOnce arms it), so recording — which
+// takes the rpc-side breaker mutex — happens after the stripe lock is
+// released and no rpc-reaching call ever runs under a stripe.
+type tailAccess struct {
+	armed   bool
+	owner   addr.ServerID
+	startNS int64
+	err     error
+}
+
+// recordTailAccess times and records one backing access against the
+// owner's breaker. Called from accessSlice after the stripe unlock.
+func (p *Pool) recordTailAccess(owner addr.ServerID, startNS int64, err error) {
+	if b := p.breakerFor(owner); b != nil {
+		b.RecordLatency(p.tail.now()-startNS, err)
+	}
+}
+
+// readDegradedLocked serves a read whose owner's breaker is open: from
+// the first live replica copy whose own breaker is not open, or not at
+// all. The caller holds the slice's stripe lock in read mode, which is
+// enough for coherence — replica bytes are only written under the
+// stripe write lock (writeReplicas), so the copy is frozen while we
+// read it and can never diverge from committed primary data. sc, when
+// traced, gets a child span annotating the shed.
+func (p *Pool) readDegradedLocked(sc telemetry.SpanContext, from addr.ServerID, back *sliceBacking, s uint64, sliceOff int64, part []byte) (accessStatus, error) {
+	if buf := back.buf; buf != nil && buf.prot.Scheme == failure.Replicate {
+		idx := s - buf.firstSlice()
+		for _, cp := range buf.copies {
+			if idx >= uint64(len(cp)) {
+				continue
+			}
+			c := cp[idx]
+			if p.isDead(c.Server) || p.breakerOpen(c.Server) {
+				continue
+			}
+			if err := p.nodes[c.Server].ReadAt(part, c.Offset+sliceOff); err != nil {
+				continue
+			}
+			if p.wc != nil {
+				p.wc.OverlayRange(uint64(addr.SliceBase(s))+uint64(sliceOff), part)
+			}
+			p.tail.replicaSheds.Inc()
+			if sp, ok := p.beginChild(sc, "pool.read.replica_shed"); ok {
+				sp.Server = int(c.Server)
+				p.endChild(&sp, len(part), nil)
+			}
+			remote := c.Server != from
+			p.nodes[c.Server].RecordAccess(c.Offset+sliceOff, remote, false)
+			p.recordAccessMetrics(from, c.Server, s, remote, false, len(part))
+			return accessOK, nil
+		}
+	}
+	p.tail.degradedFails.Inc()
+	return accessFailed, errDegradedRead
+}

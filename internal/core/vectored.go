@@ -21,12 +21,18 @@ type Vec struct {
 
 // ctxErr reports a cancelled or expired context as a pool access error
 // (wrapping context.Canceled / context.DeadlineExceeded for errors.Is).
-// A nil context never fails.
+// An expired deadline — the caller's own or one materialized from
+// Config.Tail.OpBudget by withBudget — additionally wraps
+// ErrDeadlineExceeded, so budget exhaustion classifies the same way in
+// the in-process and live modes. A nil context never fails.
 func ctxErr(ctx context.Context) error {
 	if ctx == nil {
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
+		if err == context.DeadlineExceeded {
+			return fmt.Errorf("core: access deadline passed: %w: %w", ErrDeadlineExceeded, err)
+		}
 		return fmt.Errorf("core: access cancelled: %w", err)
 	}
 	return nil
@@ -37,6 +43,16 @@ func ctxErr(ctx context.Context) error {
 // between segments. The error wraps ctx.Err() on cancellation; the rest
 // of the contract matches Read.
 func (p *Pool) ReadCtx(ctx context.Context, from addr.ServerID, la addr.Logical, buf []byte) error {
+	if p.tail.limit != 0 {
+		if !p.admit() {
+			return errPoolOverloaded
+		}
+		defer p.release()
+	}
+	ctx, cancel := p.withBudget(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
@@ -50,6 +66,16 @@ func (p *Pool) ReadCtx(ctx context.Context, from addr.ServerID, la addr.Logical,
 // segment. A write cancelled between segments leaves the earlier
 // segments written (pool writes are not transactional).
 func (p *Pool) WriteCtx(ctx context.Context, from addr.ServerID, la addr.Logical, data []byte) error {
+	if p.tail.limit != 0 {
+		if !p.admit() {
+			return errPoolOverloaded
+		}
+		defer p.release()
+	}
+	ctx, cancel := p.withBudget(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
@@ -120,8 +146,22 @@ func (p *Pool) WriteVCtx(ctx context.Context, from addr.ServerID, vecs []Vec) er
 	return p.vecOp(ctx, from, vecs, trWriteV)
 }
 
-// vecOp wraps one public vectored operation in its (sampled) root span.
+// vecOp wraps one public vectored operation in its (sampled) root span,
+// after the tail-tolerance gates (admission, default deadline budget).
 func (p *Pool) vecOp(ctx context.Context, from addr.ServerID, vecs []Vec, kind int) error {
+	if p.tail.limit != 0 {
+		if !p.admit() {
+			return errPoolOverloaded
+		}
+		defer p.release()
+	}
+	if ctx != nil || p.tail.budgetNS != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = p.withBudget(ctx)
+		if cancel != nil {
+			defer cancel()
+		}
+	}
 	if parent, traced := p.shouldTrace(ctx); traced {
 		sp := p.startOp(parent, from, kind)
 		err := p.vectored(ctx, sp.Context(), from, vecs, kind == trWriteV, false)

@@ -1,0 +1,122 @@
+package daemon
+
+import (
+	"context"
+
+	"github.com/lmp-project/lmp/internal/rpc"
+)
+
+// TailClientConfig tunes a tail-tolerant daemon client (WrapTailClient):
+// a per-daemon circuit breaker on every call, hedged reads against a
+// mirror daemon, and a bounded in-flight admission budget on the
+// underlying connection.
+type TailClientConfig struct {
+	// Breaker guards the primary daemon; the zero policy disables it.
+	// Open-breaker calls fail fast with rpc.ErrServerDegraded.
+	Breaker rpc.BreakerPolicy
+	// Hedge tunes the adaptive hedge delay for mirrored reads; used only
+	// when HedgeEnabled and a mirror transport is supplied.
+	Hedge rpc.HedgePolicy
+	// HedgeEnabled turns on hedged reads (MethodRead and MethodSum; the
+	// other methods mutate daemon state and never hedge).
+	HedgeEnabled bool
+	// AdmissionLimit bounds in-flight calls when the primary transport is
+	// a raw *rpc.Client; excess calls fail fast with rpc.ErrOverloaded.
+	// 0 disables.
+	AdmissionLimit int
+	// NowNS is the latency clock feeding the breaker and hedge tracker;
+	// nil means the wall clock. Deterministic tests inject their own.
+	NowNS func() int64
+	// OnHedge, if set, observes every hedge fire (metrics, spans).
+	OnHedge func(method byte)
+}
+
+// tailTransport routes calls by method: read-only methods may go through
+// the hedger, everything else goes straight to the (breaker-guarded)
+// primary. It satisfies rpc.AsyncCaller so the typed Client stacks on it
+// unchanged.
+type tailTransport struct {
+	raw    rpc.Caller      // the unwrapped primary, for Close
+	direct rpc.AsyncCaller // breaker-guarded primary
+	hedged rpc.AsyncCaller // hedger over direct+mirror; nil when off
+}
+
+// hedgeable reports whether method is safe to duplicate against a
+// mirror: only the read-only data methods. Writes, allocation, and
+// resize mutate daemon state and must reach exactly the primary.
+func hedgeable(method byte) bool {
+	return method == MethodRead || method == MethodSum
+}
+
+func (t *tailTransport) route(method byte) rpc.AsyncCaller {
+	if t.hedged != nil && hedgeable(method) {
+		return t.hedged
+	}
+	return t.direct
+}
+
+func (t *tailTransport) Call(method byte, payload []byte) ([]byte, error) {
+	return t.route(method).Call(method, payload)
+}
+
+func (t *tailTransport) CallCtx(ctx context.Context, method byte, payload []byte) ([]byte, error) {
+	return t.route(method).CallCtx(ctx, method, payload)
+}
+
+func (t *tailTransport) CallAsyncCtx(ctx context.Context, method byte, payload []byte) *rpc.Future {
+	return t.route(method).CallAsyncCtx(ctx, method, payload)
+}
+
+// Close tears down the primary transport when it owns a connection; the
+// mirror belongs to its own Client and is closed by its owner.
+func (t *tailTransport) Close() error {
+	if closer, ok := t.raw.(interface{ Close() error }); ok {
+		return closer.Close()
+	}
+	return nil
+}
+
+// TailClient is a daemon Client with the tail-tolerance stack installed;
+// the embedded Client speaks through it transparently.
+type TailClient struct {
+	*Client
+	breaker *rpc.Breaker
+	hedger  *rpc.Hedger
+}
+
+// Breaker exposes the primary daemon's breaker (nil when disabled).
+func (c *TailClient) Breaker() *rpc.Breaker { return c.breaker }
+
+// Hedger exposes the hedging layer (nil when disabled), for stats and
+// for tests that inject a deterministic Timer.
+func (c *TailClient) Hedger() *rpc.Hedger { return c.hedger }
+
+// WrapTailClient builds a tail-tolerant client over a primary transport
+// and an optional mirror. The mirror must be a byte-replica of the
+// primary's shared region — same data at the same offsets (a deployment
+// that dual-writes, or daemon-level replication); hedged reads race the
+// two and take the first success. Pass a nil mirror (or leave
+// HedgeEnabled false) for breaker/admission-only operation.
+func WrapTailClient(primary rpc.AsyncCaller, mirror rpc.AsyncCaller, cfg TailClientConfig) *TailClient {
+	statsClient, _ := primary.(*rpc.Client)
+	if statsClient != nil && cfg.AdmissionLimit > 0 {
+		statsClient.SetAdmissionLimit(cfg.AdmissionLimit)
+	}
+	tc := &TailClient{}
+	direct := primary
+	if cfg.Breaker.Enabled() {
+		tc.breaker = rpc.NewBreaker(cfg.Breaker, cfg.NowNS)
+		direct = &rpc.BreakerCaller{T: primary, B: tc.breaker, StatsClient: statsClient}
+	}
+	t := &tailTransport{raw: primary, direct: direct}
+	if cfg.HedgeEnabled && mirror != nil {
+		h := rpc.NewHedger(direct, mirror, cfg.Hedge)
+		h.Now = cfg.NowNS
+		h.OnHedge = cfg.OnHedge
+		h.StatsClient = statsClient
+		tc.hedger = h
+		t.hedged = h
+	}
+	tc.Client = WrapCaller(t)
+	return tc
+}

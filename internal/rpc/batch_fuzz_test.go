@@ -14,7 +14,7 @@ func encodeBatchEnvelope(entries []sendEntry) []byte {
 	var body []byte
 	for i := range entries {
 		e := &entries[i]
-		body = appendSubFrame(body, e.kind, e.method, e.id, e.sc, e.payload)
+		body = appendSubFrame(body, e.kind, e.method, e.id, e.budget, e.sc, e.payload)
 	}
 	buf := []byte{kindBatch, 0}
 	buf = binary.BigEndian.AppendUint64(buf, uint64(len(entries)))
@@ -42,6 +42,9 @@ func FuzzBatchRoundTrip(f *testing.F) {
 			{kind: k1, method: 1, id: id1, sc: telemetry.SpanContext{Trace: id2, Span: id1}, payload: p1},
 			{kind: kindError, method: 2, id: id2, payload: p2},
 			{kind: kindRequest, method: 3, id: id1 ^ id2, payload: p1},
+			{kind: kindBudgetRequest, method: 4, id: id2 + 1, budget: int64(id1%1e9) + 1, payload: p2},
+			{kind: kindTracedBudgetRequest, method: 5, id: id1 + 1, budget: int64(id2%1e9) + 1,
+				sc: telemetry.SpanContext{Trace: id1, Span: id2}, payload: p1},
 		}
 		frame := encodeBatchEnvelope(entries)
 		h, payload, err := readFrame(bytes.NewReader(frame))
@@ -51,10 +54,14 @@ func FuzzBatchRoundTrip(f *testing.F) {
 		var got []sendEntry
 		err = decodeBatch(payload, h.id, func(sh frameHeader, sub []byte) error {
 			e := sendEntry{kind: sh.kind, method: sh.method, id: sh.id}
-			if sh.kind == kindTracedRequest {
-				if len(sub) < traceHeaderLen {
-					t.Fatalf("traced sub-frame shorter than its span prefix")
-				}
+			if len(sub) < prefixLen(sh.kind) {
+				t.Fatalf("kind-%d sub-frame shorter than its metadata prefix", sh.kind)
+			}
+			if sh.kind == kindBudgetRequest || sh.kind == kindTracedBudgetRequest {
+				e.budget = int64(binary.BigEndian.Uint64(sub[0:8]))
+				sub = sub[budgetHeaderLen:]
+			}
+			if sh.kind == kindTracedRequest || sh.kind == kindTracedBudgetRequest {
 				e.sc.Trace = binary.BigEndian.Uint64(sub[0:8])
 				e.sc.Span = binary.BigEndian.Uint64(sub[8:16])
 				sub = sub[traceHeaderLen:]
@@ -74,8 +81,11 @@ func FuzzBatchRoundTrip(f *testing.F) {
 			if g.kind != e.kind || g.method != e.method || g.id != e.id {
 				t.Fatalf("sub-frame %d header %+v, want %+v", i, g, e)
 			}
-			if e.kind == kindTracedRequest && g.sc != e.sc {
+			if (e.kind == kindTracedRequest || e.kind == kindTracedBudgetRequest) && g.sc != e.sc {
 				t.Fatalf("sub-frame %d span %+v, want %+v", i, g.sc, e.sc)
+			}
+			if g.budget != e.budget {
+				t.Fatalf("sub-frame %d budget %d, want %d", i, g.budget, e.budget)
 			}
 			if !bytes.Equal(g.payload, e.payload) {
 				t.Fatalf("sub-frame %d payload corrupted", i)

@@ -37,17 +37,14 @@ type sendEntry struct {
 	kind    byte
 	method  byte
 	id      uint64
+	budget  int64 // remaining deadline budget (ns); budget kinds only
 	sc      telemetry.SpanContext
 	payload []byte
 }
 
 // encodedLen is the entry's on-wire size inside a batch.
 func (e *sendEntry) encodedLen() int {
-	n := frameHeaderLen + len(e.payload)
-	if e.kind == kindTracedRequest {
-		n += traceHeaderLen
-	}
-	return n
+	return frameHeaderLen + prefixLen(e.kind) + len(e.payload)
 }
 
 // batcher serializes frame writes to w through one flusher goroutine.
@@ -206,7 +203,7 @@ func (b *batcher) writeBatch(entries []sendEntry) error {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(run))
 		for i := start; i < end; i++ {
 			s := &entries[i]
-			buf = appendSubFrame(buf, s.kind, s.method, s.id, s.sc, s.payload)
+			buf = appendSubFrame(buf, s.kind, s.method, s.id, s.budget, s.sc, s.payload)
 		}
 		b.buf = buf[:0] // retain capacity for the next flush
 		if _, err := b.w.Write(buf); err != nil {
@@ -226,8 +223,8 @@ func (b *batcher) writeBatch(entries []sendEntry) error {
 // writeOne sends a single entry in the pre-batch wire format.
 func (b *batcher) writeOne(e *sendEntry) error {
 	var err error
-	if e.kind == kindTracedRequest {
-		err = writeTracedFrame(b.w, e.method, e.id, e.sc, e.payload)
+	if prefixLen(e.kind) > 0 {
+		err = writePrefixedFrame(b.w, e.kind, e.method, e.id, e.budget, e.sc, e.payload)
 	} else {
 		err = writeFrame(b.w, e.kind, e.method, e.id, e.payload)
 	}

@@ -6,8 +6,11 @@
 //
 //	frame  = kind(1) method(1) id(8) len(4) payload(len)
 //	kind   = 1 request | 2 response | 3 error | 4 traced request | 5 batch
+//	       | 6 budget request | 7 traced budget request
 //	error payload = code(1) message(len-1)
 //	traced request payload = trace(8) span(8) request-payload(len-16)
+//	budget request payload = budget-ns(8) request-payload(len-8)
+//	traced budget request payload = budget-ns(8) trace(8) span(8) request-payload(len-24)
 //	batch payload = sub-frame* where sub-frame = kind(1) method(1) id(8) len(4) payload(len)
 //
 // A batch frame's id field carries the sub-frame count, so a decoder can
@@ -26,11 +29,13 @@ import (
 )
 
 const (
-	kindRequest       = 1
-	kindResponse      = 2
-	kindError         = 3
-	kindTracedRequest = 4
-	kindBatch         = 5
+	kindRequest             = 1
+	kindResponse            = 2
+	kindError               = 3
+	kindTracedRequest       = 4
+	kindBatch               = 5
+	kindBudgetRequest       = 6
+	kindTracedBudgetRequest = 7
 )
 
 // frameHeaderLen is the fixed kind/method/id/len prefix of every frame,
@@ -39,6 +44,24 @@ const frameHeaderLen = 14
 
 // traceHeaderLen is the trace(8) span(8) prefix of a traced request.
 const traceHeaderLen = 16
+
+// budgetHeaderLen is the remaining-deadline-budget(8) prefix of a budget
+// request (signed nanoseconds, big endian; always > 0 on the wire — an
+// exhausted budget fails client-side before a frame is built).
+const budgetHeaderLen = 8
+
+// prefixLen is the metadata prefix a request kind embeds in its payload.
+func prefixLen(kind byte) int {
+	switch kind {
+	case kindTracedRequest:
+		return traceHeaderLen
+	case kindBudgetRequest:
+		return budgetHeaderLen
+	case kindTracedBudgetRequest:
+		return budgetHeaderLen + traceHeaderLen
+	}
+	return 0
+}
 
 // MaxPayload bounds a frame payload (16 MiB), protecting against corrupt
 // length prefixes.
@@ -93,18 +116,25 @@ func writeFrame(w io.Writer, kind, method byte, id uint64, payload []byte) error
 	return err
 }
 
-// writeTracedFrame writes a kindTracedRequest frame: the caller's span
-// identity rides as a 16-byte prefix of the payload.
-func writeTracedFrame(w io.Writer, method byte, id uint64, sc telemetry.SpanContext, payload []byte) error {
-	if len(payload)+traceHeaderLen > MaxPayload {
-		return fmt.Errorf("rpc: payload %d exceeds max %d", len(payload), MaxPayload-traceHeaderLen)
+// writePrefixedFrame writes a request frame whose kind embeds a metadata
+// prefix in the payload: the deadline budget (kinds 6 and 7) and/or the
+// caller's span identity (kinds 4 and 7).
+func writePrefixedFrame(w io.Writer, kind, method byte, id uint64, budget int64, sc telemetry.SpanContext, payload []byte) error {
+	prefix := prefixLen(kind)
+	if len(payload)+prefix > MaxPayload {
+		return fmt.Errorf("rpc: payload %d exceeds max %d", len(payload), MaxPayload-prefix)
 	}
 	bp := framePool.Get().(*[]byte)
-	buf := append((*bp)[:0], kindTracedRequest, method)
+	buf := append((*bp)[:0], kind, method)
 	buf = binary.BigEndian.AppendUint64(buf, id)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(traceHeaderLen+len(payload)))
-	buf = binary.BigEndian.AppendUint64(buf, sc.Trace)
-	buf = binary.BigEndian.AppendUint64(buf, sc.Span)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(prefix+len(payload)))
+	if kind == kindBudgetRequest || kind == kindTracedBudgetRequest {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(budget))
+	}
+	if kind == kindTracedRequest || kind == kindTracedBudgetRequest {
+		buf = binary.BigEndian.AppendUint64(buf, sc.Trace)
+		buf = binary.BigEndian.AppendUint64(buf, sc.Span)
+	}
 	if len(payload) > frameCoalesceMax {
 		if _, err := w.Write(buf); err != nil {
 			*bp = buf[:0]
@@ -145,17 +175,16 @@ func readFrame(r io.Reader) (frameHeader, []byte, error) {
 }
 
 // appendSubFrame encodes one sub-frame into a batch assembly buffer. A
-// traced sub-frame carries the span identity exactly like a top-level
-// kindTracedRequest would: as a 16-byte payload prefix.
-func appendSubFrame(buf []byte, kind, method byte, id uint64, sc telemetry.SpanContext, payload []byte) []byte {
-	length := len(payload)
-	if kind == kindTracedRequest {
-		length += traceHeaderLen
-	}
+// prefixed sub-frame (traced and/or budget) carries its metadata exactly
+// like the top-level kind would: as a payload prefix.
+func appendSubFrame(buf []byte, kind, method byte, id uint64, budget int64, sc telemetry.SpanContext, payload []byte) []byte {
 	buf = append(buf, kind, method)
 	buf = binary.BigEndian.AppendUint64(buf, id)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(length))
-	if kind == kindTracedRequest {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(prefixLen(kind)+len(payload)))
+	if kind == kindBudgetRequest || kind == kindTracedBudgetRequest {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(budget))
+	}
+	if kind == kindTracedRequest || kind == kindTracedBudgetRequest {
 		buf = binary.BigEndian.AppendUint64(buf, sc.Trace)
 		buf = binary.BigEndian.AppendUint64(buf, sc.Span)
 	}

@@ -24,6 +24,22 @@ var (
 	// timed-out call whose effect is unknown. Bounded retry (Retrier)
 	// heals these without surfacing them to callers.
 	ErrTransient = errors.New("rpc: transient transport fault")
+	// ErrDeadlineExceeded reports a call whose deadline budget ran out:
+	// the caller's context deadline passed before the call resolved, or
+	// the propagated wire budget was already spent when the server got to
+	// dispatch it. Not retryable — the budget only shrinks across
+	// attempts, so a retry would fail the same way later.
+	ErrDeadlineExceeded = errors.New("rpc: deadline budget exceeded")
+	// ErrOverloaded reports admission-control shedding: the client's
+	// bounded in-flight budget (SetAdmissionLimit) was saturated, so the
+	// call was rejected instead of growing the pending table. Callers
+	// should back off or divert load, not blind-retry.
+	ErrOverloaded = errors.New("rpc: overloaded")
+	// ErrServerDegraded reports a circuit-breaker fast-fail: the peer is
+	// alive but slow or error-prone, so calls are shed instead of queueing
+	// behind it. Distinct from ErrServerDead — the breaker half-opens and
+	// recovers on its own; no repair is triggered.
+	ErrServerDegraded = errors.New("rpc: server degraded")
 )
 
 // Transport is the minimal call surface: one blocking request/response
@@ -181,6 +197,9 @@ const (
 	errCodeGeneric byte = iota
 	errCodeServerDead
 	errCodeTransient
+	errCodeDeadline
+	errCodeOverloaded
+	errCodeDegraded
 )
 
 // encodeErrorPayload renders a handler error for the wire.
@@ -191,6 +210,12 @@ func encodeErrorPayload(err error) []byte {
 		code = errCodeServerDead
 	case errors.Is(err, ErrTransient):
 		code = errCodeTransient
+	case errors.Is(err, ErrDeadlineExceeded):
+		code = errCodeDeadline
+	case errors.Is(err, ErrOverloaded):
+		code = errCodeOverloaded
+	case errors.Is(err, ErrServerDegraded):
+		code = errCodeDegraded
 	}
 	msg := err.Error()
 	out := make([]byte, 1+len(msg))
@@ -213,6 +238,12 @@ func decodeRemoteError(method byte, payload []byte) *RemoteError {
 		re.sentinel = ErrServerDead
 	case errCodeTransient:
 		re.sentinel = ErrTransient
+	case errCodeDeadline:
+		re.sentinel = ErrDeadlineExceeded
+	case errCodeOverloaded:
+		re.sentinel = ErrOverloaded
+	case errCodeDegraded:
+		re.sentinel = ErrServerDegraded
 	case errCodeGeneric:
 	default:
 		// Unknown code: keep every byte so nothing is silently lost.

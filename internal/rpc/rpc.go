@@ -55,10 +55,19 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	calls   [256]atomic.Uint64
-	errs    [256]atomic.Uint64
-	batches atomic.Uint64 // batch frames received
+	calls         [256]atomic.Uint64
+	errs          [256]atomic.Uint64
+	batches       atomic.Uint64 // batch frames received
+	budgetExpired atomic.Uint64 // requests rejected with a spent budget
 }
+
+// errBudgetSpent is the rejection for requests whose propagated deadline
+// budget ran out before dispatch.
+var errBudgetSpent = fmt.Errorf("rpc: deadline budget spent before dispatch: %w", ErrDeadlineExceeded)
+
+// BudgetExpired reports how many requests this server rejected because
+// their propagated deadline budget was already spent at dispatch.
+func (s *Server) BudgetExpired() uint64 { return s.budgetExpired.Load() }
 
 // NewServer returns a server with no handlers.
 func NewServer() *Server {
@@ -191,7 +200,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		switch h.kind {
-		case kindRequest, kindTracedRequest:
+		case kindRequest, kindTracedRequest, kindBudgetRequest, kindTracedBudgetRequest:
 			if !s.dispatch(h, payload, true, out) {
 				return
 			}
@@ -220,6 +229,8 @@ func (s *Server) serveConn(conn net.Conn) {
 // handler goroutine outlives the read loop's iteration.
 func (s *Server) dispatch(h frameHeader, payload []byte, owned bool, out *batcher) bool {
 	var sc telemetry.SpanContext
+	var budget int64
+	var arrived time.Time
 	switch h.kind {
 	case kindRequest:
 	case kindTracedRequest:
@@ -229,6 +240,22 @@ func (s *Server) dispatch(h frameHeader, payload []byte, owned bool, out *batche
 		sc.Trace = binary.BigEndian.Uint64(payload[0:8])
 		sc.Span = binary.BigEndian.Uint64(payload[8:16])
 		payload = payload[traceHeaderLen:]
+	case kindBudgetRequest:
+		if len(payload) < budgetHeaderLen {
+			return false
+		}
+		budget = int64(binary.BigEndian.Uint64(payload[0:8]))
+		payload = payload[budgetHeaderLen:]
+		arrived = time.Now()
+	case kindTracedBudgetRequest:
+		if len(payload) < budgetHeaderLen+traceHeaderLen {
+			return false
+		}
+		budget = int64(binary.BigEndian.Uint64(payload[0:8]))
+		sc.Trace = binary.BigEndian.Uint64(payload[8:16])
+		sc.Span = binary.BigEndian.Uint64(payload[16:24])
+		payload = payload[budgetHeaderLen+traceHeaderLen:]
+		arrived = time.Now()
 	default:
 		return false
 	}
@@ -258,7 +285,16 @@ func (s *Server) dispatch(h frameHeader, payload []byte, owned bool, out *batche
 		var kind byte
 		var resp []byte
 		var herr error
-		if handler == nil {
+		if budget != 0 && (budget <= 0 || time.Since(arrived).Nanoseconds() >= budget) {
+			// The propagated deadline budget was spent before this request
+			// reached dispatch (queueing behind slow peers or a long accept
+			// backlog): reject without running the handler, so an overloaded
+			// server stops burning work the caller has already given up on.
+			herr = errBudgetSpent
+			kind = kindError
+			resp = encodeErrorPayload(herr)
+			s.budgetExpired.Add(1)
+		} else if handler == nil {
 			herr = fmt.Errorf("rpc: no handler for method %d", h.method)
 			kind = kindError
 			resp = encodeErrorPayload(herr)
@@ -318,7 +354,9 @@ type pendingTable struct {
 	nextID  uint64
 	started uint64
 	taken   uint64
-	term    error // terminal send/receive failure; new calls fail fast
+	shed    uint64 // calls rejected by admission control
+	limit   int    // max in-flight calls; 0 = unbounded
+	term    error  // terminal send/receive failure; new calls fail fast
 	closed  bool
 	dead    bool
 }
@@ -326,14 +364,20 @@ type pendingTable struct {
 // ClientStats is a point-in-time snapshot of one client's transport
 // counters — the leak check surface for the stress suite: after every
 // issued call resolves, Pending is zero and Completed equals Started.
+// Shed counts admission-control rejections (never registered, so they
+// appear in neither Started nor Completed); Hedges and BreakerFastFails
+// mirror the tail-tolerance wrappers that report through this client.
 type ClientStats struct {
-	Pending      int    `json:"pending"`
-	Started      uint64 `json:"calls_started"`
-	Completed    uint64 `json:"calls_completed"`
-	FramesSent   uint64 `json:"frames_sent"`
-	BatchesSent  uint64 `json:"batches_sent"`
-	BatchedCalls uint64 `json:"batched_calls"`
-	MaxBatch     uint64 `json:"max_batch"`
+	Pending          int    `json:"pending"`
+	Started          uint64 `json:"calls_started"`
+	Completed        uint64 `json:"calls_completed"`
+	Shed             uint64 `json:"calls_shed"`
+	Hedges           uint64 `json:"hedges"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails"`
+	FramesSent       uint64 `json:"frames_sent"`
+	BatchesSent      uint64 `json:"batches_sent"`
+	BatchedCalls     uint64 `json:"batched_calls"`
+	MaxBatch         uint64 `json:"max_batch"`
 }
 
 // Client is a multiplexing RPC client over one TCP connection. It is safe
@@ -342,7 +386,33 @@ type Client struct {
 	conn net.Conn
 	b    *batcher
 	pt   pendingTable
+
+	// Tail-tolerance wrapper counters (Hedger, BreakerCaller) surfaced
+	// through ClientStats; kept off the pending lock.
+	hedges           atomic.Uint64
+	breakerFastFails atomic.Uint64
 }
+
+// SetAdmissionLimit bounds this client's in-flight calls: once limit
+// calls are pending, further calls fail fast with an error wrapping
+// ErrOverloaded instead of growing the pending table. limit <= 0 removes
+// the bound. Shed calls count in ClientStats.Shed and never register, so
+// they leave no pending entry behind.
+func (c *Client) SetAdmissionLimit(limit int) {
+	c.pt.Lock()
+	if limit < 0 {
+		limit = 0
+	}
+	c.pt.limit = limit
+	c.pt.Unlock()
+}
+
+// NoteHedge records a hedge fire against this client for ClientStats.
+func (c *Client) NoteHedge() { c.hedges.Add(1) }
+
+// NoteBreakerFastFail records a breaker fast-fail against this client
+// for ClientStats.
+func (c *Client) NoteBreakerFastFail() { c.breakerFastFails.Add(1) }
 
 // DialBatched connects like Dial but arms the send batcher's doorbell
 // window: the first frame of a quiet period waits up to window for
@@ -519,13 +589,25 @@ func (c *Client) CallAsyncCtx(ctx context.Context, method byte, payload []byte) 
 }
 
 // startCall registers f in the pending table and queues the request
-// frame. Fast-fail paths (cancelled context, closed/dead/failed client)
-// complete f directly without touching the table.
+// frame. Fast-fail paths (cancelled context, exhausted deadline budget,
+// closed/dead/failed client, admission shed) complete f directly without
+// touching the table.
 func (c *Client) startCall(ctx context.Context, method byte, payload []byte, f *Future) {
+	// A context deadline becomes the call's remaining budget, propagated
+	// on the wire so the server can refuse dispatch once it is spent. The
+	// budget is read per attempt: a Retrier or Hedger re-issuing the call
+	// naturally sends the shrunken remainder.
+	var budget int64
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			f.complete(nil, fmt.Errorf("rpc: call cancelled: %w", err))
+			f.complete(nil, cancelErr(err))
 			return
+		}
+		if dl, ok := ctx.Deadline(); ok {
+			if budget = int64(time.Until(dl)); budget <= 0 {
+				f.complete(nil, errBudgetSpent)
+				return
+			}
 		}
 	}
 	c.pt.Lock()
@@ -544,6 +626,12 @@ func (c *Client) startCall(ctx context.Context, method byte, payload []byte, f *
 		f.complete(nil, err)
 		return
 	}
+	if c.pt.limit > 0 && len(c.pt.m) >= c.pt.limit {
+		c.pt.shed++
+		c.pt.Unlock()
+		f.complete(nil, errAdmissionShed)
+		return
+	}
 	c.pt.nextID++
 	id := c.pt.nextID
 	f.id = id
@@ -552,13 +640,19 @@ func (c *Client) startCall(ctx context.Context, method byte, payload []byte, f *
 	c.pt.Unlock()
 
 	// A context carrying a span identity upgrades the frame to a traced
-	// request, extending the caller's trace across the wire.
+	// request, extending the caller's trace across the wire; a deadline
+	// upgrades it to a budget request. Both compose (kind 7).
 	kind := byte(kindRequest)
 	sc := telemetry.SpanFromContext(ctx)
-	if sc.Traced() {
+	switch {
+	case sc.Traced() && budget > 0:
+		kind = kindTracedBudgetRequest
+	case sc.Traced():
 		kind = kindTracedRequest
+	case budget > 0:
+		kind = kindBudgetRequest
 	}
-	if err := c.b.enqueue(sendEntry{kind: kind, method: method, id: id, sc: sc, payload: payload}); err != nil {
+	if err := c.b.enqueue(sendEntry{kind: kind, method: method, id: id, budget: budget, sc: sc, payload: payload}); err != nil {
 		// The batcher is closed or the connection already failed; whoever
 		// still owns the pending entry fails this call.
 		if g := c.takePending(id); g != nil {
@@ -575,6 +669,22 @@ func (c *Client) startCall(ctx context.Context, method byte, payload []byte, f *
 
 // errPeerDead is the fail-fast error for calls against a dead-marked peer.
 var errPeerDead = fmt.Errorf("rpc: peer marked dead: %w", ErrServerDead)
+
+// errAdmissionShed is the fail-fast error for calls rejected at the
+// admission limit. Preallocated: shedding happens exactly when the
+// client is saturated, so the rejection path must not add pressure.
+var errAdmissionShed = fmt.Errorf("rpc: admission limit reached: %w", ErrOverloaded)
+
+// cancelErr wraps a context error for the rpc error contract: a passed
+// deadline additionally classifies as ErrDeadlineExceeded, so callers
+// can errors.Is-match budget exhaustion without caring whether the local
+// context or the remote budget check tripped first.
+func cancelErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("rpc: call cancelled: %w: %w", ErrDeadlineExceeded, err)
+	}
+	return fmt.Errorf("rpc: call cancelled: %w", err)
+}
 
 // MarkDead records a failure-detector verdict: the peer is crash-stopped.
 // Every subsequent call fails fast with an error wrapping ErrServerDead
@@ -616,8 +726,11 @@ func (c *Client) Stats() ClientStats {
 		Pending:   len(c.pt.m),
 		Started:   c.pt.started,
 		Completed: c.pt.taken,
+		Shed:      c.pt.shed,
 	}
 	c.pt.Unlock()
+	st.Hedges = c.hedges.Load()
+	st.BreakerFastFails = c.breakerFastFails.Load()
 	st.FramesSent = c.b.framesSent.Load()
 	st.BatchesSent = c.b.batchesSent.Load()
 	st.BatchedCalls = c.b.batchedSends.Load()

@@ -37,6 +37,12 @@
 //     (WithPlacement, WithProtection, WithMigrationPolicy,
 //     WithCoherentRegion, WithLocalCache). Filling Config fields
 //     directly still works; options run last and win.
+//   - Tail tolerance: WithDeadlineBudget (default per-op deadline,
+//     caller deadlines win), WithAdmissionLimit (shed instead of queue
+//     when saturated), WithBreaker (per-server circuit breakers that
+//     shed replica-protected reads away from degraded owners), and
+//     WithHedging (hedged replica reads on the live transport stack).
+//     All off by default; the disabled data path is unchanged.
 //   - Access: Pool.Read / Pool.Write; Pool.ReadCtx / Pool.WriteCtx with
 //     cancellation; vectored Pool.ReadV / Pool.WriteV (plus ...VCtx)
 //     over []Vec, which lock all touched slices at once — in a
@@ -48,8 +54,11 @@
 //     io.Copy, and friends.
 //   - Errors: failures classify with errors.Is against the sentinels in
 //     errors.go — ErrServerDead, ErrReleased, ErrOutOfMemory,
-//     ErrUnmapped — and context cancellation surfaces as an error
-//     wrapping ctx.Err().
+//     ErrUnmapped, ErrDeadlineExceeded, ErrOverloaded,
+//     ErrServerDegraded — and context cancellation surfaces as an error
+//     wrapping ctx.Err(). A blown deadline budget additionally matches
+//     context.DeadlineExceeded, so code written against the stdlib
+//     classifies it too.
 //
 // Reaching into internal/... packages (the pre-v1 "direct struct" path)
 // is unsupported and now impossible for new code: everything needed is
@@ -68,6 +77,7 @@ import (
 	"github.com/lmp-project/lmp/internal/failure"
 	"github.com/lmp-project/lmp/internal/memsim"
 	"github.com/lmp-project/lmp/internal/migrate"
+	"github.com/lmp-project/lmp/internal/rpc"
 	"github.com/lmp-project/lmp/internal/sizing"
 	"github.com/lmp-project/lmp/internal/telemetry"
 	"github.com/lmp-project/lmp/internal/topology"
@@ -115,6 +125,20 @@ type (
 	// mode, and the injectable fabric-delay hook benchmarks use to model
 	// remote-copy latency. See WithRepairParallelism.
 	RepairConfig = core.RepairConfig
+	// TailConfig is the tail-tolerance knob block (Config.Tail): deadline
+	// budgets, admission control, per-server breakers, hedged reads. The
+	// zero value disables everything; WithDeadlineBudget,
+	// WithAdmissionLimit, WithBreaker, and WithHedging fill it.
+	TailConfig = core.TailConfig
+	// HedgeConfig tunes hedged replica reads (see WithHedging).
+	HedgeConfig = core.HedgeConfig
+	// BreakerPolicy tunes the per-server circuit breakers (see
+	// WithBreaker): failure-ratio trip over a sliding window, slow-call
+	// classification, open duration, and half-open probing.
+	BreakerPolicy = rpc.BreakerPolicy
+	// BreakerCounters snapshots one server's breaker totals
+	// (Pool.BreakerCounters).
+	BreakerCounters = rpc.BreakerCounters
 )
 
 // Observability types (Pool.Stats, Pool.TraceSpans, WithTracing,

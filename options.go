@@ -1,6 +1,8 @@
 package lmp
 
 import (
+	"time"
+
 	"github.com/lmp-project/lmp/internal/alloc"
 	"github.com/lmp-project/lmp/internal/failure"
 	"github.com/lmp-project/lmp/internal/migrate"
@@ -95,4 +97,49 @@ func WithTracing(tc TraceConfig) Option {
 // must not call back into the pool.
 func WithObserver(o Observer) Option {
 	return func(c *Config) { c.Trace.Observer = o }
+}
+
+// WithDeadlineBudget sets the default per-operation deadline budget: the
+// ...Ctx entry points apply it when the caller's context carries no
+// deadline of its own (a caller deadline always wins). Operations over
+// budget fail with an error wrapping ErrDeadlineExceeded, checked
+// between slice segments so a multi-slice access cannot overstay
+// unboundedly. d <= 0 disables (the default).
+func WithDeadlineBudget(d time.Duration) Option {
+	return func(c *Config) { c.Tail.OpBudget = d }
+}
+
+// WithAdmissionLimit bounds concurrent foreground accesses (Read/Write
+// and the vectored and ...Ctx variants): when n operations are already
+// in flight, further ones fail fast with an error wrapping
+// ErrOverloaded instead of queueing behind a saturated pool. n <= 0
+// disables (the default). The disabled path costs nothing; the enabled
+// path is one atomic per operation and stays allocation-free.
+func WithAdmissionLimit(n int) Option {
+	return func(c *Config) { c.Tail.AdmissionLimit = n }
+}
+
+// WithBreaker enables per-server circuit breakers fed by every access's
+// latency and outcome. A server whose recent failure ratio (or slow-call
+// ratio, see BreakerPolicy.SlowCallNS) trips the policy is marked
+// degraded: reads of replica-protected buffers shed to a live copy,
+// unprotected reads fail fast with an error wrapping ErrServerDegraded,
+// and writes still reach the primary. After BreakerPolicy.OpenFor the
+// breaker re-probes and closes on success. The zero policy disables.
+func WithBreaker(pol BreakerPolicy) Option {
+	return func(c *Config) { c.Tail.Breaker = pol }
+}
+
+// WithHedging configures hedged replica reads for the live transport
+// stack (daemon clients built with WrapTailClient-style glue): an
+// idempotent read that outlives the adaptive hedge delay — a tracked
+// latency quantile times a multiplier — is raced against a mirror, first
+// success wins, and the loser is cancelled. In-process pools have no
+// wait to hedge against; there the breaker's replica shed (WithBreaker)
+// plays the same role.
+func WithHedging(hc HedgeConfig) Option {
+	return func(c *Config) {
+		hc.Enabled = true
+		c.Tail.Hedge = hc
+	}
 }
